@@ -1,0 +1,74 @@
+// Ablation: cross-validation of the three analysis paths on the paper's
+// two headline operating points — exact CTMC vs discrete-event simulation
+// (with the matching Erlang timeout and with the true deterministic
+// timeout) for both the exponential (Fig 6) and H2 (Fig 9) settings.
+#include "bench_util.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+void run_point(const char* name, double lambda, const tags::sim::Distribution& service,
+               unsigned n, double t, double ctmc_en, double ctmc_thr) {
+  using namespace tags;
+  sim::TagsSimParams sp;
+  sp.lambda = lambda;
+  sp.service = service;
+  sp.buffers = {10, 10};
+  sp.horizon = 3e5;
+  sp.seed = 99;
+  sp.timeouts = {sim::Erlang{n + 1, t}};
+  const auto erl = sim::simulate_tags(sp);
+  sp.timeouts = {sim::Deterministic{(n + 1) / t}};
+  const auto det = sim::simulate_tags(sp);
+
+  core::Table table({"source", "EN_total", "throughput", "loss_fraction"});
+  table.set_precision(5);
+  table.add_row_text({"ctmc (Erlang timeout)", std::to_string(ctmc_en),
+                      std::to_string(ctmc_thr), "-"});
+  table.add_row_text({"sim (Erlang timeout)", std::to_string(erl.mean_total_queue),
+                      std::to_string(erl.throughput),
+                      std::to_string(erl.loss_fraction)});
+  table.add_row_text({"sim (deterministic timeout)",
+                      std::to_string(det.mean_total_queue),
+                      std::to_string(det.throughput),
+                      std::to_string(det.loss_fraction)});
+  table.set_title(name);
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace tags;
+  bench::figure_header("Ablation: simulation cross-validation",
+                       "CTMC vs DES (Erlang and deterministic timeouts)",
+                       "Fig 6 point (exp) and Fig 9 point (H2)");
+
+  {
+    models::TagsParams p;
+    p.lambda = 5.0;
+    p.mu = 10.0;
+    p.t = 50.0;
+    p.n = 6;
+    p.k1 = p.k2 = 10;
+    const auto m = models::TagsModel(p).metrics();
+    run_point("exponential demands (lambda=5, t=50)", p.lambda,
+              sim::Exponential{p.mu}, p.n, p.t, m.mean_total, m.throughput);
+  }
+  {
+    const auto p = models::TagsH2Params::from_ratio(11.0, 0.99, 100.0, 0.1, 12.0);
+    const auto m = models::TagsH2Model(p).metrics();
+    run_point("H2 demands (lambda=11, alpha=0.99, t=12)", p.lambda,
+              sim::HyperExp2{p.alpha, p.mu1, p.mu2}, p.n, p.t, m.mean_total,
+              m.throughput);
+  }
+  std::printf(
+      "notes: the CTMC resamples the repeat period independently (and\n"
+      "untilted), so CTMC-vs-sim(Erlang) gaps measure that modelling\n"
+      "choice; sim(Erlang)-vs-sim(deterministic) gaps measure the Erlang\n"
+      "approximation of the deterministic timeout itself.\n\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the figure-reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/table.hpp"
+
+namespace tags::bench {
+
+/// Print the standard header for a figure reproduction.
+inline void figure_header(const std::string& id, const std::string& description,
+                          const std::string& params) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), description.c_str());
+  std::printf("paper: Thomas, 'Modelling job allocation where service\n");
+  std::printf("duration is unknown' (2006); parameters: %s\n", params.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Print a table and (best effort) save the CSV next to the binary.
+inline void emit(core::Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  if (table.save_csv(csv_name)) {
+    std::printf("[csv written: %s]\n\n", csv_name.c_str());
+  } else {
+    std::printf("[csv not written]\n\n");
+  }
+}
+
+}  // namespace tags::bench

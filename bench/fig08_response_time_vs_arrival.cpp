@@ -1,0 +1,52 @@
+// Figure 8: average response time against the arrival rate, with TAGS
+// tuned (integer t minimising the mean queue length, the paper's
+// procedure) at each lambda, versus random allocation and shortest queue.
+//
+// The paper quotes optimal integer t = 51, 49, 45, 42 for lambda = 5, 7,
+// 9, 11; the corresponding optimum of this implementation is printed for
+// comparison. Shape to reproduce: all three curves grow with lambda, with
+// TAGS worst throughout (exponential demands) and the gap widening with
+// load.
+#include "approx/optimizer.hpp"
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace tags;
+  bench::figure_header("Figure 8", "average response time vs arrival rate",
+                       "mu=10, n=6, K=10; TAGS at per-lambda optimal integer t");
+
+  const core::Fig8Scenario scenario;
+  const std::vector<unsigned> paper_t{51, 49, 45, 42};
+
+  core::Table table({"lambda", "t_opt_n6", "t_opt_n5", "paper_t_opt", "tags_W_n6",
+                     "random_W", "shortest_queue_W"});
+  table.set_precision(5);
+  for (std::size_t i = 0; i < scenario.lambdas.size(); ++i) {
+    const double lambda = scenario.lambdas[i];
+    models::TagsParams p = scenario.tags_at(lambda, 50.0);
+    const auto opt =
+        approx::optimise_tags_t_integer(p, approx::Objective::kMinQueueLength, 30, 75);
+    // The paper's solved model has 4331 states == the state-count formula at
+    // n = 5 (DESIGN.md); at n = 5 the integer optima land on the paper's
+    // quoted values almost exactly.
+    models::TagsParams p5 = p;
+    p5.n = 5;
+    const auto opt5 =
+        approx::optimise_tags_t_integer(p5, approx::Objective::kMinQueueLength, 25, 70);
+    const auto random =
+        models::random_alloc_exp({.lambda = lambda, .mu = p.mu, .k = p.k1});
+    const auto sq =
+        models::ShortestQueueModel({.lambda = lambda, .mu = p.mu, .k = p.k1}).metrics();
+    table.add_row({lambda, opt.t, opt5.t, static_cast<double>(paper_t[i]),
+                   opt.metrics.response_time, random.response_time,
+                   sq.response_time});
+  }
+  bench::emit(table, "fig08.csv");
+  std::printf("note: t_opt_n5 reproduces the paper's quoted optima (51, 49, 45,\n"
+              "42) to within +-1 — consistent with the 4331-state count, the\n"
+              "paper's solved model used n = 5 (see DESIGN.md / EXPERIMENTS.md).\n"
+              "The equivalent timeout *durations* agree for both n: e.g.\n"
+              "6/51 = 0.118 (n=5) vs 7/58 = 0.121 (n=6) at lambda = 5.\n\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 9: average response time vs timeout rate with hyper-exponential
+// demands (alpha = 0.99, mu1 = 100 mu2, mean 0.1) at lambda = 11, TAGS vs
+// shortest queue. Random allocation is far off-scale (the paper omits it;
+// we print it once for reference).
+//
+// Shape to reproduce: TAGS beats shortest queue over a wide band of t,
+// with the optimum at a much smaller t (longer timeout) than the
+// exponential case — only 1% of jobs are long, so node 1 should complete
+// as many short jobs as possible.
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace tags;
+  bench::figure_header(
+      "Figure 9", "average response time vs timeout rate (H2 demands)",
+      "lambda=11, alpha=0.99, mu1=100*mu2, mean demand 0.1, n=6, K=10");
+
+  const auto scenario = core::Fig9Scenario::make();
+  const models::TagsH2Params base = scenario.tags_at(scenario.t_values.front());
+  std::printf("derived rates: mu1=%.4g mu2=%.4g; alpha'(t=%g)=%.4f\n\n", base.mu1,
+              base.mu2, base.t, base.alpha_prime());
+
+  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values);
+  const auto sq = models::ShortestQueueH2Model({.lambda = base.lambda,
+                                                .alpha = base.alpha,
+                                                .mu1 = base.mu1,
+                                                .mu2 = base.mu2,
+                                                .k = base.k1})
+                      .metrics();
+  const auto random = models::random_alloc_h2({.lambda = base.lambda,
+                                               .alpha = base.alpha,
+                                               .mu1 = base.mu1,
+                                               .mu2 = base.mu2,
+                                               .k = base.k1});
+
+  core::Table table({"t", "tags_W", "shortest_queue_W"});
+  table.set_precision(5);
+  for (std::size_t i = 0; i < scenario.t_values.size(); ++i) {
+    table.add_row({scenario.t_values[i], sweep[i].response_time, sq.response_time});
+  }
+  bench::emit(table, "fig09.csv");
+  std::printf("random allocation (reference, not plotted in the paper): W = %.4f\n",
+              random.response_time);
+
+  std::size_t best = 0;
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].response_time < sweep[best].response_time) best = i;
+    if (sweep[i].response_time < sq.response_time) ++wins;
+  }
+  std::printf("TAGS W optimum: t = %.0f (W = %.4f); beats shortest queue at "
+              "%zu/%zu grid points.\n\n",
+              scenario.t_values[best], sweep[best].response_time, wins, sweep.size());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 12: throughput against the proportion of short jobs alpha, same
+// setting as Figure 11 but with TAGS tuned for maximum throughput.
+//
+// Shape to reproduce: TAGS throughput decreases slightly as alpha grows
+// (levelling off toward 0.99) while random and shortest queue improve —
+// the mirrored trend of Figure 11.
+#include "approx/optimizer.hpp"
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace tags;
+  bench::figure_header(
+      "Figure 12", "throughput vs proportion of short jobs",
+      "lambda=11, mu1=10*mu2, mean demand 0.1, n=6, K=10; TAGS at optimal t");
+
+  auto scenario = core::Fig11Scenario::make();
+  scenario.alphas = {0.89, 0.91, 0.93, 0.95, 0.97, 0.99};
+
+  core::Table table({"alpha", "tags_t_opt", "tags_throughput", "random_throughput",
+                     "shortest_queue_throughput"});
+  table.set_precision(6);
+  for (double alpha : scenario.alphas) {
+    models::TagsH2Params p = scenario.tags_at(alpha, 20.0);
+    const auto opt = approx::optimise_tags_h2_t_coarse(
+        p, approx::Objective::kMaxThroughput, 4, 100, 6);
+    const auto random = models::random_alloc_h2(
+        {.lambda = p.lambda, .alpha = alpha, .mu1 = p.mu1, .mu2 = p.mu2, .k = p.k1});
+    const auto sq = models::ShortestQueueH2Model(
+                        {.lambda = p.lambda, .alpha = alpha, .mu1 = p.mu1,
+                         .mu2 = p.mu2, .k = p.k1})
+                        .metrics();
+    table.add_row({alpha, opt.t, opt.metrics.throughput, random.throughput,
+                   sq.throughput});
+  }
+  bench::emit(table, "fig12.csv");
+  return 0;
+}

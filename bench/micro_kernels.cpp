@@ -1,0 +1,98 @@
+// Microbenchmarks of the numerical kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "linalg/csr.hpp"
+#include "linalg/lu.hpp"
+#include "models/tags.hpp"
+#include "phasetype/ph.hpp"
+
+namespace {
+
+using namespace tags;
+
+linalg::CsrMatrix random_sparse(std::size_t n, unsigned nnz_per_row, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  linalg::CooMatrix coo(static_cast<linalg::index_t>(n),
+                        static_cast<linalg::index_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned k = 0; k < nnz_per_row; ++k) {
+      coo.add(static_cast<linalg::index_t>(i),
+              static_cast<linalg::index_t>(pick(gen)), dist(gen));
+    }
+    coo.add(static_cast<linalg::index_t>(i), static_cast<linalg::index_t>(i),
+            nnz_per_row + 1.0);
+  }
+  return linalg::CsrMatrix::from_coo(coo);
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_sparse(n, 6, 42);
+  linalg::Vec x(n, 1.0), y(n);
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_Spmv)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_CsrFromCoo(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 gen(7);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  linalg::CooMatrix coo(static_cast<linalg::index_t>(n),
+                        static_cast<linalg::index_t>(n));
+  for (std::size_t e = 0; e < 8 * n; ++e) {
+    coo.add(static_cast<linalg::index_t>(pick(gen)),
+            static_cast<linalg::index_t>(pick(gen)), 1.0);
+  }
+  for (auto _ : state) {
+    auto csr = linalg::CsrMatrix::from_coo(coo);
+    benchmark::DoNotOptimize(csr.nnz());
+  }
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 gen(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+    a(i, i) += static_cast<double>(n);
+  }
+  const linalg::Vec b(n, 1.0);
+  for (auto _ : state) {
+    auto x = linalg::lu_solve(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TagsModelBuild(benchmark::State& state) {
+  models::TagsParams p;
+  p.n = static_cast<unsigned>(state.range(0));
+  p.k1 = p.k2 = 10;
+  for (auto _ : state) {
+    models::TagsModel model(p);
+    benchmark::DoNotOptimize(model.n_states());
+  }
+}
+BENCHMARK(BM_TagsModelBuild)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_PhaseTypeMoment(benchmark::State& state) {
+  const auto m = ph::erlang(static_cast<unsigned>(state.range(0)), 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.moment(3));
+  }
+}
+BENCHMARK(BM_PhaseTypeMoment)->Arg(4)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Steady-state solver comparison on real TAGS chains of growing size
+// (google-benchmark). Complements the linalg microbenchmarks with the
+// whole-pipeline cost the figure benches actually pay.
+//
+// Finding (also visible here): Gauss-Seidel sweeps are the dependable
+// workhorse for these balance systems; restarted GMRES — even with a D+L
+// preconditioner — needs far more work and can stall, which is why kAuto
+// prefers Gauss-Seidel (consistent with the CTMC literature).
+#include <benchmark/benchmark.h>
+
+#include "ctmc/steady_state.hpp"
+#include "models/tags.hpp"
+
+namespace {
+
+using namespace tags;
+
+models::TagsParams sized_params(unsigned k) {
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = 50.0;
+  p.n = 6;
+  p.k1 = p.k2 = k;
+  return p;
+}
+
+void run_method(benchmark::State& state, ctmc::SteadyStateMethod method,
+                int max_iter) {
+  const auto p = sized_params(static_cast<unsigned>(state.range(0)));
+  const models::TagsModel model(p);
+  ctmc::SteadyStateOptions opts;
+  opts.method = method;
+  opts.tol = 1e-10;
+  opts.max_iter = max_iter;
+  bool converged = true;
+  double residual = 0.0;
+  for (auto _ : state) {
+    const auto r = ctmc::steady_state(model.chain(), opts);
+    converged = r.converged;
+    residual = r.residual;
+    benchmark::DoNotOptimize(r.pi.data());
+  }
+  state.counters["states"] = static_cast<double>(model.n_states());
+  state.counters["converged"] = converged ? 1.0 : 0.0;
+  state.counters["residual"] = residual;
+}
+
+void BM_SteadyGaussSeidel(benchmark::State& state) {
+  run_method(state, ctmc::SteadyStateMethod::kGaussSeidel, 200000);
+}
+void BM_SteadyGmres(benchmark::State& state) {
+  // Bounded budget: GMRES may stall on these systems; the counters show it.
+  run_method(state, ctmc::SteadyStateMethod::kGmres, 4000);
+}
+void BM_SteadyDenseLu(benchmark::State& state) {
+  run_method(state, ctmc::SteadyStateMethod::kDenseLu, 1);
+}
+
+BENCHMARK(BM_SteadyGaussSeidel)->Arg(4)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SteadyGmres)->Arg(4)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SteadyDenseLu)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Warm-start benefit: solve at t, then at t + 1 from the previous solution.
+void BM_WarmStartedResolve(benchmark::State& state) {
+  auto p = sized_params(10);
+  const models::TagsModel base(p);
+  const auto first = ctmc::steady_state(base.chain());
+  p.t += 1.0;
+  const models::TagsModel shifted(p);
+  for (auto _ : state) {
+    ctmc::SteadyStateOptions opts;
+    opts.method = ctmc::SteadyStateMethod::kGaussSeidel;
+    opts.initial_guess = first.pi;
+    const auto r = ctmc::steady_state(shifted.chain(), opts);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_WarmStartedResolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// State-space machinery benchmarks: PEPA parsing + derivation versus the
+// hand-written direct CTMC builders, across model sizes.
+#include <benchmark/benchmark.h>
+
+#include "models/pepa_sources.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/derivation.hpp"
+
+namespace {
+
+using namespace tags;
+
+models::TagsParams sized(unsigned k, unsigned n) {
+  models::TagsParams p;
+  p.k1 = p.k2 = k;
+  p.n = n;
+  return p;
+}
+
+void BM_DirectBuild(benchmark::State& state) {
+  const auto p = sized(static_cast<unsigned>(state.range(0)),
+                       static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    models::TagsModel model(p);
+    benchmark::DoNotOptimize(model.n_states());
+  }
+  state.counters["states"] =
+      static_cast<double>(models::TagsModel::state_count(p));
+}
+BENCHMARK(BM_DirectBuild)->Args({4, 3})->Args({10, 6})->Args({16, 8});
+
+void BM_PepaParse(benchmark::State& state) {
+  const auto p = sized(static_cast<unsigned>(state.range(0)), 6);
+  const std::string src = models::tags_pepa_source(p);
+  for (auto _ : state) {
+    auto model = pepa::parse_model(src);
+    benchmark::DoNotOptimize(model.definitions.size());
+  }
+  state.counters["bytes"] = static_cast<double>(src.size());
+}
+BENCHMARK(BM_PepaParse)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_PepaDerive(benchmark::State& state) {
+  const auto p = sized(static_cast<unsigned>(state.range(0)),
+                       static_cast<unsigned>(state.range(1)));
+  const auto model = pepa::parse_model(models::tags_pepa_source(p));
+  for (auto _ : state) {
+    auto dm = pepa::derive(model, "System");
+    benchmark::DoNotOptimize(dm.chain.n_states());
+  }
+  state.counters["states"] =
+      static_cast<double>(models::TagsModel::state_count(p));
+}
+BENCHMARK(BM_PepaDerive)->Args({4, 3})->Args({10, 6})->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,45 @@
+#include "approx/balance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "approx/roots.hpp"
+
+namespace tags::approx {
+
+double balance_timeout_rate_exponential(double mu) {
+  if (!(mu > 0.0)) throw std::invalid_argument("balance: mu must be > 0");
+  return mu * (std::sqrt(5.0) - 1.0) / 2.0;
+}
+
+double balance_timeout_rate_erlang(double mu, unsigned k) {
+  if (!(mu > 0.0) || k == 0) throw std::invalid_argument("balance: bad parameters");
+  if (k == 1) return balance_timeout_rate_exponential(mu);
+  // f(t) = success_prob/mu - E[elapsed | timeout branch weight], both sides
+  // written with the numerically stable geometric-series closed form:
+  //   sum_{i=1..k} i r^i = r (1 - (k+1) r^k + k r^{k+1}) / (1-r)^2.
+  const auto f = [mu, k](double t) {
+    const double r = t / (t + mu);
+    const double lhs = std::pow(r, static_cast<double>(k)) / mu;
+    const double one_minus_r = mu / (t + mu);
+    const double rk = std::pow(r, static_cast<double>(k));
+    const double series =
+        r * (1.0 - (k + 1.0) * rk + k * rk * r) / (one_minus_r * one_minus_r);
+    const double rhs = mu / (t * (t + mu)) * series;
+    return lhs - rhs;
+  };
+  // lhs grows with t (success prob of the timeout side), rhs shrinks; the
+  // root sits near k * mu for moderate k.
+  const RootResult root = bracket_and_bisect(f, static_cast<double>(k) * mu);
+  if (!root.converged) {
+    throw std::runtime_error("balance_timeout_rate_erlang: no root found");
+  }
+  return root.x;
+}
+
+double mean_occupancy_exp_vs_erlang(double mu, unsigned k, double t) {
+  const double r = t / (t + mu);
+  return (1.0 - std::pow(r, static_cast<double>(k))) / mu;
+}
+
+}  // namespace tags::approx

@@ -1,0 +1,29 @@
+// Section 4 of the paper: load-balance estimates of a good timeout rate.
+//
+// The idea: at the response-time optimum the *useful* service demand should
+// split evenly across the two nodes, i.e. the expected demand served by
+// jobs completing at node 1 equals the expected residual demand served at
+// node 2. With an exponential timeout (rate T) racing an Exp(mu) service
+// this gives T^2 + T mu = mu^2; with an Erlang(k, t) timeout the analogous
+// race gives the equation solved by balance_timeout_rate_erlang().
+#pragma once
+
+namespace tags::approx {
+
+/// Exponential-timeout balance: the positive root of T^2 + T mu - mu^2 = 0,
+/// T = mu (sqrt(5) - 1) / 2. Paper: "approximately 6.17" for mu = 10.
+[[nodiscard]] double balance_timeout_rate_exponential(double mu);
+
+/// Erlang(k, t) timeout balance (k total phases; the paper's n = k). Solves
+///   (t/(t+mu))^k / mu = mu/(t(t+mu)) * sum_{i=1..k} i (t/(t+mu))^i
+/// for the per-phase rate t > 0. k = 1 reduces to the exponential case.
+/// Paper: the *effective* timeout rate t/k tends to ~0.9*mu as k grows
+/// (quoted as "around 9 when mu = 10").
+[[nodiscard]] double balance_timeout_rate_erlang(double mu, unsigned k);
+
+/// E[min(S, X)] for S ~ Exp(mu) and an independent X ~ Erlang(k, t):
+/// (1 - (t/(t+mu))^k) / mu. This is the mean occupancy of the node-1
+/// server per head job.
+[[nodiscard]] double mean_occupancy_exp_vs_erlang(double mu, unsigned k, double t);
+
+}  // namespace tags::approx

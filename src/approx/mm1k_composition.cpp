@@ -1,0 +1,81 @@
+#include "approx/mm1k_composition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "approx/balance.hpp"
+#include "approx/roots.hpp"
+#include "models/mm1k.hpp"
+#include "phasetype/ph.hpp"
+
+namespace tags::approx {
+
+namespace {
+
+/// Mean jobs in an M/G/1-like station with utilisation rho and service scv,
+/// via Pollaczek-Khinchine, clamped into the bounded-buffer range [0, K].
+/// The loss behaviour itself is taken from the matching M/M/1/K (losses are
+/// dominated by the mean, variability second-order for the small loss
+/// regimes the paper studies).
+double pk_mean_jobs(double rho, double scv, unsigned k) {
+  if (rho >= 0.999) return static_cast<double>(k);  // saturated
+  const double en = rho + rho * rho * (1.0 + scv) / (2.0 * (1.0 - rho));
+  return std::min(en, static_cast<double>(k));
+}
+
+}  // namespace
+
+CompositionEstimate estimate_tags(const models::TagsParams& p) {
+  const unsigned k_phases = p.n + 1;  // ticks + timeout phase
+  CompositionEstimate e;
+  e.timeout_prob = std::pow(p.t / (p.t + p.mu), static_cast<double>(k_phases));
+  e.mu1_eff = 1.0 / mean_occupancy_exp_vs_erlang(p.mu, k_phases, p.t);
+
+  // Loss/flow structure from the M/M/1/K with the effective rates; queue
+  // lengths refined with the exact service-time variability through the
+  // phase-type closure operations (node 1 serves min(Exp, Erlang); node 2
+  // serves Erlang-repeat then Exp-residual).
+  const models::Mm1kResult node1 =
+      models::mm1k_analytic({.lambda = p.lambda, .mu = e.mu1_eff, .k = p.k1});
+  e.lambda2 = node1.throughput * e.timeout_prob;
+
+  const ph::PhaseType occupancy1 =
+      ph::minimum(ph::exponential(p.mu), ph::erlang(k_phases, p.t));
+  const ph::PhaseType service2 =
+      ph::convolve(ph::erlang(k_phases, p.t), ph::exponential(p.mu));
+  e.mu2_eff = 1.0 / service2.mean();
+  const models::Mm1kResult node2 =
+      models::mm1k_analytic({.lambda = e.lambda2, .mu = e.mu2_eff, .k = p.k2});
+
+  models::Metrics& m = e.metrics;
+  const double rho1 = std::min(node1.throughput / e.mu1_eff, 1.0);
+  const double rho2 = std::min(node2.throughput / e.mu2_eff, 1.0);
+  m.mean_q1 = pk_mean_jobs(rho1, occupancy1.scv(), p.k1);
+  m.mean_q2 = pk_mean_jobs(rho2, service2.scv(), p.k2);
+  m.loss1_rate = node1.loss_rate;
+  m.loss2_rate = node2.loss_rate;
+  m.utilisation1 = rho1;
+  m.utilisation2 = rho2;
+  // Successful completions: node-1 heads that finish + node-2 departures.
+  m.throughput = node1.throughput * (1.0 - e.timeout_prob) + node2.throughput;
+  models::finalize(m);
+  return e;
+}
+
+double estimate_optimal_t_queue_length(models::TagsParams p, double t_lo, double t_hi) {
+  const auto objective = [&p](double t) {
+    p.t = t;
+    return estimate_tags(p).metrics.mean_total;
+  };
+  return grid_then_golden(objective, t_lo, t_hi, 64).x;
+}
+
+double estimate_optimal_t_throughput(models::TagsParams p, double t_lo, double t_hi) {
+  const auto objective = [&p](double t) {
+    p.t = t;
+    return -estimate_tags(p).metrics.throughput;
+  };
+  return grid_then_golden(objective, t_lo, t_hi, 64).x;
+}
+
+}  // namespace tags::approx

@@ -1,0 +1,39 @@
+// Bounded-queue composition estimate (Section 4, second half): approximate
+// node 1 as an M/M/1/K1 queue with the effective head-occupancy rate, feed
+// its timed-out flow into node 2 approximated as an M/M/1/K2 queue whose
+// service time is the repeat period plus the residual demand. Cheap (no
+// CTMC solve) and good enough to seed the timeout optimiser.
+#pragma once
+
+#include "models/metrics.hpp"
+#include "models/tags.hpp"
+
+namespace tags::models {
+struct TagsParams;  // fwd (already included; kept for readability)
+}
+
+namespace tags::approx {
+
+struct CompositionEstimate {
+  double mu1_eff = 0.0;      ///< node-1 effective service rate
+  double mu2_eff = 0.0;      ///< node-2 effective service rate
+  double timeout_prob = 0.0; ///< P(head times out) = (t/(t+mu))^{n+1}
+  double lambda2 = 0.0;      ///< arrival rate into node 2
+  models::Metrics metrics;   ///< assembled approximate metrics
+};
+
+/// Evaluate the decomposition at the given TAGS parameters.
+[[nodiscard]] CompositionEstimate estimate_tags(const models::TagsParams& p);
+
+/// Approximate optimal timer rate t minimising the estimated mean total
+/// queue length (paper's Figure 8 optimisation target).
+[[nodiscard]] double estimate_optimal_t_queue_length(models::TagsParams p,
+                                                     double t_lo = 1.0,
+                                                     double t_hi = 400.0);
+
+/// Approximate optimal timer rate t maximising the estimated throughput.
+[[nodiscard]] double estimate_optimal_t_throughput(models::TagsParams p,
+                                                   double t_lo = 1.0,
+                                                   double t_hi = 400.0);
+
+}  // namespace tags::approx

@@ -1,0 +1,99 @@
+#include "approx/optimizer.hpp"
+
+#include <limits>
+#include <optional>
+
+#include "approx/roots.hpp"
+
+namespace tags::approx {
+
+namespace {
+
+bool score_is_better(const models::Metrics& a, const models::Metrics& b,
+                     Objective obj);
+
+double score(const models::Metrics& m, Objective obj) {
+  switch (obj) {
+    case Objective::kMinQueueLength: return m.mean_total;
+    case Objective::kMinResponseTime: return m.response_time;
+    case Objective::kMaxThroughput: return -m.throughput;
+  }
+  return 0.0;
+}
+
+bool score_is_better(const models::Metrics& a, const models::Metrics& b,
+                     Objective obj) {
+  return score(a, obj) < score(b, obj);
+}
+
+/// Warm-started integer scan shared by both model families.
+template <class Model, class Params>
+ExactOptimum integer_scan(Params p, Objective obj, unsigned t_lo, unsigned t_hi,
+                          unsigned stride = 1) {
+  ExactOptimum best;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::optional<linalg::Vec> warm;
+  for (unsigned t = t_lo; t <= t_hi; t += stride) {
+    p.t = static_cast<double>(t);
+    const Model model(p);
+    ctmc::SteadyStateOptions opts;
+    if (warm && warm->size() == static_cast<std::size_t>(model.chain().n_states())) {
+      opts.initial_guess = warm;
+    }
+    const auto solved = model.solve(opts);
+    ++best.solves;
+    if (!solved.converged) continue;
+    warm = solved.pi;
+    const models::Metrics m = model.metrics_from(solved.pi);
+    const double s = score(m, obj);
+    if (s < best_score) {
+      best_score = s;
+      best.t = p.t;
+      best.metrics = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ExactOptimum optimise_tags_t_integer(models::TagsParams p, Objective obj, unsigned t_lo,
+                                     unsigned t_hi) {
+  return integer_scan<models::TagsModel>(p, obj, t_lo, t_hi);
+}
+
+ExactOptimum optimise_tags_h2_t_integer(models::TagsH2Params p, Objective obj,
+                                        unsigned t_lo, unsigned t_hi) {
+  return integer_scan<models::TagsH2Model>(p, obj, t_lo, t_hi);
+}
+
+ExactOptimum optimise_tags_h2_t_coarse(const models::TagsH2Params& p, Objective obj,
+                                       unsigned t_lo, unsigned t_hi, unsigned stride) {
+  const ExactOptimum coarse =
+      integer_scan<models::TagsH2Model>(p, obj, t_lo, t_hi, std::max(1u, stride));
+  const auto center = static_cast<unsigned>(coarse.t);
+  const unsigned lo = center > t_lo + stride ? center - stride + 1 : t_lo;
+  const unsigned hi = std::min(t_hi, center + stride - 1);
+  ExactOptimum fine = integer_scan<models::TagsH2Model>(p, obj, lo, hi);
+  fine.solves += coarse.solves;
+  if (score_is_better(coarse.metrics, fine.metrics, obj)) return coarse;
+  return fine;
+}
+
+ExactOptimum optimise_tags_t(models::TagsParams p, Objective obj, double t_lo,
+                             double t_hi) {
+  ExactOptimum out;
+  const auto objective = [&](double t) {
+    p.t = t;
+    const models::TagsModel model(p);
+    ++out.solves;
+    return score(model.metrics(), obj);
+  };
+  const MinimizeResult r = grid_then_golden(objective, t_lo, t_hi, 24, 1e-3);
+  out.t = r.x;
+  p.t = r.x;
+  out.metrics = models::TagsModel(p).metrics();
+  return out;
+}
+
+}  // namespace tags::approx

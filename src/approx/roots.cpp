@@ -1,0 +1,125 @@
+#include "approx/roots.hpp"
+
+#include <cmath>
+
+namespace tags::approx {
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  double x_tol, int max_iter) {
+  RootResult r;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, true, 0};
+  if (fhi == 0.0) return {hi, 0.0, true, 0};
+  if (flo * fhi > 0.0) {
+    r.x = lo;
+    r.fx = flo;
+    return r;  // no bracket
+  }
+  for (r.iterations = 0; r.iterations < max_iter; ++r.iterations) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0 || hi - lo < x_tol * std::max(1.0, std::abs(mid))) {
+      r.x = mid;
+      r.fx = fmid;
+      r.converged = true;
+      return r;
+    }
+    if (flo * fmid < 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  r.x = 0.5 * (lo + hi);
+  r.fx = f(r.x);
+  r.converged = true;  // interval exhausted to max_iter halvings
+  return r;
+}
+
+RootResult bracket_and_bisect(const std::function<double(double)>& f, double x0,
+                              double x_tol) {
+  double lo = x0, hi = x0;
+  double flo = f(lo), fhi = f(hi);
+  for (int i = 0; i < 80 && flo * fhi > 0.0; ++i) {
+    lo = std::max(lo / 2.0, 1e-12);
+    hi *= 2.0;
+    flo = f(lo);
+    fhi = f(hi);
+  }
+  if (flo * fhi > 0.0) {
+    RootResult r;
+    r.x = x0;
+    r.fx = f(x0);
+    return r;
+  }
+  return bisect(f, lo, hi, x_tol);
+}
+
+MinimizeResult golden_section(const std::function<double(double)>& f, double lo,
+                              double hi, double x_tol, int max_iter) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  MinimizeResult r;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  r.evaluations = 2;
+  for (int i = 0; i < max_iter && (b - a) > x_tol * std::max(1.0, std::abs(a)); ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++r.evaluations;
+  }
+  if (f1 <= f2) {
+    r.x = x1;
+    r.fx = f1;
+  } else {
+    r.x = x2;
+    r.fx = f2;
+  }
+  return r;
+}
+
+MinimizeResult grid_then_golden(const std::function<double(double)>& f, double lo,
+                                double hi, int grid_points, double x_tol) {
+  MinimizeResult best;
+  best.fx = f(lo);
+  best.x = lo;
+  best.evaluations = 1;
+  double best_i = 0;
+  for (int i = 1; i <= grid_points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / grid_points;
+    const double fx = f(x);
+    ++best.evaluations;
+    if (fx < best.fx) {
+      best.fx = fx;
+      best.x = x;
+      best_i = i;
+    }
+  }
+  const double step = (hi - lo) / grid_points;
+  const double a = std::max(lo, lo + (best_i - 1) * step);
+  const double b = std::min(hi, lo + (best_i + 1) * step);
+  MinimizeResult refined = golden_section(f, a, b, x_tol);
+  refined.evaluations += best.evaluations;
+  if (refined.fx > best.fx) {
+    refined.x = best.x;
+    refined.fx = best.fx;
+  }
+  return refined;
+}
+
+}  // namespace tags::approx

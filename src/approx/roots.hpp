@@ -1,0 +1,42 @@
+// Scalar root finding and 1-D minimisation used by the Section 4
+// approximations and the timeout optimisers.
+#pragma once
+
+#include <functional>
+
+namespace tags::approx {
+
+struct RootResult {
+  double x = 0.0;
+  double fx = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Bisection on [lo, hi]; f(lo) and f(hi) must have opposite signs.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f, double lo,
+                                double hi, double x_tol = 1e-12, int max_iter = 200);
+
+/// Expand the bracket geometrically from an initial guess until the sign
+/// changes, then bisect. Returns converged = false if no bracket is found.
+[[nodiscard]] RootResult bracket_and_bisect(const std::function<double(double)>& f,
+                                            double x0, double x_tol = 1e-12);
+
+struct MinimizeResult {
+  double x = 0.0;
+  double fx = 0.0;
+  int evaluations = 0;
+};
+
+/// Golden-section search on [lo, hi] (assumes unimodal f).
+[[nodiscard]] MinimizeResult golden_section(const std::function<double(double)>& f,
+                                            double lo, double hi, double x_tol = 1e-8,
+                                            int max_iter = 200);
+
+/// Coarse grid scan followed by golden-section refinement around the best
+/// grid point — robust when f is not globally unimodal.
+[[nodiscard]] MinimizeResult grid_then_golden(const std::function<double(double)>& f,
+                                              double lo, double hi, int grid_points = 32,
+                                              double x_tol = 1e-6);
+
+}  // namespace tags::approx

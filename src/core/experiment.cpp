@@ -1,0 +1,64 @@
+#include "core/experiment.hpp"
+
+#include "core/sweep.hpp"
+
+namespace tags::core {
+
+PolicyComparison compare_policies_exp(const models::TagsParams& p) {
+  PolicyComparison c;
+  c.tags = models::TagsModel(p).metrics();
+  c.random = models::random_alloc_exp({.lambda = p.lambda, .mu = p.mu, .k = p.k1});
+  c.round_robin =
+      models::RoundRobinModel({.lambda = p.lambda, .mu = p.mu, .k = p.k1}).metrics();
+  c.shortest_queue =
+      models::ShortestQueueModel({.lambda = p.lambda, .mu = p.mu, .k = p.k1}).metrics();
+  return c;
+}
+
+PolicyComparison compare_policies_h2(const models::TagsH2Params& p) {
+  PolicyComparison c;
+  c.tags = models::TagsH2Model(p).metrics();
+  c.random = models::random_alloc_h2(
+      {.lambda = p.lambda, .alpha = p.alpha, .mu1 = p.mu1, .mu2 = p.mu2, .k = p.k1});
+  c.shortest_queue = models::ShortestQueueH2Model({.lambda = p.lambda,
+                                                   .alpha = p.alpha,
+                                                   .mu1 = p.mu1,
+                                                   .mu2 = p.mu2,
+                                                   .k = p.k1})
+                         .metrics();
+  return c;
+}
+
+std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
+                                          const std::vector<double>& t_values) {
+  std::vector<models::Metrics> out;
+  out.reserve(t_values.size());
+  ctmc::SteadyStateOptions opts;
+  for (double t : t_values) {
+    models::TagsParams p = base;
+    p.t = t;
+    const models::TagsModel model(p);
+    const auto solved = model.solve(opts);
+    if (solved.converged) opts.initial_guess = solved.pi;
+    out.push_back(model.metrics_from(solved.pi));
+  }
+  return out;
+}
+
+std::vector<models::Metrics> tags_h2_t_sweep(const models::TagsH2Params& base,
+                                             const std::vector<double>& t_values) {
+  std::vector<models::Metrics> out;
+  out.reserve(t_values.size());
+  ctmc::SteadyStateOptions opts;
+  for (double t : t_values) {
+    models::TagsH2Params p = base;
+    p.t = t;
+    const models::TagsH2Model model(p);
+    const auto solved = model.solve(opts);
+    if (solved.converged) opts.initial_guess = solved.pi;
+    out.push_back(model.metrics_from(solved.pi));
+  }
+  return out;
+}
+
+}  // namespace tags::core

@@ -1,0 +1,35 @@
+// High-level experiment helpers: evaluate each allocation policy at a
+// scenario point, with warm-started t-sweeps for the TAGS families.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "models/metrics.hpp"
+#include "models/random_alloc.hpp"
+#include "models/round_robin.hpp"
+#include "models/shortest_queue.hpp"
+
+namespace tags::core {
+
+/// Metrics of the three policies at one exponential-demand parameter point.
+struct PolicyComparison {
+  models::Metrics tags;
+  models::Metrics random;
+  models::Metrics round_robin;  ///< exponential comparison only
+  models::Metrics shortest_queue;
+};
+
+[[nodiscard]] PolicyComparison compare_policies_exp(const models::TagsParams& p);
+
+/// H2 variant (shares lambda / alpha / rates / buffer with the TAGS params).
+[[nodiscard]] PolicyComparison compare_policies_h2(const models::TagsH2Params& p);
+
+/// TAGS metrics across a t-sweep, warm-starting consecutive solves.
+[[nodiscard]] std::vector<models::Metrics> tags_t_sweep(
+    const models::TagsParams& base, const std::vector<double>& t_values);
+
+[[nodiscard]] std::vector<models::Metrics> tags_h2_t_sweep(
+    const models::TagsH2Params& base, const std::vector<double>& t_values);
+
+}  // namespace tags::core

@@ -1,0 +1,64 @@
+#include "core/scenario.hpp"
+
+#include "core/sweep.hpp"
+
+namespace tags::core {
+
+Fig6Scenario Fig6Scenario::make() {
+  Fig6Scenario s;
+  // The paper plots the total/average queue length against the timeout rate
+  // with the interesting region around the optimum near t ~ 50-60.
+  for (double t = 10.0; t <= 150.0; t += 5.0) s.t_values.push_back(t);
+  return s;
+}
+
+models::TagsParams Fig6Scenario::tags_at(double t) const {
+  models::TagsParams p;
+  p.lambda = lambda;
+  p.mu = PaperDefaults::kMu;
+  p.t = t;
+  p.n = PaperDefaults::kTicks;
+  p.k1 = p.k2 = PaperDefaults::kBuffer;
+  return p;
+}
+
+models::TagsParams Fig8Scenario::tags_at(double lambda, double t) const {
+  models::TagsParams p;
+  p.lambda = lambda;
+  p.mu = PaperDefaults::kMu;
+  p.t = t;
+  p.n = PaperDefaults::kTicks;
+  p.k1 = p.k2 = PaperDefaults::kBuffer;
+  return p;
+}
+
+Fig9Scenario Fig9Scenario::make() {
+  Fig9Scenario s;
+  for (double t = 4.0; t <= 60.0; t += 4.0) s.t_values.push_back(t);
+  for (double t = 70.0; t <= 150.0; t += 20.0) s.t_values.push_back(t);
+  return s;
+}
+
+models::TagsH2Params Fig9Scenario::tags_at(double t) const {
+  return models::TagsH2Params::from_ratio(lambda, alpha, ratio,
+                                          PaperDefaults::kMeanDemand, t,
+                                          PaperDefaults::kTicks,
+                                          PaperDefaults::kBuffer,
+                                          PaperDefaults::kBuffer);
+}
+
+Fig11Scenario Fig11Scenario::make() {
+  Fig11Scenario s;
+  s.alphas = linspace(0.89, 0.99, 11);
+  return s;
+}
+
+models::TagsH2Params Fig11Scenario::tags_at(double alpha, double t) const {
+  return models::TagsH2Params::from_ratio(lambda, alpha, ratio,
+                                          PaperDefaults::kMeanDemand, t,
+                                          PaperDefaults::kTicks,
+                                          PaperDefaults::kBuffer,
+                                          PaperDefaults::kBuffer);
+}
+
+}  // namespace tags::core

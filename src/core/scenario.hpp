@@ -1,0 +1,57 @@
+// The paper's experimental scenarios (Section 5), one per figure, with the
+// published parameter values as defaults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+namespace tags::core {
+
+/// Common constants: n = 6, K1 = K2 = 10, mu = 10 (mean demand 0.1).
+struct PaperDefaults {
+  static constexpr unsigned kTicks = 6;
+  static constexpr unsigned kBuffer = 10;
+  static constexpr double kMu = 10.0;
+  static constexpr double kMeanDemand = 0.1;
+};
+
+/// Figures 6 & 7: lambda = 5, exponential demands, sweep the timer rate t.
+struct Fig6Scenario {
+  double lambda = 5.0;
+  std::vector<double> t_values;  ///< default filled by make()
+  [[nodiscard]] static Fig6Scenario make();
+  [[nodiscard]] models::TagsParams tags_at(double t) const;
+};
+
+/// Figure 8: response time vs arrival rate at the queue-length-optimal
+/// integer t. The paper quotes t* = 51, 49, 45, 42 for lambda = 5, 7, 9, 11.
+struct Fig8Scenario {
+  std::vector<double> lambdas{5.0, 7.0, 9.0, 11.0};
+  [[nodiscard]] models::TagsParams tags_at(double lambda, double t) const;
+};
+
+/// Figures 9 & 10: H2 demands, alpha = 0.99, mu1 = 100 mu2, mean 0.1,
+/// lambda = 11, sweep t.
+struct Fig9Scenario {
+  double lambda = 11.0;
+  double alpha = 0.99;
+  double ratio = 100.0;
+  std::vector<double> t_values;
+  [[nodiscard]] static Fig9Scenario make();
+  [[nodiscard]] models::TagsH2Params tags_at(double t) const;
+};
+
+/// Figures 11 & 12: H2 with mu1 = 10 mu2, alpha swept over [0.89, 0.99],
+/// TAGS at the per-alpha optimal t.
+struct Fig11Scenario {
+  double lambda = 11.0;
+  double ratio = 10.0;
+  std::vector<double> alphas;
+  [[nodiscard]] static Fig11Scenario make();
+  [[nodiscard]] models::TagsH2Params tags_at(double alpha, double t) const;
+};
+
+}  // namespace tags::core

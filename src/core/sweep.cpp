@@ -1,0 +1,19 @@
+#include "core/sweep.hpp"
+
+namespace tags::core {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(count - 1));
+  }
+  return out;
+}
+
+}  // namespace tags::core

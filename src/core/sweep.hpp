@@ -1,0 +1,49 @@
+// Parameter sweeps. parallel_sweep fans independent evaluations out over
+// OpenMP threads; warm_sweep runs sequentially, threading the previous
+// stationary vector into each solve (much faster for CTMC t-sweeps, where
+// neighbouring parameter points have nearly identical solutions).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ctmc/steady_state.hpp"
+
+namespace tags::core {
+
+/// Evenly spaced values [lo, hi] inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// Evaluate fn over all inputs, in parallel when OpenMP is enabled.
+/// Results are returned in input order regardless of scheduling.
+template <class T, class Fn>
+[[nodiscard]] auto parallel_sweep(const std::vector<T>& inputs, Fn&& fn)
+    -> std::vector<decltype(fn(inputs.front()))> {
+  using R = decltype(fn(inputs.front()));
+  std::vector<R> results(inputs.size());
+  const auto count = static_cast<long long>(inputs.size());
+#pragma omp parallel for schedule(dynamic)
+  for (long long i = 0; i < count; ++i) {
+    results[static_cast<std::size_t>(i)] = fn(inputs[static_cast<std::size_t>(i)]);
+  }
+  return results;
+}
+
+/// Sequential sweep with warm-started steady-state solves. `solve_fn` gets
+/// the parameter value and solver options (carrying the previous pi as the
+/// initial guess) and returns the stationary result for that point.
+template <class T, class SolveFn>
+[[nodiscard]] std::vector<ctmc::SteadyStateResult> warm_sweep(
+    const std::vector<T>& inputs, SolveFn&& solve_fn) {
+  std::vector<ctmc::SteadyStateResult> results;
+  results.reserve(inputs.size());
+  ctmc::SteadyStateOptions opts;
+  for (const T& x : inputs) {
+    ctmc::SteadyStateResult r = solve_fn(x, opts);
+    if (r.converged) opts.initial_guess = r.pi;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace tags::core

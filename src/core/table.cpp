@@ -1,0 +1,82 @@
+#include "core/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace tags::core {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong column count");
+  }
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[48];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision_, v);
+    cells.emplace_back(buf);
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_text(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row_text: wrong column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(width[c]));
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  os << std::left;
+  emit(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(width[c], '-');
+    if (c + 1 < columns_.size()) rule += "  ";
+  }
+  os << rule << "\n";
+  os << std::right;
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << columns_[c];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << "\n";
+  }
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace tags::core

@@ -1,0 +1,43 @@
+// Aligned-console / CSV table output shared by the figure benches and
+// examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tags::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Add a numeric row (formatted with `precision` significant digits).
+  void add_row(const std::vector<double>& values);
+
+  /// Add a pre-formatted row.
+  void add_row_text(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t n_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
+
+  void set_precision(int digits) noexcept { precision_ = digits; }
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Render aligned for the console.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated output (header + rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Write CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 6;
+};
+
+}  // namespace tags::core

@@ -1,0 +1,48 @@
+#include "ctmc/ctmc.hpp"
+
+#include <cmath>
+
+namespace tags::ctmc {
+
+Ctmc::Ctmc(index_t n_states, linalg::CsrMatrix generator,
+           std::vector<Transition> transitions, std::vector<std::string> label_names)
+    : n_states_(n_states),
+      q_(std::move(generator)),
+      transitions_(std::move(transitions)),
+      label_names_(std::move(label_names)) {}
+
+std::int64_t Ctmc::find_label(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < label_names_.size(); ++i) {
+    if (label_names_[i] == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+linalg::Vec Ctmc::exit_rates() const {
+  linalg::Vec d = q_.diagonal();
+  for (double& v : d) v = -v;
+  return d;
+}
+
+double Ctmc::max_exit_rate() const {
+  double m = 0.0;
+  for (double v : exit_rates()) m = std::max(m, v);
+  return m;
+}
+
+bool Ctmc::is_valid_generator(double tol) const {
+  if (q_.rows() != n_states_ || q_.cols() != n_states_) return false;
+  for (index_t i = 0; i < n_states_; ++i) {
+    const auto cs = q_.row_cols(i);
+    const auto vs = q_.row_vals(i);
+    double row_sum = 0.0;
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      row_sum += vs[k];
+      if (cs[k] != i && vs[k] < 0.0) return false;
+    }
+    if (std::abs(row_sum) > tol * std::max(1.0, -q_.at(i, i))) return false;
+  }
+  return true;
+}
+
+}  // namespace tags::ctmc

@@ -1,0 +1,70 @@
+// Continuous-time Markov chain with labelled transitions.
+//
+// The chain is stored two ways:
+//  * a CSR infinitesimal generator Q (row = source state, diagonal =
+//    -sum of off-diagonal rates) used by the numerical solvers, and
+//  * the full list of labelled transitions, used for action-throughput
+//    measures. The transition list may contain self-loops (e.g. a lost
+//    arrival in a bounded queue): these do not affect Q but do count
+//    towards the throughput of their action label.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace tags::ctmc {
+
+using linalg::index_t;
+
+/// Interned action label. kTau is the hidden/internal action.
+using label_t = std::uint32_t;
+inline constexpr label_t kTau = 0;
+
+struct Transition {
+  index_t from;
+  index_t to;
+  double rate;
+  label_t label;
+};
+
+class Ctmc {
+ public:
+  Ctmc() = default;
+  Ctmc(index_t n_states, linalg::CsrMatrix generator, std::vector<Transition> transitions,
+       std::vector<std::string> label_names);
+
+  [[nodiscard]] index_t n_states() const noexcept { return n_states_; }
+  [[nodiscard]] const linalg::CsrMatrix& generator() const noexcept { return q_; }
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// All interned label names; index = label_t. Entry 0 is "tau".
+  [[nodiscard]] const std::vector<std::string>& label_names() const noexcept {
+    return label_names_;
+  }
+
+  /// Label id for a name, or -1 if the chain never uses it.
+  [[nodiscard]] std::int64_t find_label(std::string_view name) const noexcept;
+
+  /// Exit rate of each state (= -Q(i,i), excluding self-loops).
+  [[nodiscard]] linalg::Vec exit_rates() const;
+
+  /// Largest exit rate; uniformization constant base.
+  [[nodiscard]] double max_exit_rate() const;
+
+  /// True if every row of Q sums to ~0 and off-diagonals are non-negative.
+  [[nodiscard]] bool is_valid_generator(double tol = 1e-9) const;
+
+ private:
+  index_t n_states_ = 0;
+  linalg::CsrMatrix q_;
+  std::vector<Transition> transitions_;
+  std::vector<std::string> label_names_;
+};
+
+}  // namespace tags::ctmc

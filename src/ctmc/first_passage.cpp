@@ -1,0 +1,141 @@
+#include "ctmc/first_passage.hpp"
+
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/solver.hpp"
+
+namespace tags::ctmc {
+
+FirstPassageResult mean_first_passage(const Ctmc& chain,
+                                      const std::function<bool(index_t)>& target) {
+  const index_t n = chain.n_states();
+  FirstPassageResult res;
+
+  // Index map: non-target states -> compact indices.
+  std::vector<index_t> compact(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> expand;
+  for (index_t i = 0; i < n; ++i) {
+    if (!target(i)) {
+      compact[static_cast<std::size_t>(i)] = static_cast<index_t>(expand.size());
+      expand.push_back(i);
+    }
+  }
+  const std::size_t na = expand.size();
+  res.hitting_time.assign(static_cast<std::size_t>(n), 0.0);
+  if (na == 0) {
+    res.converged = true;  // every state is a target
+    return res;
+  }
+
+  // Assemble -Q_AA (an M-matrix) and solve (-Q_AA) h = 1.
+  linalg::CooMatrix coo(static_cast<linalg::index_t>(na),
+                        static_cast<linalg::index_t>(na));
+  const linalg::CsrMatrix& q = chain.generator();
+  for (std::size_t row = 0; row < na; ++row) {
+    const index_t i = expand[row];
+    const auto cs = q.row_cols(i);
+    const auto vs = q.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const index_t j = cs[k];
+      if (j == i) {
+        coo.add(static_cast<linalg::index_t>(row), static_cast<linalg::index_t>(row),
+                -vs[k]);
+      } else if (compact[static_cast<std::size_t>(j)] >= 0) {
+        coo.add(static_cast<linalg::index_t>(row),
+                compact[static_cast<std::size_t>(j)], -vs[k]);
+      }
+      // Transitions into the target set contribute nothing (h = 0 there).
+    }
+  }
+  const linalg::CsrMatrix a = linalg::CsrMatrix::from_coo(coo);
+  const linalg::Vec ones(na, 1.0);
+  linalg::Vec h(na, 0.0);
+
+  if (na <= 1500) {
+    const linalg::LuFactorization f = linalg::lu_factor(a.to_dense());
+    if (!f.singular()) {
+      h = f.solve(ones);
+      res.converged = true;
+    }
+  }
+  if (!res.converged) {
+    linalg::SolveOptions opts;
+    opts.tol = 1e-9 * std::max(1.0, chain.max_exit_rate());
+    opts.max_iter = 200000;
+    const auto sr = linalg::gauss_seidel(a, ones, h, opts);
+    res.converged = sr.converged;
+  }
+  if (res.converged) {
+    for (std::size_t row = 0; row < na; ++row) {
+      res.hitting_time[static_cast<std::size_t>(expand[row])] = h[row];
+    }
+  } else {
+    res.hitting_time.clear();
+  }
+  return res;
+}
+
+double mean_first_passage_from(const Ctmc& chain,
+                               const std::function<bool(index_t)>& target,
+                               index_t from) {
+  const FirstPassageResult r = mean_first_passage(chain, target);
+  if (!r.converged) return -1.0;
+  return r.hitting_time[static_cast<std::size_t>(from)];
+}
+
+FirstPassageResult mean_time_to_event(const Ctmc& chain, label_t label) {
+  const index_t n = chain.n_states();
+  FirstPassageResult res;
+  // A = -Q', where Q' redirects every `label` transition to an (implicit)
+  // absorbing state: for i != j the within-chain entry disappears (A_ij
+  // gains +r); for self-loops the state gains exit rate r (A_ii gains +r).
+  linalg::CooMatrix coo(n, n);
+  const linalg::CsrMatrix& q = chain.generator();
+  for (index_t i = 0; i < n; ++i) {
+    const auto cs = q.row_cols(i);
+    const auto vs = q.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) coo.add(i, cs[k], -vs[k]);
+  }
+  bool any = false;
+  for (const Transition& tr : chain.transitions()) {
+    if (tr.label != label) continue;
+    any = true;
+    if (tr.from == tr.to) {
+      coo.add(tr.from, tr.from, tr.rate);
+    } else {
+      coo.add(tr.from, tr.to, tr.rate);
+    }
+  }
+  if (!any) return res;  // the event can never happen: undefined (diverges)
+
+  const linalg::CsrMatrix a = linalg::CsrMatrix::from_coo(coo);
+  const linalg::Vec ones(static_cast<std::size_t>(n), 1.0);
+  linalg::Vec h(static_cast<std::size_t>(n), 0.0);
+  if (n <= 1500) {
+    const linalg::LuFactorization f = linalg::lu_factor(a.to_dense());
+    if (!f.singular()) {
+      h = f.solve(ones);
+      res.converged = true;
+    }
+  }
+  if (!res.converged) {
+    linalg::SolveOptions opts;
+    opts.tol = 1e-9 * std::max(1.0, chain.max_exit_rate());
+    opts.max_iter = 500000;
+    const auto sr = linalg::gauss_seidel(a, ones, h, opts);
+    res.converged = sr.converged;
+  }
+  if (res.converged) {
+    res.hitting_time = std::move(h);
+  }
+  return res;
+}
+
+FirstPassageResult mean_time_to_event(const Ctmc& chain, std::string_view label_name) {
+  const std::int64_t id = chain.find_label(label_name);
+  if (id < 0) return {};
+  return mean_time_to_event(chain, static_cast<label_t>(id));
+}
+
+}  // namespace tags::ctmc

@@ -1,0 +1,44 @@
+// First-passage (hitting-time) analysis: expected time until the chain
+// first enters a target set. Used here for "mean time to first job loss"
+// — a finite-buffer metric the steady-state view cannot express.
+//
+// For non-target states A, the hitting times h solve
+//     Q_AA h = -1      (h = 0 on the target set),
+// where Q_AA is the generator restricted to A.
+#pragma once
+
+#include <functional>
+
+#include "ctmc/ctmc.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tags::ctmc {
+
+struct FirstPassageResult {
+  /// Expected hitting time from every state (0 on the target set); empty
+  /// on solver failure.
+  linalg::Vec hitting_time;
+  bool converged = false;
+};
+
+/// Expected time to reach {i : target(i)} from each state. The target set
+/// must be reachable from every non-target state (guaranteed for
+/// irreducible chains with a non-empty target).
+[[nodiscard]] FirstPassageResult mean_first_passage(
+    const Ctmc& chain, const std::function<bool(index_t)>& target);
+
+/// Convenience: hitting time from one starting state.
+[[nodiscard]] double mean_first_passage_from(const Ctmc& chain,
+                                             const std::function<bool(index_t)>& target,
+                                             index_t from);
+
+/// Expected time until the first occurrence of an *event* (a labelled
+/// transition, e.g. "loss1" — which may be a self-loop and therefore not a
+/// state change at all). Internally the labelled transitions are redirected
+/// to an absorbing state and its hitting time computed.
+[[nodiscard]] FirstPassageResult mean_time_to_event(const Ctmc& chain, label_t label);
+
+[[nodiscard]] FirstPassageResult mean_time_to_event(const Ctmc& chain,
+                                                    std::string_view label_name);
+
+}  // namespace tags::ctmc

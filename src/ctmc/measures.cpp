@@ -1,0 +1,41 @@
+#include "ctmc/measures.hpp"
+
+namespace tags::ctmc {
+
+double expected_reward(std::span<const double> pi, std::span<const double> reward) {
+  return linalg::dot(pi, reward);
+}
+
+double expected_value(std::span<const double> pi,
+                      const std::function<double(index_t)>& f) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    acc += pi[i] * f(static_cast<index_t>(i));
+  }
+  return acc;
+}
+
+double probability(std::span<const double> pi, const std::function<bool(index_t)>& pred) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (pred(static_cast<index_t>(i))) acc += pi[i];
+  }
+  return acc;
+}
+
+double throughput(const Ctmc& chain, std::span<const double> pi, label_t label) {
+  double acc = 0.0;
+  for (const Transition& t : chain.transitions()) {
+    if (t.label == label) acc += t.rate * pi[static_cast<std::size_t>(t.from)];
+  }
+  return acc;
+}
+
+double throughput(const Ctmc& chain, std::span<const double> pi,
+                  std::string_view label_name) {
+  const std::int64_t id = chain.find_label(label_name);
+  if (id < 0) return 0.0;
+  return throughput(chain, pi, static_cast<label_t>(id));
+}
+
+}  // namespace tags::ctmc

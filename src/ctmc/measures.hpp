@@ -1,0 +1,35 @@
+// Steady-state (or transient) measures over a solved chain.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "ctmc/ctmc.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tags::ctmc {
+
+/// E[r] = sum_i pi_i * reward_i.
+[[nodiscard]] double expected_reward(std::span<const double> pi,
+                                     std::span<const double> reward);
+
+/// E[f(state)] with f supplied as a callback over state indices.
+[[nodiscard]] double expected_value(std::span<const double> pi,
+                                    const std::function<double(index_t)>& f);
+
+/// P[pred(state)].
+[[nodiscard]] double probability(std::span<const double> pi,
+                                 const std::function<bool(index_t)>& pred);
+
+/// Throughput of an action label: sum over transitions with that label of
+/// rate * pi[from]. Self-loop transitions count — that is how bounded-queue
+/// loss events are recorded by the model builders.
+[[nodiscard]] double throughput(const Ctmc& chain, std::span<const double> pi,
+                                label_t label);
+
+/// Convenience overload by label name; returns 0 if the chain never uses it.
+[[nodiscard]] double throughput(const Ctmc& chain, std::span<const double> pi,
+                                std::string_view label_name);
+
+}  // namespace tags::ctmc

@@ -1,0 +1,54 @@
+#include "ctmc/reachability.hpp"
+
+#include <vector>
+
+namespace tags::ctmc {
+
+namespace {
+
+/// BFS cover check over a CSR adjacency (off-diagonal entries only).
+bool bfs_covers_all(const linalg::CsrMatrix& adj, index_t start) {
+  const index_t n = adj.rows();
+  if (n == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> stack{start};
+  seen[static_cast<std::size_t>(start)] = 1;
+  index_t covered = 1;
+  while (!stack.empty()) {
+    const index_t u = stack.back();
+    stack.pop_back();
+    const auto cs = adj.row_cols(u);
+    const auto vs = adj.row_vals(u);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const index_t v = cs[k];
+      if (v == u || vs[k] <= 0.0) continue;  // skip diagonal/non-edges
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++covered;
+        stack.push_back(v);
+      }
+    }
+  }
+  return covered == n;
+}
+
+}  // namespace
+
+bool is_irreducible(const Ctmc& chain) {
+  if (chain.n_states() == 0) return false;
+  const linalg::CsrMatrix& q = chain.generator();
+  // Strong connectivity == BFS from state 0 covers all states in both the
+  // forward and the reverse graph.
+  return bfs_covers_all(q, 0) && bfs_covers_all(q.transposed(), 0);
+}
+
+std::vector<index_t> absorbing_states(const Ctmc& chain) {
+  std::vector<index_t> out;
+  const linalg::Vec exits = chain.exit_rates();
+  for (index_t i = 0; i < chain.n_states(); ++i) {
+    if (exits[static_cast<std::size_t>(i)] == 0.0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace tags::ctmc

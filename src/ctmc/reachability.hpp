@@ -1,0 +1,84 @@
+// State-space exploration from an implicit model, plus graph checks on an
+// assembled chain (irreducibility / absorbing states).
+//
+// explore() is the bridge between a model written as "initial state +
+// successor function" and a concrete CTMC: it breadth-first enumerates the
+// reachable states, interning each distinct state, and fills a CtmcBuilder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ctmc/builder.hpp"
+
+namespace tags::ctmc {
+
+/// One outgoing move of an implicit model.
+template <class State>
+struct Move {
+  State to;
+  double rate;
+  std::string label;  // empty => tau
+};
+
+/// Result of explore(): the builder holds all transitions; states[i] is the
+/// model state with index i (index 0 = initial state).
+template <class State>
+struct Exploration {
+  CtmcBuilder builder;
+  std::vector<State> states;
+  std::unordered_map<State, index_t> index_of;
+};
+
+/// Breadth-first exploration. `succ` maps a state to its moves; `State`
+/// needs std::hash and operator==. Rates must be non-negative; zero-rate
+/// moves are ignored. Self-loops are recorded (see CtmcBuilder::add).
+template <class State, class SuccFn>
+[[nodiscard]] Exploration<State> explore(const State& initial, SuccFn&& succ,
+                                         std::size_t max_states = 50'000'000) {
+  Exploration<State> ex;
+  ex.states.push_back(initial);
+  ex.index_of.emplace(initial, 0);
+  std::queue<index_t> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const index_t cur = frontier.front();
+    frontier.pop();
+    // Copy: ex.states may reallocate while we push successors.
+    const State state = ex.states[static_cast<std::size_t>(cur)];
+    for (const Move<State>& mv : succ(state)) {
+      if (mv.rate == 0.0) continue;
+      auto [it, inserted] =
+          ex.index_of.emplace(mv.to, static_cast<index_t>(ex.states.size()));
+      if (inserted) {
+        ex.states.push_back(mv.to);
+        frontier.push(it->second);
+        if (ex.states.size() > max_states) {
+          // Deliberately hard-stop: the caller sized the model wrongly.
+          throw std::runtime_error("ctmc::explore: state-space limit exceeded");
+        }
+      }
+      if (mv.label.empty()) {
+        ex.builder.add(cur, it->second, mv.rate, kTau);
+      } else {
+        ex.builder.add(cur, it->second, mv.rate, mv.label);
+      }
+    }
+  }
+  ex.builder.ensure_states(static_cast<index_t>(ex.states.size()));
+  return ex;
+}
+
+/// True iff the chain is a single closed communicating class (strongly
+/// connected transition graph). Steady-state solvers require this.
+[[nodiscard]] bool is_irreducible(const Ctmc& chain);
+
+/// States with no outgoing transitions (exit rate zero).
+[[nodiscard]] std::vector<index_t> absorbing_states(const Ctmc& chain);
+
+}  // namespace tags::ctmc

@@ -1,0 +1,216 @@
+#include "ctmc/steady_state.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace tags::ctmc {
+
+namespace {
+
+using linalg::CooMatrix;
+using linalg::CsrMatrix;
+using linalg::index_t;
+using linalg::Vec;
+
+/// ||pi Q||_inf via y = Q^T pi.
+double balance_residual(const CsrMatrix& qt, std::span<const double> pi, Vec& scratch) {
+  qt.multiply(pi, scratch);
+  return linalg::nrm_inf(scratch);
+}
+
+Vec initial_vector(const Ctmc& chain, const SteadyStateOptions& opts) {
+  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+  if (opts.initial_guess && opts.initial_guess->size() == n) {
+    Vec pi = *opts.initial_guess;
+    for (double& v : pi) v = std::max(v, 0.0);
+    if (linalg::normalize_l1(pi) > 0.0) return pi;
+  }
+  return Vec(n, 1.0 / static_cast<double>(n));
+}
+
+SteadyStateResult solve_dense_lu(const Ctmc& chain) {
+  SteadyStateResult res;
+  res.method_used = SteadyStateMethod::kDenseLu;
+  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+  // A = Q^T with the last balance equation replaced by sum(pi) = 1.
+  linalg::DenseMatrix a(n, n);
+  const CsrMatrix& q = chain.generator();
+  for (index_t i = 0; i < q.rows(); ++i) {
+    const auto cs = q.row_cols(i);
+    const auto vs = q.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      a(static_cast<std::size_t>(cs[k]), static_cast<std::size_t>(i)) = vs[k];
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  Vec b(n, 0.0);
+  b[n - 1] = 1.0;
+  const linalg::LuFactorization f = linalg::lu_factor(std::move(a));
+  if (f.singular()) return res;
+  res.pi = f.solve(b);
+  for (double& v : res.pi) v = std::max(v, 0.0);
+  linalg::normalize_l1(res.pi);
+  Vec scratch(n);
+  res.residual = balance_residual(q.transposed(), res.pi, scratch);
+  res.converged = std::isfinite(res.residual) &&
+                  res.residual <= 1e-6 * std::max(1.0, chain.max_exit_rate());
+  res.iterations = 1;
+  return res;
+}
+
+SteadyStateResult solve_gauss_seidel(const Ctmc& chain, const SteadyStateOptions& opts) {
+  SteadyStateResult res;
+  res.method_used = SteadyStateMethod::kGaussSeidel;
+  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+  const CsrMatrix qt = chain.generator().transposed();
+  const Vec exit = chain.exit_rates();
+  // Residuals of pi*Q scale with the transition rates; make the tolerance
+  // relative so stiff chains (huge timer rates) converge sensibly.
+  const double tol = opts.tol * std::max(1.0, chain.max_exit_rate());
+
+  Vec pi = initial_vector(chain, opts);
+  Vec scratch(n);
+  for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
+    // One sweep of pi_j = sum_{i != j} pi_i q_ij / exit_j.
+    for (index_t j = 0; j < qt.rows(); ++j) {
+      const std::size_t ju = static_cast<std::size_t>(j);
+      if (exit[ju] == 0.0) continue;  // absorbing; caller should have checked
+      const auto cs = qt.row_cols(j);
+      const auto vs = qt.row_vals(j);
+      double inflow = 0.0;
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        if (cs[k] != j) inflow += vs[k] * pi[static_cast<std::size_t>(cs[k])];
+      }
+      pi[ju] = inflow / exit[ju];
+    }
+    linalg::normalize_l1(pi);
+    if ((res.iterations & 15) == 15 || res.iterations + 1 == opts.max_iter) {
+      res.residual = balance_residual(qt, pi, scratch);
+      if (res.residual <= tol) {
+        res.converged = true;
+        ++res.iterations;
+        break;
+      }
+    }
+  }
+  res.residual = balance_residual(qt, pi, scratch);
+  res.converged = res.residual <= tol;
+  res.pi = std::move(pi);
+  return res;
+}
+
+SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts) {
+  SteadyStateResult res;
+  res.method_used = SteadyStateMethod::kPower;
+  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+  const CsrMatrix& q = chain.generator();
+  const CsrMatrix qt = q.transposed();
+  // Strictly greater than the max exit rate so the DTMC is aperiodic.
+  const double lambda = chain.max_exit_rate() * 1.05 + 1e-12;
+  const double tol = opts.tol * std::max(1.0, chain.max_exit_rate());
+
+  // Pt = (I + Q/lambda)^T assembled directly from Q^T.
+  CooMatrix coo(qt.rows(), qt.cols());
+  for (index_t i = 0; i < qt.rows(); ++i) {
+    const auto cs = qt.row_cols(i);
+    const auto vs = qt.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) coo.add(i, cs[k], vs[k] / lambda);
+    coo.add(i, i, 1.0);
+  }
+  const CsrMatrix pt = CsrMatrix::from_coo(coo);
+
+  Vec pi = initial_vector(chain, opts);
+  Vec next(n);
+  Vec scratch(n);
+  for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
+    pt.multiply(pi, next);
+    linalg::normalize_l1(next);
+    pi.swap(next);
+    if ((res.iterations & 15) == 15 || res.iterations + 1 == opts.max_iter) {
+      res.residual = balance_residual(qt, pi, scratch);
+      if (res.residual <= tol) {
+        res.converged = true;
+        ++res.iterations;
+        break;
+      }
+    }
+  }
+  res.residual = balance_residual(qt, pi, scratch);
+  res.converged = res.residual <= tol;
+  res.pi = std::move(pi);
+  return res;
+}
+
+SteadyStateResult solve_gmres(const Ctmc& chain, const SteadyStateOptions& opts) {
+  SteadyStateResult res;
+  res.method_used = SteadyStateMethod::kGmres;
+  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+  const CsrMatrix& q = chain.generator();
+  // M = Q^T with the last row replaced by ones; M x = e_{n-1}.
+  CooMatrix coo(static_cast<index_t>(n), static_cast<index_t>(n));
+  for (index_t i = 0; i < q.rows(); ++i) {
+    const auto cs = q.row_cols(i);
+    const auto vs = q.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      if (cs[k] == static_cast<index_t>(n) - 1) continue;  // replaced row
+      coo.add(cs[k], i, vs[k]);
+    }
+  }
+  for (index_t j = 0; j < static_cast<index_t>(n); ++j)
+    coo.add(static_cast<index_t>(n) - 1, j, 1.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+
+  Vec b(n, 0.0);
+  b[n - 1] = 1.0;
+  Vec x = initial_vector(chain, opts);
+  const double tol = opts.tol * std::max(1.0, chain.max_exit_rate());
+  linalg::SolveOptions sopts;
+  sopts.tol = tol;  // relative target, consistent with the balance check
+  sopts.max_iter = opts.max_iter;
+  sopts.restart = 120;
+  // The D+L forward solve is the decisive preconditioner for these
+  // nearly singular balance systems (plain Jacobi stagnates).
+  sopts.precond = linalg::Preconditioner::kGaussSeidel;
+  const linalg::SolveResult sr = linalg::gmres(m, b, x, sopts);
+  res.iterations = sr.iterations;
+  for (double& v : x) v = std::max(v, 0.0);
+  linalg::normalize_l1(x);
+  Vec scratch(n);
+  res.residual = balance_residual(q.transposed(), x, scratch);
+  res.converged = res.residual <= tol * 10.0;  // allow slack vs linear tol
+  res.pi = std::move(x);
+  return res;
+}
+
+}  // namespace
+
+SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts) {
+  assert(chain.n_states() > 0);
+  switch (opts.method) {
+    case SteadyStateMethod::kDenseLu: return solve_dense_lu(chain);
+    case SteadyStateMethod::kGaussSeidel: return solve_gauss_seidel(chain, opts);
+    case SteadyStateMethod::kPower: return solve_power(chain, opts);
+    case SteadyStateMethod::kGmres: return solve_gmres(chain, opts);
+    case SteadyStateMethod::kAuto: break;
+  }
+  if (chain.n_states() <= 1200) {
+    SteadyStateResult res = solve_dense_lu(chain);
+    if (res.converged) return res;
+  }
+  SteadyStateResult res = solve_gauss_seidel(chain, opts);
+  if (res.converged) return res;
+  SteadyStateOptions warm = opts;
+  warm.initial_guess = res.pi;  // reuse partial progress
+  SteadyStateResult res2 = solve_gmres(chain, warm);
+  if (res2.converged) return res2;
+  warm.initial_guess = res2.residual < res.residual ? res2.pi : res.pi;
+  SteadyStateResult res3 = solve_power(chain, warm);
+  if (res3.converged) return res3;
+  // Return the best attempt so callers can inspect the residual.
+  if (res.residual <= res2.residual && res.residual <= res3.residual) return res;
+  return res2.residual <= res3.residual ? res2 : res3;
+}
+
+}  // namespace tags::ctmc

@@ -1,0 +1,46 @@
+// Stationary distribution of an irreducible CTMC: pi Q = 0, sum(pi) = 1.
+//
+// Methods:
+//  * kDenseLu     — replace one balance equation with the normalisation row
+//                   and solve the dense system; exact, O(n^3), reference.
+//  * kGaussSeidel — sweeps on the transposed balance equations with
+//                   periodic renormalisation; the default for the model
+//                   sizes in this library (10^3..10^5 states).
+//  * kPower       — power iteration on the uniformized DTMC
+//                   P = I + Q/Lambda; slowest but unconditionally stable.
+//  * kGmres       — restarted GMRES on the normalised system; robust when
+//                   Gauss-Seidel stalls.
+//  * kAuto        — LU for small chains, otherwise Gauss-Seidel with a
+//                   GMRES fallback, then power iteration as a last resort.
+#pragma once
+
+#include <optional>
+
+#include "ctmc/ctmc.hpp"
+#include "linalg/solver.hpp"
+
+namespace tags::ctmc {
+
+enum class SteadyStateMethod { kAuto, kDenseLu, kGaussSeidel, kPower, kGmres };
+
+struct SteadyStateOptions {
+  SteadyStateMethod method = SteadyStateMethod::kAuto;
+  double tol = 1e-11;       ///< target on ||pi Q||_inf
+  int max_iter = 200000;    ///< iteration budget for iterative methods
+  /// Warm start (e.g. the solution at a nearby parameter point). Must have
+  /// n_states entries; it is normalised internally.
+  std::optional<linalg::Vec> initial_guess;
+};
+
+struct SteadyStateResult {
+  linalg::Vec pi;           ///< stationary distribution (empty on failure)
+  bool converged = false;
+  int iterations = 0;
+  double residual = 0.0;    ///< final ||pi Q||_inf
+  SteadyStateMethod method_used = SteadyStateMethod::kAuto;
+};
+
+[[nodiscard]] SteadyStateResult steady_state(const Ctmc& chain,
+                                             const SteadyStateOptions& opts = {});
+
+}  // namespace tags::ctmc

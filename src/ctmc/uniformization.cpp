@@ -1,0 +1,103 @@
+#include "ctmc/uniformization.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/coo.hpp"
+
+namespace tags::ctmc {
+
+namespace {
+
+using linalg::CsrMatrix;
+using linalg::index_t;
+using linalg::Vec;
+
+/// Pt = (I + Q/lambda)^T so that row-vector iteration is a plain SpMV.
+CsrMatrix uniformized_transposed(const Ctmc& chain, double lambda) {
+  const CsrMatrix qt = chain.generator().transposed();
+  linalg::CooMatrix coo(qt.rows(), qt.cols());
+  for (index_t i = 0; i < qt.rows(); ++i) {
+    const auto cs = qt.row_cols(i);
+    const auto vs = qt.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) coo.add(i, cs[k], vs[k] / lambda);
+    coo.add(i, i, 1.0);
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+/// One uniformization step of duration t (Lambda*t assumed moderate).
+Vec step(const CsrMatrix& pt, const Vec& pi0, double lambda, double t, double eps) {
+  const std::size_t n = pi0.size();
+  const double q = lambda * t;
+  Vec result(n, 0.0);
+  Vec term = pi0;  // pi0 P^k as k grows
+  Vec next(n);
+
+  // Poisson(q) weights computed iteratively: w_0 = e^{-q}; w_k = w_{k-1} q/k.
+  double w = std::exp(-q);
+  double cumulative = 0.0;
+  std::size_t k = 0;
+  // For large q, e^{-q} underflows; the caller keeps q <= max_step_jumps so
+  // the straightforward recurrence stays in range (exp(-512) ~ 1e-223, still
+  // representable in double).
+  while (cumulative < 1.0 - eps) {
+    if (w > 0.0) {
+      linalg::axpy(w, term, result);
+      cumulative += w;
+    }
+    ++k;
+    w *= q / static_cast<double>(k);
+    if (k > static_cast<std::size_t>(q + 60.0 * std::sqrt(q + 1.0) + 60.0)) break;
+    pt.multiply(term, next);
+    term.swap(next);
+  }
+  // Renormalise the truncated series.
+  linalg::normalize_l1(result);
+  return result;
+}
+
+}  // namespace
+
+linalg::Vec transient_distribution(const Ctmc& chain, const Vec& pi0, double t,
+                                   const TransientOptions& opts) {
+  assert(static_cast<index_t>(pi0.size()) == chain.n_states());
+  assert(t >= 0.0);
+  if (t == 0.0) return pi0;
+  const double lambda = chain.max_exit_rate() * 1.02 + 1e-12;
+  const CsrMatrix pt = uniformized_transposed(chain, lambda);
+  const int n_steps =
+      std::max(1, static_cast<int>(std::ceil(lambda * t / opts.max_step_jumps)));
+  const double dt = t / n_steps;
+  Vec pi = pi0;
+  for (int s = 0; s < n_steps; ++s) {
+    pi = step(pt, pi, lambda, dt, opts.truncation_eps);
+  }
+  return pi;
+}
+
+std::vector<linalg::Vec> transient_trajectory(const Ctmc& chain, const Vec& pi0,
+                                              const std::vector<double>& times,
+                                              const TransientOptions& opts) {
+  std::vector<Vec> out;
+  out.reserve(times.size());
+  const double lambda = chain.max_exit_rate() * 1.02 + 1e-12;
+  const CsrMatrix pt = uniformized_transposed(chain, lambda);
+  Vec pi = pi0;
+  double prev_t = 0.0;
+  for (double t : times) {
+    assert(t >= prev_t);
+    const double gap = t - prev_t;
+    if (gap > 0.0) {
+      const int n_steps =
+          std::max(1, static_cast<int>(std::ceil(lambda * gap / opts.max_step_jumps)));
+      const double dt = gap / n_steps;
+      for (int s = 0; s < n_steps; ++s) pi = step(pt, pi, lambda, dt, opts.truncation_eps);
+    }
+    out.push_back(pi);
+    prev_t = t;
+  }
+  return out;
+}
+
+}  // namespace tags::ctmc

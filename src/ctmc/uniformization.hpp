@@ -1,0 +1,30 @@
+// Transient analysis by uniformization (Jensen's method):
+//   pi(t) = sum_k Poisson(Lambda t; k) * pi(0) P^k,  P = I + Q / Lambda.
+//
+// The Poisson series is truncated at relative mass 1e-13; large horizons are
+// split into steps so each step's Lambda*t stays moderate (numerically safe
+// without full Fox-Glynn machinery).
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tags::ctmc {
+
+struct TransientOptions {
+  double truncation_eps = 1e-13;  ///< tail mass dropped from the Poisson series
+  double max_step_jumps = 512.0;  ///< split horizons so Lambda*step <= this
+};
+
+/// Distribution at time t starting from pi0 (must sum to 1).
+[[nodiscard]] linalg::Vec transient_distribution(const Ctmc& chain,
+                                                 const linalg::Vec& pi0, double t,
+                                                 const TransientOptions& opts = {});
+
+/// Distribution at each of the (ascending) time points. Reuses work across
+/// points by stepping from one to the next.
+[[nodiscard]] std::vector<linalg::Vec> transient_trajectory(
+    const Ctmc& chain, const linalg::Vec& pi0, const std::vector<double>& times,
+    const TransientOptions& opts = {});
+
+}  // namespace tags::ctmc

@@ -1,0 +1,98 @@
+#include "fluid/fluid_tags.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tags::fluid {
+
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+std::size_t tags_fluid_dim(const models::TagsParams& p) { return 2 * p.n + 5; }
+
+Vec tags_fluid_initial(const models::TagsParams& p) {
+  Vec y(tags_fluid_dim(p), 0.0);
+  y[1 + p.n] = 1.0;          // tau_n = 1 (fresh node-1 timer)
+  y[p.n + 3 + p.n] = 1.0;    // rho_n = 1 (fresh node-2 repeat phase)
+  return y;
+}
+
+OdeRhs make_tags_fluid_rhs(const models::TagsParams& p) {
+  const unsigned n = p.n;
+  const double lambda = p.lambda, mu = p.mu, t = p.t;
+  const double k1 = p.k1, k2 = p.k2;
+  // Index helpers into the flat state vector.
+  const auto TAU = [n](unsigned j) { return 1 + j; };
+  const std::size_t X2 = n + 2;
+  const auto RHO = [n](unsigned j) { return n + 3 + j; };
+  const std::size_t SIGMA = 2 * n + 4;
+
+  return [=](double /*time*/, const Vec& y, Vec& dy) {
+    std::fill(dy.begin(), dy.end(), 0.0);
+    const double x1 = y[0];
+    const double x2 = y[X2];
+    const double g1 = clamp01(x1);        // P(node 1 busy), fluid gate
+    const double a1 = clamp01(k1 - x1);   // admission gate at node 1
+    const double g2 = clamp01(x2);
+    const double a2 = clamp01(k2 - x2);
+
+    // Node-1 flows.
+    const double service1 = mu * g1;
+    const double timeout = t * y[TAU(0)] * g1;
+    dy[0] += lambda * a1 - service1 - timeout;
+
+    // Node-1 timer phases: ticks cascade downward while busy; service and
+    // timeout both reset the timer mass to phase n.
+    for (unsigned j = 0; j <= n; ++j) {
+      const double mass = y[TAU(j)];
+      if (j >= 1) dy[TAU(j - 1)] += t * g1 * mass;  // tick down
+      if (j >= 1) dy[TAU(j)] -= t * g1 * mass;
+      dy[TAU(j)] -= mu * g1 * mass;  // service reset drains every phase
+    }
+    dy[TAU(n)] += mu * g1;   // ... and deposits at phase n
+    dy[TAU(0)] -= t * g1 * y[TAU(0)];  // timeout consumes phase-0 mass
+    dy[TAU(n)] += t * g1 * y[TAU(0)];  // ... and also resets to n
+
+    // Node-2 flows: admitted timeouts in, served heads out.
+    const double service2 = mu * y[SIGMA] * g2;
+    dy[X2] += timeout * a2 - service2;
+
+    // Node-2 head phases: repeat ticks while busy; repeat completion moves
+    // mass to sigma; service completion resets the head to a fresh repeat.
+    for (unsigned j = 1; j <= n; ++j) {
+      const double mass = y[RHO(j)];
+      dy[RHO(j - 1)] += t * g2 * mass;
+      dy[RHO(j)] -= t * g2 * mass;
+    }
+    dy[SIGMA] += t * g2 * y[RHO(0)];
+    dy[RHO(0)] -= t * g2 * y[RHO(0)];
+    dy[RHO(n)] += mu * g2 * y[SIGMA];
+    dy[SIGMA] -= mu * g2 * y[SIGMA];
+  };
+}
+
+FluidTagsResult tags_fluid_steady(const models::TagsParams& p, double tol) {
+  const OdeRhs rhs = make_tags_fluid_rhs(p);
+  const SteadyStateOde ss = integrate_to_steady(rhs, tags_fluid_initial(p), tol, 1e5);
+  FluidTagsResult r;
+  r.mean_q1 = ss.y[0];
+  r.mean_q2 = ss.y[p.n + 2];
+  r.time_to_steady = ss.time;
+  r.converged = ss.converged;
+  return r;
+}
+
+std::vector<std::pair<double, double>> tags_fluid_transient(
+    const models::TagsParams& p, const std::vector<double>& times) {
+  const OdeRhs rhs = make_tags_fluid_rhs(p);
+  const auto traj = rk4_trajectory(rhs, tags_fluid_initial(p), 0.0, times);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(traj.size());
+  for (const Vec& y : traj) out.emplace_back(y[0], y[p.n + 2]);
+  return out;
+}
+
+}  // namespace tags::fluid

@@ -1,0 +1,51 @@
+// Fluid (mean-field) approximation of the TAGS model, in the spirit of the
+// place-per-slot representation of Section 3.1 / Figure 4: instead of
+// deriving the CTMC, track continuous populations of component derivatives
+// and integrate ODEs whose rates gate on min(1, population) terms.
+//
+// Variables (layout of the state vector):
+//   y[0]                 x1       jobs at node 1 (in [0, K1])
+//   y[1 .. n+1]          tau_j    node-1 timer phase mass, j = 0..n
+//   y[n+2]               x2       jobs at node 2 (in [0, K2])
+//   y[n+3 .. 2n+3]       rho_j    node-2 head repeat-phase mass, j = 0..n
+//   y[2n+4]              sigma    node-2 head serving mass
+// Invariants: sum_j tau_j = 1, sum_j rho_j + sigma = 1.
+//
+// This is an approximation on two counts: the mean-field closure (gating
+// with min(1, x) instead of P(x >= 1)) and treating the timer distribution
+// as independent of the queue length. The ablation bench abl_fluid
+// quantifies both against the exact CTMC.
+#pragma once
+
+#include "fluid/ode.hpp"
+#include "models/tags.hpp"
+
+namespace tags::fluid {
+
+struct FluidTagsResult {
+  double mean_q1 = 0.0;
+  double mean_q2 = 0.0;
+  double time_to_steady = 0.0;
+  bool converged = false;
+};
+
+/// The ODE right-hand side for the given parameters (exposed for transient
+/// experiments and tests).
+[[nodiscard]] OdeRhs make_tags_fluid_rhs(const models::TagsParams& p);
+
+/// Initial condition: empty system, fresh timers.
+[[nodiscard]] Vec tags_fluid_initial(const models::TagsParams& p);
+
+/// Dimension of the fluid state vector: 2n + 5.
+[[nodiscard]] std::size_t tags_fluid_dim(const models::TagsParams& p);
+
+/// Integrate to the fluid fixed point. The tolerance is on ||dy/dt||_inf;
+/// the RKF45 step control floors the achievable residual around 1e-8.
+[[nodiscard]] FluidTagsResult tags_fluid_steady(const models::TagsParams& p,
+                                                double tol = 1e-6);
+
+/// Transient fluid trajectory of (x1, x2) at the given times.
+[[nodiscard]] std::vector<std::pair<double, double>> tags_fluid_transient(
+    const models::TagsParams& p, const std::vector<double>& times);
+
+}  // namespace tags::fluid

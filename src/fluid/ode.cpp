@@ -1,0 +1,41 @@
+#include "fluid/ode.hpp"
+
+#include <cmath>
+
+namespace tags::fluid {
+
+namespace {
+
+double inf_norm(const Vec& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace
+
+SteadyStateOde integrate_to_steady(const OdeRhs& f, Vec y0, double derivative_tol,
+                                   double t_max, const OdeOptions& opts) {
+  SteadyStateOde out;
+  out.y = std::move(y0);
+  Vec dy(out.y.size());
+  double t = 0.0;
+  // Integrate in exponentially growing chunks, checking the derivative norm
+  // between chunks.
+  double chunk = 1.0;
+  while (t < t_max) {
+    out.y = rkf45_integrate(f, std::move(out.y), t, t + chunk, opts);
+    t += chunk;
+    f(t, out.y, dy);
+    if (inf_norm(dy) <= derivative_tol) {
+      out.converged = true;
+      break;
+    }
+    chunk = std::min(chunk * 2.0, t_max - t);
+    if (chunk <= 0.0) break;
+  }
+  out.time = t;
+  return out;
+}
+
+}  // namespace tags::fluid

@@ -1,0 +1,49 @@
+// Minimal ODE toolkit for the fluid-flow analysis of Section 3.1
+// (Hillston, QEST 2005): systems dy/dt = f(t, y), fixed-step RK4 and
+// adaptive RKF45 integrators, and integrate-to-steady-state.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace tags::fluid {
+
+using Vec = std::vector<double>;
+
+/// Right-hand side: writes dy into the last argument (pre-sized).
+using OdeRhs = std::function<void(double t, const Vec& y, Vec& dy)>;
+
+struct OdeOptions {
+  double dt = 1e-3;          ///< RK4 step / RKF45 initial step
+  double abs_tol = 1e-9;     ///< RKF45 error control
+  double rel_tol = 1e-7;
+  double min_dt = 1e-12;
+  double max_dt = 1.0;
+};
+
+/// Fixed-step classic Runge-Kutta to time t_end; returns y(t_end).
+[[nodiscard]] Vec rk4_integrate(const OdeRhs& f, Vec y0, double t0, double t_end,
+                                const OdeOptions& opts = {});
+
+/// Trajectory sampled at the given ascending times (RK4 between samples).
+[[nodiscard]] std::vector<Vec> rk4_trajectory(const OdeRhs& f, Vec y0, double t0,
+                                              const std::vector<double>& times,
+                                              const OdeOptions& opts = {});
+
+/// Adaptive Runge-Kutta-Fehlberg 4(5); returns y(t_end).
+[[nodiscard]] Vec rkf45_integrate(const OdeRhs& f, Vec y0, double t0, double t_end,
+                                  const OdeOptions& opts = {});
+
+struct SteadyStateOde {
+  Vec y;
+  double time = 0.0;      ///< integration time used
+  bool converged = false; ///< ||dy||_inf fell below the threshold
+};
+
+/// Integrate until ||f(t,y)||_inf <= derivative_tol (or t_max).
+[[nodiscard]] SteadyStateOde integrate_to_steady(const OdeRhs& f, Vec y0,
+                                                 double derivative_tol = 1e-9,
+                                                 double t_max = 1e5,
+                                                 const OdeOptions& opts = {});
+
+}  // namespace tags::fluid

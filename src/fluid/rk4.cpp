@@ -1,0 +1,53 @@
+#include "fluid/ode.hpp"
+
+namespace tags::fluid {
+
+namespace {
+
+void rk4_step(const OdeRhs& f, double t, Vec& y, double h, Vec& k1, Vec& k2, Vec& k3,
+              Vec& k4, Vec& tmp) {
+  const std::size_t n = y.size();
+  f(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+  f(t + 0.5 * h, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+  f(t + 0.5 * h, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * k3[i];
+  f(t + h, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+}  // namespace
+
+Vec rk4_integrate(const OdeRhs& f, Vec y0, double t0, double t_end,
+                  const OdeOptions& opts) {
+  const std::size_t n = y0.size();
+  Vec k1(n), k2(n), k3(n), k4(n), tmp(n);
+  double t = t0;
+  while (t < t_end) {
+    const double h = std::min(opts.dt, t_end - t);
+    rk4_step(f, t, y0, h, k1, k2, k3, k4, tmp);
+    t += h;
+  }
+  return y0;
+}
+
+std::vector<Vec> rk4_trajectory(const OdeRhs& f, Vec y0, double t0,
+                                const std::vector<double>& times,
+                                const OdeOptions& opts) {
+  std::vector<Vec> out;
+  out.reserve(times.size());
+  double t = t0;
+  for (double target : times) {
+    if (target > t) {
+      y0 = rk4_integrate(f, std::move(y0), t, target, opts);
+      t = target;
+    }
+    out.push_back(y0);
+  }
+  return out;
+}
+
+}  // namespace tags::fluid

@@ -1,0 +1,79 @@
+// BiCGSTAB (van der Vorst 1992) with optional Jacobi preconditioning.
+#include <cassert>
+#include <cmath>
+
+#include "linalg/solver.hpp"
+
+namespace tags::linalg {
+
+SolveResult bicgstab(const CsrMatrix& a, std::span<const double> b, Vec& x,
+                     const SolveOptions& opts) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  assert(b.size() == n && x.size() == n);
+
+  Vec inv_diag;
+  if (opts.precond != Preconditioner::kNone) {  // Jacobi (GS falls back to it)
+    inv_diag = a.diagonal();
+    for (double& d : inv_diag) {
+      if (d == 0.0) {
+        inv_diag.clear();
+        break;
+      }
+      d = 1.0 / d;
+    }
+  }
+  const auto precond = [&](const Vec& src, Vec& dst) {
+    if (inv_diag.empty()) {
+      copy(src, dst);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] * inv_diag[i];
+    }
+  };
+
+  Vec r(n), r0(n), p(n, 0.0), vv(n, 0.0), s(n), t(n), phat(n), shat(n), scratch(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  copy(r, r0);
+
+  double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
+  SolveResult res;
+  for (res.iterations = 1; res.iterations <= opts.max_iter; ++res.iterations) {
+    const double rho = dot(r0, r);
+    if (rho == 0.0) break;  // breakdown
+    if (res.iterations == 1) {
+      copy(r, p);
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * vv[i]);
+    }
+    precond(p, phat);
+    a.multiply(phat, vv);
+    const double r0v = dot(r0, vv);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * vv[i];
+    if (nrm_inf(s) <= opts.tol) {
+      axpy(alpha, phat, x);
+      break;
+    }
+    precond(s, shat);
+    a.multiply(shat, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    if (nrm_inf(r) <= opts.tol) break;
+    if (omega == 0.0) break;
+    rho_prev = rho;
+  }
+
+  res.residual = a.residual_inf(x, b, scratch);
+  res.converged = res.residual <= opts.tol;
+  return res;
+}
+
+}  // namespace tags::linalg

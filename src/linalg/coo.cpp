@@ -1,0 +1,20 @@
+#include "linalg/coo.hpp"
+
+#include <cassert>
+
+namespace tags::linalg {
+
+void CooMatrix::add(index_t row, index_t col, double value) {
+  assert(row >= 0 && col >= 0);
+  if (row >= rows_) rows_ = row + 1;
+  if (col >= cols_) cols_ = col + 1;
+  entries_.push_back({row, col, value});
+}
+
+void CooMatrix::resize(index_t rows, index_t cols) {
+  assert(rows >= rows_ && cols >= cols_);
+  rows_ = rows;
+  cols_ = cols;
+}
+
+}  // namespace tags::linalg

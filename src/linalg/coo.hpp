@@ -1,0 +1,46 @@
+// Coordinate-format sparse assembly buffer. Models are built by appending
+// (row, col, value) triplets; duplicates are summed when converting to CSR.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace tags::linalg {
+
+using index_t = std::int64_t;
+
+struct Triplet {
+  index_t row;
+  index_t col;
+  double value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<Triplet>& entries() const noexcept { return entries_; }
+
+  /// Append a triplet; grows the logical dimensions if needed.
+  void add(index_t row, index_t col, double value);
+
+  /// Reserve triplet storage.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Fix the logical dimensions (must not shrink below seen indices).
+  void resize(index_t rows, index_t cols);
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace tags::linalg

@@ -1,0 +1,143 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tags::linalg {
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  CsrMatrix m;
+  m.rows_ = coo.rows();
+  m.cols_ = coo.cols();
+  const auto& tri = coo.entries();
+  const std::size_t n_rows = static_cast<std::size_t>(m.rows_);
+
+  // Counting sort by row.
+  std::vector<index_t> count(n_rows + 1, 0);
+  for (const Triplet& t : tri) ++count[static_cast<std::size_t>(t.row) + 1];
+  for (std::size_t i = 0; i < n_rows; ++i) count[i + 1] += count[i];
+
+  std::vector<index_t> cols(tri.size());
+  std::vector<double> vals(tri.size());
+  {
+    std::vector<index_t> cursor(count.begin(), count.end() - 1);
+    for (const Triplet& t : tri) {
+      const std::size_t pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.row)]++);
+      cols[pos] = t.col;
+      vals[pos] = t.value;
+    }
+  }
+
+  // Sort within each row by column and sum duplicates, compacting in place.
+  m.row_ptr_.assign(n_rows + 1, 0);
+  std::size_t write = 0;
+  std::vector<std::size_t> perm;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::size_t lo = static_cast<std::size_t>(count[r]);
+    const std::size_t hi = static_cast<std::size_t>(count[r + 1]);
+    perm.resize(hi - lo);
+    for (std::size_t k = 0; k < perm.size(); ++k) perm[k] = lo + k;
+    std::sort(perm.begin(), perm.end(),
+              [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
+    std::size_t k = 0;
+    while (k < perm.size()) {
+      const index_t c = cols[perm[k]];
+      double acc = 0.0;
+      while (k < perm.size() && cols[perm[k]] == c) {
+        acc += vals[perm[k]];
+        ++k;
+      }
+      m.col_.push_back(c);
+      m.val_.push_back(acc);
+      ++write;
+    }
+    m.row_ptr_[r + 1] = static_cast<index_t>(write);
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense) {
+  CooMatrix coo(static_cast<index_t>(dense.rows()), static_cast<index_t>(dense.cols()));
+  for (std::size_t i = 0; i < dense.rows(); ++i)
+    for (std::size_t j = 0; j < dense.cols(); ++j)
+      if (dense(i, j) != 0.0)
+        coo.add(static_cast<index_t>(i), static_cast<index_t>(j), dense(i, j));
+  return from_coo(coo);
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const noexcept {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  assert(static_cast<index_t>(y.size()) == rows_);
+  const index_t n = rows_;
+#pragma omp parallel for schedule(static) if (n > 4096)
+  for (index_t i = 0; i < n; ++i) {
+    const auto cs = row_cols(i);
+    const auto vs = row_vals(i);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cs.size(); ++k) acc += vs[k] * x[static_cast<std::size_t>(cs[k])];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void CsrMatrix::multiply_transpose(std::span<const double> x,
+                                   std::span<double> y) const noexcept {
+  assert(static_cast<index_t>(x.size()) == rows_);
+  assert(static_cast<index_t>(y.size()) == cols_);
+  set_zero(y);
+  for (index_t i = 0; i < rows_; ++i) {
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    const auto cs = row_cols(i);
+    const auto vs = row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k)
+      y[static_cast<std::size_t>(cs[k])] += vs[k] * xi;
+  }
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CooMatrix coo(cols_, rows_);
+  coo.reserve(nnz());
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto cs = row_cols(i);
+    const auto vs = row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) coo.add(cs[k], i, vs[k]);
+  }
+  return from_coo(coo);
+}
+
+Vec CsrMatrix::diagonal() const {
+  const std::size_t n = static_cast<std::size_t>(std::min(rows_, cols_));
+  Vec d(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(static_cast<index_t>(i), static_cast<index_t>(i));
+  return d;
+}
+
+double CsrMatrix::at(index_t i, index_t j) const noexcept {
+  const auto cs = row_cols(i);
+  const auto it = std::lower_bound(cs.begin(), cs.end(), j);
+  if (it == cs.end() || *it != j) return 0.0;
+  return row_vals(i)[static_cast<std::size_t>(it - cs.begin())];
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(static_cast<std::size_t>(rows_), static_cast<std::size_t>(cols_));
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto cs = row_cols(i);
+    const auto vs = row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k)
+      d(static_cast<std::size_t>(i), static_cast<std::size_t>(cs[k])) = vs[k];
+  }
+  return d;
+}
+
+double CsrMatrix::residual_inf(std::span<const double> x, std::span<const double> b,
+                               std::span<double> scratch) const noexcept {
+  assert(static_cast<index_t>(scratch.size()) == rows_);
+  multiply(x, scratch);
+  double m = 0.0;
+  for (std::size_t i = 0; i < scratch.size(); ++i)
+    m = std::max(m, std::abs(b[i] - scratch[i]));
+  return m;
+}
+
+}  // namespace tags::linalg

@@ -1,0 +1,76 @@
+// Compressed sparse row matrix: the workhorse format for CTMC generators.
+// Rows are column-sorted with duplicates summed, which the relaxation
+// solvers (Jacobi/Gauss-Seidel) rely on for fast diagonal lookup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/coo.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tags::linalg {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from a COO buffer: sorts each row by column and sums duplicates.
+  /// Entries that sum to exactly zero are kept (structural zeros are cheap
+  /// and dropping them would complicate generator diagonals).
+  [[nodiscard]] static CsrMatrix from_coo(const CooMatrix& coo);
+
+  /// Build from a dense matrix, dropping exact zeros.
+  [[nodiscard]] static CsrMatrix from_dense(const DenseMatrix& dense);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return val_.size(); }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const noexcept;
+
+  /// y = A^T x (serial scatter).
+  void multiply_transpose(std::span<const double> x, std::span<double> y) const noexcept;
+
+  /// Explicit transpose (linear time).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Vector of diagonal entries (zero where absent).
+  [[nodiscard]] Vec diagonal() const;
+
+  /// Row i as parallel spans of column indices and values.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const noexcept {
+    return {col_.data() + row_ptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1] -
+                                     row_ptr_[static_cast<std::size_t>(i)])};
+  }
+  [[nodiscard]] std::span<const double> row_vals(index_t i) const noexcept {
+    return {val_.data() + row_ptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1] -
+                                     row_ptr_[static_cast<std::size_t>(i)])};
+  }
+
+  /// Entry lookup by binary search within the row; zero if absent.
+  [[nodiscard]] double at(index_t i, index_t j) const noexcept;
+
+  /// Densify (testing/small matrices only).
+  [[nodiscard]] DenseMatrix to_dense() const;
+
+  /// Residual max-norm ||b - A x||_inf, allocation-free given scratch.
+  [[nodiscard]] double residual_inf(std::span<const double> x,
+                                    std::span<const double> b,
+                                    std::span<double> scratch) const noexcept;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_;  // size rows_+1
+  std::vector<index_t> col_;
+  std::vector<double> val_;
+
+  friend class CsrBuilderAccess;
+};
+
+}  // namespace tags::linalg

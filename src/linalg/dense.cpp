@@ -1,0 +1,58 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+namespace tags::linalg {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void DenseMatrix::multiply(std::span<const double> x, std::span<double> y) const noexcept {
+  assert(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    y[i] = dot(row(i), x);
+  }
+}
+
+void DenseMatrix::multiply_transpose(std::span<const double> x,
+                                     std::span<double> y) const noexcept {
+  assert(x.size() == rows_ && y.size() == cols_);
+  set_zero(y);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    axpy(x[i], row(i), y);
+  }
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+DenseMatrix DenseMatrix::matmul(const DenseMatrix& b) const {
+  assert(cols_ == b.rows());
+  DenseMatrix c(rows_, b.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      axpy(aik, b.row(k), c.row(i));
+    }
+  }
+  return c;
+}
+
+void DenseMatrix::add_scaled(double a, const DenseMatrix& b) noexcept {
+  assert(rows_ == b.rows() && cols_ == b.cols());
+  axpy(a, b.data(), data());
+}
+
+double DenseMatrix::frobenius_norm() const noexcept { return nrm2(a_); }
+
+double DenseMatrix::max_abs() const noexcept { return nrm_inf(a_); }
+
+}  // namespace tags::linalg

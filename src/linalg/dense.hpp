@@ -1,0 +1,79 @@
+// Row-major dense matrix. Intended for small systems (reference solvers,
+// phase-type generators); sparse work goes through CsrMatrix.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace tags::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * cols, 0.0) {}
+
+  /// Square identity matrix of dimension n.
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return a_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) noexcept {
+    assert(i < rows_ && j < cols_);
+    return a_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const noexcept {
+    assert(i < rows_ && j < cols_);
+    return a_[i * cols_ + j];
+  }
+
+  /// Contiguous view of row i.
+  [[nodiscard]] std::span<double> row(std::size_t i) noexcept {
+    assert(i < rows_);
+    return {a_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const noexcept {
+    assert(i < rows_);
+    return {a_.data() + i * cols_, cols_};
+  }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const noexcept;
+
+  /// y = A^T x.
+  void multiply_transpose(std::span<const double> x, std::span<double> y) const noexcept;
+
+  /// Returns A^T as a new matrix.
+  [[nodiscard]] DenseMatrix transposed() const;
+
+  /// Returns A * B.
+  [[nodiscard]] DenseMatrix matmul(const DenseMatrix& b) const;
+
+  /// this += a * B (same shape).
+  void add_scaled(double a, const DenseMatrix& b) noexcept;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Max-abs entry.
+  [[nodiscard]] double max_abs() const noexcept;
+
+  /// Raw storage access (row-major).
+  [[nodiscard]] std::span<const double> data() const noexcept { return a_; }
+  [[nodiscard]] std::span<double> data() noexcept { return a_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+}  // namespace tags::linalg

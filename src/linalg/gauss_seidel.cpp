@@ -1,0 +1,51 @@
+#include <cassert>
+#include <cmath>
+
+#include "linalg/solver.hpp"
+
+namespace tags::linalg {
+
+SolveResult gauss_seidel(const CsrMatrix& a, std::span<const double> b, Vec& x,
+                         const SolveOptions& opts) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  assert(b.size() == n && x.size() == n);
+
+  const Vec diag = a.diagonal();
+  const double omega = opts.omega;
+  Vec scratch(n);
+  SolveResult res;
+
+  for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
+    double max_update = 0.0;
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const auto cs = a.row_cols(i);
+      const auto vs = a.row_vals(i);
+      const std::size_t ii = static_cast<std::size_t>(i);
+      double off = 0.0;
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        if (cs[k] != i) off += vs[k] * x[static_cast<std::size_t>(cs[k])];
+      }
+      const double gs = (b[ii] - off) / diag[ii];
+      const double next = (1.0 - omega) * x[ii] + omega * gs;
+      max_update = std::max(max_update, std::abs(next - x[ii]));
+      x[ii] = next;
+    }
+    // The update norm is only a proxy; confirm with the true residual, but
+    // not every sweep (it costs one SpMV).
+    const bool check_now = max_update <= opts.tol || (res.iterations & 31) == 31;
+    if (check_now) {
+      res.residual = a.residual_inf(x, b, scratch);
+      if (res.residual <= opts.tol) {
+        res.converged = true;
+        ++res.iterations;
+        return res;
+      }
+    }
+  }
+  res.residual = a.residual_inf(x, b, scratch);
+  res.converged = res.residual <= opts.tol;
+  return res;
+}
+
+}  // namespace tags::linalg

@@ -1,0 +1,49 @@
+#include <cassert>
+#include <cmath>
+
+#include "linalg/solver.hpp"
+
+namespace tags::linalg {
+
+SolveResult jacobi(const CsrMatrix& a, std::span<const double> b, Vec& x,
+                   const SolveOptions& opts) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  assert(b.size() == n && x.size() == n);
+
+  const Vec diag = a.diagonal();
+  Vec x_next(n, 0.0);
+  SolveResult res;
+
+  for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
+    double max_resid = 0.0;
+    const index_t rows = a.rows();
+#pragma omp parallel for schedule(static) reduction(max : max_resid) if (rows > 4096)
+    for (index_t i = 0; i < rows; ++i) {
+      const auto cs = a.row_cols(i);
+      const auto vs = a.row_vals(i);
+      const std::size_t ii = static_cast<std::size_t>(i);
+      double off = 0.0;
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        if (cs[k] != i) off += vs[k] * x[static_cast<std::size_t>(cs[k])];
+      }
+      const double resid = b[ii] - off - diag[ii] * x[ii];
+      max_resid = std::max(max_resid, std::abs(resid));
+      x_next[ii] = (b[ii] - off) / diag[ii];
+    }
+    x.swap(x_next);
+    res.residual = max_resid;
+    if (max_resid <= opts.tol) {
+      res.converged = true;
+      ++res.iterations;
+      break;
+    }
+  }
+  // Report the true residual of the final iterate.
+  Vec scratch(n);
+  res.residual = a.residual_inf(x, b, scratch);
+  res.converged = res.residual <= opts.tol;
+  return res;
+}
+
+}  // namespace tags::linalg

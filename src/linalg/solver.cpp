@@ -1,0 +1,27 @@
+#include "linalg/solver.hpp"
+
+namespace tags::linalg {
+
+std::string_view to_string(IterativeMethod m) noexcept {
+  switch (m) {
+    case IterativeMethod::kJacobi: return "jacobi";
+    case IterativeMethod::kGaussSeidel: return "gauss-seidel";
+    case IterativeMethod::kGmres: return "gmres";
+    case IterativeMethod::kBicgstab: return "bicgstab";
+  }
+  return "unknown";
+}
+
+SolveResult solve_iterative(IterativeMethod method, const CsrMatrix& a,
+                            std::span<const double> b, Vec& x,
+                            const SolveOptions& opts) {
+  switch (method) {
+    case IterativeMethod::kJacobi: return jacobi(a, b, x, opts);
+    case IterativeMethod::kGaussSeidel: return gauss_seidel(a, b, x, opts);
+    case IterativeMethod::kGmres: return gmres(a, b, x, opts);
+    case IterativeMethod::kBicgstab: return bicgstab(a, b, x, opts);
+  }
+  return {};
+}
+
+}  // namespace tags::linalg

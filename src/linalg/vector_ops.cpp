@@ -1,0 +1,76 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tags::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(double a, std::span<double> x) noexcept {
+  for (double& v : x) v *= a;
+}
+
+double nrm2(std::span<const double> x) noexcept {
+  // Two-pass scaled norm to avoid overflow on pathological inputs.
+  double maxabs = nrm_inf(x);
+  if (maxabs == 0.0) return 0.0;
+  double acc = 0.0;
+  for (double v : x) {
+    const double s = v / maxabs;
+    acc += s * s;
+  }
+  return maxabs * std::sqrt(acc);
+}
+
+double nrm_inf(std::span<const double> x) noexcept {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double nrm1(std::span<const double> x) noexcept {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double sum(std::span<const double> x) noexcept {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+void set_zero(std::span<double> x) noexcept {
+  for (double& v : x) v = 0.0;
+}
+
+void copy(std::span<const double> src, std::span<double> dst) noexcept {
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+double normalize_l1(std::span<double> x) noexcept {
+  const double s = sum(x);
+  if (s != 0.0) scale(1.0 / s, x);
+  return s;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+}  // namespace tags::linalg

@@ -1,0 +1,52 @@
+// Basic dense vector kernels used throughout the library.
+//
+// All routines operate on std::span so they work with std::vector<double>,
+// sub-ranges, and externally owned buffers alike. None of them allocate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tags::linalg {
+
+/// Dense vector alias used across the library.
+using Vec = std::vector<double>;
+
+/// Dot product <x, y>. Requires x.size() == y.size().
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// y += a * x. Requires x.size() == y.size().
+void axpy(double a, std::span<const double> x, std::span<double> y) noexcept;
+
+/// x *= a.
+void scale(double a, std::span<double> x) noexcept;
+
+/// Euclidean norm ||x||_2.
+[[nodiscard]] double nrm2(std::span<const double> x) noexcept;
+
+/// Max norm ||x||_inf.
+[[nodiscard]] double nrm_inf(std::span<const double> x) noexcept;
+
+/// 1-norm ||x||_1 (sum of absolute values).
+[[nodiscard]] double nrm1(std::span<const double> x) noexcept;
+
+/// Plain sum of entries (no absolute values) — used to normalise
+/// probability vectors.
+[[nodiscard]] double sum(std::span<const double> x) noexcept;
+
+/// Overwrite x with zeros.
+void set_zero(std::span<double> x) noexcept;
+
+/// x = y (sizes must match).
+void copy(std::span<const double> src, std::span<double> dst) noexcept;
+
+/// Normalise x so its entries sum to one. Returns the pre-normalisation sum.
+/// If the sum is zero the vector is left untouched and 0 is returned.
+double normalize_l1(std::span<double> x) noexcept;
+
+/// ||x - y||_inf, the max absolute componentwise difference.
+[[nodiscard]] double max_abs_diff(std::span<const double> x,
+                                  std::span<const double> y) noexcept;
+
+}  // namespace tags::linalg

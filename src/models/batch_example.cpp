@@ -1,0 +1,61 @@
+#include "models/batch_example.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tags::models {
+
+BatchResult tags_batch(std::span<const double> demands, double timeout,
+                       double service_rate) {
+  BatchResult r;
+  r.response.assign(demands.size(), 0.0);
+  double node1_clock = 0.0;
+  double node2_free = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const double service_time = demands[i] / service_rate;
+    if (service_time <= timeout) {
+      node1_clock += service_time;
+      r.response[i] = node1_clock;
+      ++r.completed_at_node1;
+    } else {
+      node1_clock += timeout;  // work done then thrown away
+      // Restart from scratch at node 2, FCFS behind earlier restarts.
+      const double start = std::max(node1_clock, node2_free);
+      node2_free = start + service_time;
+      r.response[i] = node2_free;
+    }
+  }
+  for (double t : r.response) r.mean_response += t;
+  r.mean_response /= static_cast<double>(demands.size());
+  return r;
+}
+
+BatchOptimum optimise_batch_timeout(std::span<const double> demands,
+                                    double service_rate) {
+  // The mean response is piecewise linear in the timeout with breakpoints at
+  // the (scaled) demand values; checking just above/below each breakpoint
+  // plus "no timeout" covers all optima.
+  std::vector<double> candidates;
+  const double eps = 1e-9;
+  for (double d : demands) {
+    const double s = d / service_rate;
+    candidates.push_back(s + eps);
+    candidates.push_back(std::max(0.0, s - eps));
+  }
+  candidates.push_back(std::numeric_limits<double>::infinity());
+  candidates.push_back(0.0);
+
+  BatchOptimum best;
+  best.mean_response = std::numeric_limits<double>::infinity();
+  for (double c : candidates) {
+    const BatchResult r = tags_batch(demands, c, service_rate);
+    if (r.mean_response < best.mean_response) {
+      best.mean_response = r.mean_response;
+      best.timeout = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace tags::models

@@ -1,0 +1,28 @@
+#include "models/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tags::models {
+
+double Metrics::flow_balance_gap(double lambda) const {
+  return std::abs(lambda - throughput - loss_rate);
+}
+
+std::string Metrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "E[N1]=%.4f E[N2]=%.4f E[N]=%.4f thr=%.4f loss=%.3g W=%.4f "
+                "u1=%.3f u2=%.3f",
+                mean_q1, mean_q2, mean_total, throughput, loss_rate, response_time,
+                utilisation1, utilisation2);
+  return buf;
+}
+
+void finalize(Metrics& m) {
+  m.mean_total = m.mean_q1 + m.mean_q2;
+  m.loss_rate = m.loss1_rate + m.loss2_rate;
+  m.response_time = m.throughput > 0.0 ? m.mean_total / m.throughput : 0.0;
+}
+
+}  // namespace tags::models

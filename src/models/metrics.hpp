@@ -1,0 +1,35 @@
+// The performance measures the paper reports for each allocation policy.
+#pragma once
+
+#include <string>
+
+namespace tags::models {
+
+/// Steady-state metrics of a (possibly two-node) bounded queueing system.
+/// Response time follows the paper's convention: Little's law applied with
+/// the arrival rate of *successful* jobs, i.e. W = E[N] / throughput.
+struct Metrics {
+  double mean_q1 = 0.0;        ///< mean number of jobs at node 1 (in system)
+  double mean_q2 = 0.0;        ///< mean number at node 2
+  double mean_total = 0.0;     ///< mean_q1 + mean_q2
+  double throughput = 0.0;     ///< successful completions per unit time
+  double loss1_rate = 0.0;     ///< arrivals dropped at node 1 (full buffer)
+  double loss2_rate = 0.0;     ///< timed-out jobs dropped at node 2 (full buffer)
+  double loss_rate = 0.0;      ///< loss1_rate + loss2_rate
+  double response_time = 0.0;  ///< W = mean_total / throughput
+  double utilisation1 = 0.0;   ///< P(node 1 busy)
+  double utilisation2 = 0.0;   ///< P(node 2 busy)
+
+  /// Flow-balance check: arrivals = throughput + losses (returns the
+  /// absolute discrepancy, which should be ~0 for a converged solution).
+  [[nodiscard]] double flow_balance_gap(double lambda) const;
+
+  /// Human-readable one-line summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Finalise derived fields (mean_total, loss_rate, response_time) from the
+/// primary fields already set.
+void finalize(Metrics& m);
+
+}  // namespace tags::models

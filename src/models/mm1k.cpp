@@ -1,0 +1,51 @@
+#include "models/mm1k.hpp"
+
+#include <cmath>
+
+#include "ctmc/builder.hpp"
+
+namespace tags::models {
+
+Mm1kResult mm1k_analytic(const Mm1kParams& p) {
+  const unsigned k = p.k;
+  const double rho = p.lambda / p.mu;
+  Mm1kResult r;
+  r.pi.assign(k + 1, 0.0);
+  if (std::abs(rho - 1.0) < 1e-12) {
+    const double uniform = 1.0 / static_cast<double>(k + 1);
+    for (unsigned i = 0; i <= k; ++i) r.pi[i] = uniform;
+  } else {
+    const double z = (1.0 - rho) / (1.0 - std::pow(rho, static_cast<double>(k + 1)));
+    double power = 1.0;
+    for (unsigned i = 0; i <= k; ++i) {
+      r.pi[i] = z * power;
+      power *= rho;
+    }
+  }
+  for (unsigned i = 0; i <= k; ++i) r.mean_jobs += static_cast<double>(i) * r.pi[i];
+  r.loss_prob = r.pi[k];
+  r.loss_rate = p.lambda * r.loss_prob;
+  r.throughput = p.lambda * (1.0 - r.loss_prob);
+  r.utilisation = 1.0 - r.pi[0];
+  r.response_time = r.throughput > 0.0 ? r.mean_jobs / r.throughput : 0.0;
+  return r;
+}
+
+ctmc::Ctmc mm1k_ctmc(const Mm1kParams& p) {
+  ctmc::CtmcBuilder b;
+  const auto arrival = b.label("arrival");
+  const auto service = b.label("service");
+  const auto loss = b.label("loss");
+  for (unsigned i = 0; i <= p.k; ++i) {
+    const auto s = static_cast<ctmc::index_t>(i);
+    if (i < p.k) {
+      b.add(s, s + 1, p.lambda, arrival);
+    } else {
+      b.add(s, s, p.lambda, loss);  // recorded for throughput("loss")
+    }
+    if (i > 0) b.add(s, s - 1, p.mu, service);
+  }
+  return b.build();
+}
+
+}  // namespace tags::models

@@ -1,0 +1,32 @@
+// The M/M/1/K queue: closed-form formulas (validation oracle for every
+// CTMC solver in the library) and a CTMC builder.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tags::models {
+
+struct Mm1kParams {
+  double lambda = 1.0;  ///< arrival rate
+  double mu = 2.0;      ///< service rate
+  unsigned k = 10;      ///< buffer size (max jobs in system)
+};
+
+/// Closed-form results.
+struct Mm1kResult {
+  linalg::Vec pi;           ///< state probabilities, size k+1
+  double mean_jobs = 0.0;   ///< E[N]
+  double loss_prob = 0.0;   ///< P(N = K), the blocking probability
+  double loss_rate = 0.0;   ///< lambda * P(N = K)
+  double throughput = 0.0;  ///< lambda * (1 - P(N = K))
+  double utilisation = 0.0; ///< P(N >= 1)
+  double response_time = 0.0;  ///< E[N] / throughput (accepted jobs)
+};
+
+[[nodiscard]] Mm1kResult mm1k_analytic(const Mm1kParams& p);
+
+/// The same queue as a labelled CTMC ("arrival", "service", "loss").
+[[nodiscard]] ctmc::Ctmc mm1k_ctmc(const Mm1kParams& p);
+
+}  // namespace tags::models

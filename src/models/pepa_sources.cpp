@@ -1,0 +1,217 @@
+#include "models/pepa_sources.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace tags::models {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string idx(const std::string& base, unsigned i) {
+  return base + "_" + std::to_string(i);
+}
+
+}  // namespace
+
+std::string tags_pepa_source(const TagsParams& p) {
+  const unsigned n = p.n, k1 = p.k1, k2 = p.k2;
+  std::string s;
+  s += "% TAGS two-node model (Thomas 2006, Figure 3; corrected cooperation\n";
+  s += "% sets and tick2 discipline, see DESIGN.md).\n";
+  s += "lambda = " + num(p.lambda) + ";\n";
+  s += "mu = " + num(p.mu) + ";\n";
+  s += "t = " + num(p.t) + ";\n\n";
+
+  // Queue 1.
+  s += "Q1_0 = (arrival, lambda).Q1_1;\n";
+  for (unsigned i = 1; i < k1; ++i) {
+    s += idx("Q1", i) + " = (arrival, lambda)." + idx("Q1", i + 1) +
+         " + (service1, mu)." + idx("Q1", i - 1) + " + (timeout, infty)." +
+         idx("Q1", i - 1) + " + (tick1, infty)." + idx("Q1", i) + ";\n";
+  }
+  s += idx("Q1", k1) + " = (service1, mu)." + idx("Q1", k1 - 1) +
+       " + (timeout, infty)." + idx("Q1", k1 - 1) + " + (tick1, infty)." +
+       idx("Q1", k1) + ";\n\n";
+
+  // Timer 1: n ticks then the timeout phase; service resets it.
+  s += "T1_0 = (timeout, t)." + idx("T1", n) + " + (service1, infty)." + idx("T1", n) +
+       ";\n";
+  for (unsigned j = 1; j <= n; ++j) {
+    s += idx("T1", j) + " = (tick1, t)." + idx("T1", j - 1) + " + (service1, infty)." +
+         idx("T1", n) + ";\n";
+  }
+  s += "\n";
+
+  // Queue 2: unprimed = repeat service in progress, primed (suffix p) =
+  // residual service in progress (tick2 deliberately absent there).
+  s += "Q2_0 = (timeout, infty).Q2_1;\n";
+  for (unsigned i = 1; i < k2; ++i) {
+    s += idx("Q2", i) + " = (timeout, infty)." + idx("Q2", i + 1) +
+         " + (tick2, infty)." + idx("Q2", i) + " + (repeatservice, infty)." +
+         idx("Q2p", i) + ";\n";
+    s += idx("Q2p", i) + " = (timeout, infty)." + idx("Q2p", i + 1) +
+         " + (service2, mu)." + idx("Q2", i - 1) + ";\n";
+  }
+  s += idx("Q2", k2) + " = (timeout, infty)." + idx("Q2", k2) + " + (tick2, infty)." +
+       idx("Q2", k2) + " + (repeatservice, infty)." + idx("Q2p", k2) + ";\n";
+  s += idx("Q2p", k2) + " = (timeout, infty)." + idx("Q2p", k2) + " + (service2, mu)." +
+       idx("Q2", k2 - 1) + ";\n\n";
+
+  // Timer 2: drives the repeat-service Erlang; frozen while the queue is
+  // empty or the head is in residual service (no tick2 offered then).
+  s += "T2_0 = (repeatservice, t)." + idx("T2", n) + ";\n";
+  for (unsigned j = 1; j <= n; ++j) {
+    s += idx("T2", j) + " = (tick2, t)." + idx("T2", j - 1) + ";\n";
+  }
+  s += "\n";
+
+  s += "Node1 = Q1_0 <timeout, service1, tick1> " + idx("T1", n) + ";\n";
+  s += "Node2 = Q2_0 <repeatservice, tick2> " + idx("T2", n) + ";\n";
+  s += "System = Node1 <timeout> Node2;\n";
+  return s;
+}
+
+std::string tags_h2_pepa_source(const TagsH2Params& p) {
+  const unsigned n = p.n, k1 = p.k1, k2 = p.k2;
+  std::string s;
+  s += "% TAGS with H2 service demands (Thomas 2006, Figure 5; corrected\n";
+  s += "% timeout rates in unprimed Q1_i, see DESIGN.md).\n";
+  s += "lambda = " + num(p.lambda) + ";\n";
+  s += "alpha = " + num(p.alpha) + ";\n";
+  s += "mu1 = " + num(p.mu1) + ";\n";
+  s += "mu2 = " + num(p.mu2) + ";\n";
+  s += "t = " + num(p.t) + ";\n";
+  s += "aprime = " + num(p.alpha_prime()) + ";  % residual-class probability\n\n";
+
+  // Queue 1. Unprimed: head short; primed (suffix p): head long.
+  s += "Q1_0 = (arrival, alpha * lambda).Q1_1 + (arrival, (1 - alpha) * "
+       "lambda).Q1p_1;\n";
+  const auto q1_line = [&](unsigned i, bool primed) {
+    const std::string self = primed ? idx("Q1p", i) : idx("Q1", i);
+    const std::string up = primed ? idx("Q1p", i + 1) : idx("Q1", i + 1);
+    const std::string mu = primed ? "mu2" : "mu1";
+    std::string line = self + " = ";
+    if (i < k1) line += "(arrival, lambda)." + up + " + ";
+    line += "(tick1, infty)." + self;
+    if (i == 1) {
+      line += " + (service1, " + mu + ").Q1_0 + (timeout, infty).Q1_0";
+    } else {
+      line += " + (service1, alpha * " + mu + ")." + idx("Q1", i - 1);
+      line += " + (service1, (1 - alpha) * " + mu + ")." + idx("Q1p", i - 1);
+      line += " + (timeout, alpha * infty)." + idx("Q1", i - 1);
+      line += " + (timeout, (1 - alpha) * infty)." + idx("Q1p", i - 1);
+    }
+    line += ";\n";
+    return line;
+  };
+  for (unsigned i = 1; i <= k1; ++i) s += q1_line(i, false);
+  for (unsigned i = 1; i <= k1; ++i) s += q1_line(i, true);
+  s += "\n";
+
+  s += "T1_0 = (timeout, t)." + idx("T1", n) + " + (service1, infty)." + idx("T1", n) +
+       ";\n";
+  for (unsigned j = 1; j <= n; ++j) {
+    s += idx("T1", j) + " = (tick1, t)." + idx("T1", j - 1) + " + (service1, infty)." +
+         idx("T1", n) + ";\n";
+  }
+  s += "\n";
+
+  // Queue 2: unprimed repeat; s-suffix serving short; l-suffix serving long.
+  s += "Q2_0 = (timeout, infty).Q2_1;\n";
+  const auto q2_up = [&](const std::string& base, unsigned i) {
+    return i < k2 ? idx(base, i + 1) : idx(base, k2);
+  };
+  for (unsigned i = 1; i <= k2; ++i) {
+    s += idx("Q2", i) + " = (timeout, infty)." + q2_up("Q2", i) + " + (tick2, infty)." +
+         idx("Q2", i) + " + (repeatservice, aprime * infty)." + idx("Q2s", i) +
+         " + (repeatservice, (1 - aprime) * infty)." + idx("Q2l", i) + ";\n";
+    s += idx("Q2s", i) + " = (timeout, infty)." + q2_up("Q2s", i) +
+         " + (service2, mu1)." + idx("Q2", i - 1) + ";\n";
+    s += idx("Q2l", i) + " = (timeout, infty)." + q2_up("Q2l", i) +
+         " + (service2, mu2)." + idx("Q2", i - 1) + ";\n";
+  }
+  s += "\n";
+
+  s += "T2_0 = (repeatservice, t)." + idx("T2", n) + ";\n";
+  for (unsigned j = 1; j <= n; ++j) {
+    s += idx("T2", j) + " = (tick2, t)." + idx("T2", j - 1) + ";\n";
+  }
+  s += "\n";
+
+  s += "Node1 = Q1_0 <timeout, service1, tick1> " + idx("T1", n) + ";\n";
+  s += "Node2 = Q2_0 <repeatservice, tick2> " + idx("T2", n) + ";\n";
+  s += "System = Node1 <timeout> Node2;\n";
+  return s;
+}
+
+std::string random_pepa_source(const RandomAllocParams& p) {
+  std::string s;
+  s += "% Weighted random allocation (Thomas 2006, Appendix A).\n";
+  s += "lambda1 = " + num(p.lambda * p.p1) + ";\n";
+  s += "lambda2 = " + num(p.lambda * (1.0 - p.p1)) + ";\n";
+  s += "mu = " + num(p.mu) + ";\n\n";
+  for (unsigned q = 1; q <= 2; ++q) {
+    const std::string base = "Queue" + std::to_string(q);
+    const std::string lam = "lambda" + std::to_string(q);
+    const std::string arr = "arrival" + std::to_string(q);
+    const std::string srv = "service" + std::to_string(q);
+    s += idx(base, 0) + " = (" + arr + ", " + lam + ")." + idx(base, 1) + ";\n";
+    for (unsigned j = 1; j < p.k; ++j) {
+      s += idx(base, j) + " = (" + arr + ", " + lam + ")." + idx(base, j + 1) + " + (" +
+           srv + ", mu)." + idx(base, j - 1) + ";\n";
+    }
+    s += idx(base, p.k) + " = (" + srv + ", mu)." + idx(base, p.k - 1) + ";\n\n";
+  }
+  s += "System = Queue1_0 <> Queue2_0;\n";
+  return s;
+}
+
+std::string shortest_queue_pepa_source(const ShortestQueueParams& p) {
+  const unsigned k = p.k;
+  std::string s;
+  s += "% Shortest-queue policy (Thomas 2006, Appendix B). The control\n";
+  s += "% component S tracks the queue-length difference d = q1 - q2;\n";
+  s += "% Sp_j is d = +j, Sm_j is d = -j.\n";
+  s += "lambda = " + num(p.lambda) + ";\n";
+  s += "mu = " + num(p.mu) + ";\n\n";
+  for (unsigned q = 1; q <= 2; ++q) {
+    const std::string base = "Queue" + std::to_string(q);
+    const std::string arr = "arr" + std::to_string(q);
+    const std::string srv = "serv" + std::to_string(q);
+    s += idx(base, 0) + " = (" + arr + ", infty)." + idx(base, 1) + ";\n";
+    for (unsigned j = 1; j < k; ++j) {
+      s += idx(base, j) + " = (" + arr + ", infty)." + idx(base, j + 1) + " + (" + srv +
+           ", infty)." + idx(base, j - 1) + ";\n";
+    }
+    s += idx(base, k) + " = (" + srv + ", infty)." + idx(base, k - 1) + ";\n\n";
+  }
+  // Difference tracker. Names: S_0, Sp_j (positive), Sm_j (negative).
+  const auto sname = [&](int d) {
+    if (d == 0) return std::string("S_0");
+    if (d > 0) return idx("Sp", static_cast<unsigned>(d));
+    return idx("Sm", static_cast<unsigned>(-d));
+  };
+  s += "S_0 = (arr1, lambda / 2)." + sname(1) + " + (arr2, lambda / 2)." + sname(-1) +
+       " + (serv1, mu)." + sname(-1) + " + (serv2, mu)." + sname(1) + ";\n";
+  for (int d = 1; d <= static_cast<int>(k); ++d) {
+    // d > 0: queue 1 longer, all arrivals to queue 2.
+    s += sname(d) + " = (arr2, lambda)." + sname(d - 1) + " + (serv1, mu)." +
+         sname(d - 1);
+    if (d < static_cast<int>(k)) s += " + (serv2, mu)." + sname(d + 1);
+    s += ";\n";
+    s += sname(-d) + " = (arr1, lambda)." + sname(-d + 1) + " + (serv2, mu)." +
+         sname(-d + 1);
+    if (d < static_cast<int>(k)) s += " + (serv1, mu)." + sname(-d - 1);
+    s += ";\n";
+  }
+  s += "\nSystem = (Queue1_0 <> Queue2_0) <arr1, arr2, serv1, serv2> S_0;\n";
+  return s;
+}
+
+}  // namespace tags::models

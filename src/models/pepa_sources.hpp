@@ -1,0 +1,34 @@
+// Programmatic generation of the paper's PEPA models as parseable text.
+//
+// Every model in this library exists twice: as a hand-built CTMC (the fast
+// direct builders) and as PEPA source derived through the engine in
+// src/pepa. Integration tests assert the two constructions agree, which
+// validates both the builders and the PEPA semantics at once.
+#pragma once
+
+#include <string>
+
+#include "models/random_alloc.hpp"
+#include "models/shortest_queue.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+namespace tags::models {
+
+/// Figure 3 (with the cooperation-set and tick2 corrections documented in
+/// DESIGN.md). System equation constant: "System".
+[[nodiscard]] std::string tags_pepa_source(const TagsParams& p);
+
+/// Figure 5: hyper-exponential service demands. The residual-class
+/// probability alpha' is embedded as a numeric parameter (computed from
+/// Section 3.2's closed form).
+[[nodiscard]] std::string tags_h2_pepa_source(const TagsH2Params& p);
+
+/// Appendix A: weighted random allocation, two independent M/M/1/K queues.
+[[nodiscard]] std::string random_pepa_source(const RandomAllocParams& p);
+
+/// Appendix B: shortest-queue routing with the difference-tracking control
+/// component S.
+[[nodiscard]] std::string shortest_queue_pepa_source(const ShortestQueueParams& p);
+
+}  // namespace tags::models

@@ -1,0 +1,117 @@
+#include "models/random_alloc.hpp"
+
+#include <cassert>
+
+#include "ctmc/builder.hpp"
+#include "ctmc/measures.hpp"
+#include "models/mm1k.hpp"
+
+namespace tags::models {
+
+Metrics random_alloc_exp(const RandomAllocParams& p) {
+  const Mm1kResult q1 =
+      mm1k_analytic({.lambda = p.lambda * p.p1, .mu = p.mu, .k = p.k});
+  const Mm1kResult q2 =
+      mm1k_analytic({.lambda = p.lambda * (1.0 - p.p1), .mu = p.mu, .k = p.k});
+  Metrics m;
+  m.mean_q1 = q1.mean_jobs;
+  m.mean_q2 = q2.mean_jobs;
+  m.throughput = q1.throughput + q2.throughput;
+  m.loss1_rate = q1.loss_rate;
+  m.loss2_rate = q2.loss_rate;
+  m.utilisation1 = q1.utilisation;
+  m.utilisation2 = q2.utilisation;
+  finalize(m);
+  return m;
+}
+
+Mh21kModel::Mh21kModel(double lambda, double alpha, double mu1, double mu2, unsigned k)
+    : lambda_(lambda), alpha_(alpha), mu1_(mu1), mu2_(mu2), k_(k) {
+  ctmc::CtmcBuilder b;
+  const auto l_arrival = b.label("arrival");
+  const auto l_service = b.label("service");
+  const auto l_loss = b.label("loss");
+
+  const auto for_each_state = [&](auto&& fn) {
+    fn(State{0, 0});
+    for (unsigned q = 1; q <= k_; ++q) {
+      fn(State{q, 0});
+      fn(State{q, 1});
+    }
+  };
+
+  for_each_state([&](const State& s) {
+    const ctmc::index_t from = encode(s);
+    if (s.q < k_) {
+      if (s.q == 0) {
+        // Arriving job becomes head: sample its class.
+        b.add(from, encode({1, 0}), lambda_ * alpha_, l_arrival);
+        b.add(from, encode({1, 1}), lambda_ * (1.0 - alpha_), l_arrival);
+      } else {
+        b.add(from, encode({s.q + 1, s.c}), lambda_, l_arrival);
+      }
+    } else {
+      b.add(from, from, lambda_, l_loss);
+    }
+    if (s.q >= 1) {
+      const double mu = s.c == 0 ? mu1_ : mu2_;
+      if (s.q >= 2) {
+        b.add(from, encode({s.q - 1, 0}), mu * alpha_, l_service);
+        b.add(from, encode({s.q - 1, 1}), mu * (1.0 - alpha_), l_service);
+      } else {
+        b.add(from, encode({0, 0}), mu, l_service);
+      }
+    }
+  });
+  b.ensure_states(static_cast<ctmc::index_t>(2 * k_ + 1));
+  chain_ = b.build();
+}
+
+ctmc::index_t Mh21kModel::encode(const State& s) const noexcept {
+  return s.q == 0 ? 0 : static_cast<ctmc::index_t>(1 + (s.q - 1) * 2 + s.c);
+}
+
+Mh21kModel::State Mh21kModel::decode(ctmc::index_t idx) const noexcept {
+  if (idx == 0) return {0, 0};
+  const auto rest = static_cast<unsigned>(idx - 1);
+  return {1 + rest / 2, rest % 2};
+}
+
+Metrics Mh21kModel::metrics(const ctmc::SteadyStateOptions& opts) const {
+  const auto result = ctmc::steady_state(chain_, opts);
+  assert(result.converged);
+  const linalg::Vec& pi = result.pi;
+  Metrics m;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const State s = decode(static_cast<ctmc::index_t>(i));
+    m.mean_q1 += pi[i] * s.q;
+    if (s.q >= 1) m.utilisation1 += pi[i];
+  }
+  m.throughput = ctmc::throughput(chain_, pi, "service");
+  m.loss1_rate = ctmc::throughput(chain_, pi, "loss");
+  finalize(m);
+  return m;
+}
+
+Metrics random_alloc_h2(const RandomAllocH2Params& p,
+                        const ctmc::SteadyStateOptions& opts) {
+  const Mh21kModel q1(p.lambda * p.p1, p.alpha, p.mu1, p.mu2, p.k);
+  const Metrics m1 = q1.metrics(opts);
+  Metrics m2 = m1;
+  if (p.p1 != 0.5) {
+    const Mh21kModel q2(p.lambda * (1.0 - p.p1), p.alpha, p.mu1, p.mu2, p.k);
+    m2 = q2.metrics(opts);
+  }
+  Metrics m;
+  m.mean_q1 = m1.mean_q1;
+  m.mean_q2 = m2.mean_q1;
+  m.throughput = m1.throughput + m2.throughput;
+  m.loss1_rate = m1.loss1_rate;
+  m.loss2_rate = m2.loss1_rate;
+  m.utilisation1 = m1.utilisation1;
+  m.utilisation2 = m2.utilisation1;
+  finalize(m);
+  return m;
+}
+
+}  // namespace tags::models

@@ -1,0 +1,61 @@
+// Weighted random allocation (paper Appendix A, Figure 13): arrivals are
+// split probabilistically over two independent bounded queues. With
+// exponential service each queue is an M/M/1/K (closed form); with H2
+// service each queue is an M/H2/1/K CTMC tracking the head job's class.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/metrics.hpp"
+
+namespace tags::models {
+
+struct RandomAllocParams {
+  double lambda = 5.0;  ///< total arrival rate
+  double mu = 10.0;     ///< service rate (both queues)
+  unsigned k = 10;      ///< buffer per queue
+  double p1 = 0.5;      ///< probability of routing to queue 1
+};
+
+/// Closed-form metrics (two independent M/M/1/K queues).
+[[nodiscard]] Metrics random_alloc_exp(const RandomAllocParams& p);
+
+struct RandomAllocH2Params {
+  double lambda = 11.0;  ///< total arrival rate
+  double alpha = 0.99;   ///< P(job is short)
+  double mu1 = 19.9;     ///< short rate
+  double mu2 = 0.199;    ///< long rate
+  unsigned k = 10;
+  double p1 = 0.5;
+};
+
+/// A single M/H2/1/K queue (head-of-line class tracked). Exposed because
+/// it is also a useful model on its own and in tests.
+class Mh21kModel {
+ public:
+  /// lambda here is the arrival rate INTO THIS QUEUE.
+  Mh21kModel(double lambda, double alpha, double mu1, double mu2, unsigned k);
+
+  struct State {
+    unsigned q;  ///< 0..K
+    unsigned c;  ///< head class, 0 short / 1 long (0 when empty)
+  };
+
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
+  [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
+
+  /// Single-queue measures, reported in the node-1 slots of Metrics.
+  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+ private:
+  double lambda_, alpha_, mu1_, mu2_;
+  unsigned k_;
+  ctmc::Ctmc chain_;
+};
+
+/// Two independent M/H2/1/K queues with the split-arrival streams.
+[[nodiscard]] Metrics random_alloc_h2(const RandomAllocH2Params& p,
+                                      const ctmc::SteadyStateOptions& opts = {});
+
+}  // namespace tags::models

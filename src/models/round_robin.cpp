@@ -1,0 +1,70 @@
+#include "models/round_robin.hpp"
+
+#include <cassert>
+
+#include "ctmc/builder.hpp"
+#include "ctmc/measures.hpp"
+
+namespace tags::models {
+
+RoundRobinModel::RoundRobinModel(const RoundRobinParams& params) : params_(params) {
+  const unsigned k = params_.k;
+  ctmc::CtmcBuilder b;
+  const auto l_arr = b.label("arrival");
+  const auto l_serv1 = b.label("serv1");
+  const auto l_serv2 = b.label("serv2");
+  const auto l_loss = b.label("loss");
+
+  for (unsigned q1 = 0; q1 <= k; ++q1) {
+    for (unsigned q2 = 0; q2 <= k; ++q2) {
+      for (unsigned next = 0; next <= 1; ++next) {
+        const ctmc::index_t from = encode({q1, q2, next});
+        // Arrival: route to `next`; the cursor advances whether or not the
+        // job fits (the dispatcher is blind to occupancy).
+        const unsigned target_len = next == 0 ? q1 : q2;
+        if (target_len < k) {
+          const State to{next == 0 ? q1 + 1 : q1, next == 1 ? q2 + 1 : q2, 1 - next};
+          b.add(from, encode(to), params_.lambda, l_arr);
+        } else {
+          b.add(from, encode({q1, q2, 1 - next}), params_.lambda, l_loss);
+        }
+        if (q1 >= 1) b.add(from, encode({q1 - 1, q2, next}), params_.mu, l_serv1);
+        if (q2 >= 1) b.add(from, encode({q1, q2 - 1, next}), params_.mu, l_serv2);
+      }
+    }
+  }
+  chain_ = b.build();
+}
+
+ctmc::index_t RoundRobinModel::encode(const State& s) const noexcept {
+  const unsigned stride = params_.k + 1;
+  return (static_cast<ctmc::index_t>(s.q1) * stride + s.q2) * 2 + s.next;
+}
+
+RoundRobinModel::State RoundRobinModel::decode(ctmc::index_t idx) const noexcept {
+  const unsigned stride = params_.k + 1;
+  const auto next = static_cast<unsigned>(idx % 2);
+  const auto rest = static_cast<unsigned>(idx / 2);
+  return {rest / stride, rest % stride, next};
+}
+
+Metrics RoundRobinModel::metrics(const ctmc::SteadyStateOptions& opts) const {
+  const auto result = ctmc::steady_state(chain_, opts);
+  assert(result.converged);
+  const linalg::Vec& pi = result.pi;
+  Metrics m;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const State s = decode(static_cast<ctmc::index_t>(i));
+    m.mean_q1 += pi[i] * s.q1;
+    m.mean_q2 += pi[i] * s.q2;
+    if (s.q1 >= 1) m.utilisation1 += pi[i];
+    if (s.q2 >= 1) m.utilisation2 += pi[i];
+  }
+  m.throughput = ctmc::throughput(chain_, pi, "serv1") +
+                 ctmc::throughput(chain_, pi, "serv2");
+  m.loss1_rate = ctmc::throughput(chain_, pi, "loss");
+  finalize(m);
+  return m;
+}
+
+}  // namespace tags::models

@@ -1,0 +1,39 @@
+// Round-robin allocation — the third "obvious solution" in the paper's
+// introduction: arrivals alternate between the two bounded queues, with a
+// job lost when its designated queue is full. The router bit makes this a
+// genuine CTMC (unlike random allocation, the queues are coupled).
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/metrics.hpp"
+
+namespace tags::models {
+
+struct RoundRobinParams {
+  double lambda = 5.0;
+  double mu = 10.0;
+  unsigned k = 10;  ///< buffer per queue
+};
+
+class RoundRobinModel {
+ public:
+  explicit RoundRobinModel(const RoundRobinParams& params);
+
+  struct State {
+    unsigned q1;
+    unsigned q2;
+    unsigned next;  ///< queue the next arrival is routed to (0 or 1)
+  };
+
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
+  [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
+  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+ private:
+  RoundRobinParams params_;
+  ctmc::Ctmc chain_;
+};
+
+}  // namespace tags::models

@@ -1,0 +1,69 @@
+// The shortest-queue policy (paper Appendix B, Figure 14): two bounded
+// queues; each arrival joins the strictly shorter queue, ties split the
+// stream evenly; an arrival finding both queues full is lost. With
+// exponential demands this is the optimal policy the paper compares TAGS
+// against; the H2 variant routes on queue length only (the policy cannot
+// see job classes).
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/metrics.hpp"
+
+namespace tags::models {
+
+struct ShortestQueueParams {
+  double lambda = 5.0;
+  double mu = 10.0;
+  unsigned k = 10;  ///< buffer per queue
+};
+
+class ShortestQueueModel {
+ public:
+  explicit ShortestQueueModel(const ShortestQueueParams& params);
+
+  struct State {
+    unsigned q1;
+    unsigned q2;
+  };
+
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
+  [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
+  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+ private:
+  ShortestQueueParams params_;
+  ctmc::Ctmc chain_;
+};
+
+struct ShortestQueueH2Params {
+  double lambda = 11.0;
+  double alpha = 0.99;
+  double mu1 = 19.9;
+  double mu2 = 0.199;
+  unsigned k = 10;
+};
+
+class ShortestQueueH2Model {
+ public:
+  explicit ShortestQueueH2Model(const ShortestQueueH2Params& params);
+
+  struct State {
+    unsigned q1;
+    unsigned c1;  ///< head class of queue 1 (0 short / 1 long; 0 when empty)
+    unsigned q2;
+    unsigned c2;
+  };
+
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
+  [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
+  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+ private:
+  ShortestQueueH2Params params_;
+  ctmc::Ctmc chain_;
+};
+
+}  // namespace tags::models

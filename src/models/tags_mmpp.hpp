@@ -1,0 +1,69 @@
+// TAGS with MMPP(2) arrivals: the exact (numerical) counterpart of the
+// paper's closing conjecture about bursty traffic. The arrival process is
+// a two-phase Markov-modulated Poisson stream; the TAGS state space of
+// TagsModel is augmented with the modulation phase.
+//
+// State (q1, j1, q2, p2, m): the TagsModel state plus m in {0, 1}.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/metrics.hpp"
+#include "models/tags.hpp"
+
+namespace tags::models {
+
+struct MmppParams {
+  double lambda0 = 1.0;  ///< arrival rate in phase 0
+  double lambda1 = 21.0; ///< arrival rate in phase 1 (the burst)
+  double r01 = 0.25;     ///< phase 0 -> 1 switching rate
+  double r10 = 1.0;      ///< phase 1 -> 0 switching rate
+
+  [[nodiscard]] double phase1_probability() const { return r01 / (r01 + r10); }
+  [[nodiscard]] double mean_rate() const {
+    const double p1 = phase1_probability();
+    return (1.0 - p1) * lambda0 + p1 * lambda1;
+  }
+  /// Index of dispersion of counts in the long run (1 = Poisson); a
+  /// standard burstiness measure for MMPP(2).
+  [[nodiscard]] double burstiness_index() const;
+};
+
+struct TagsMmppParams {
+  MmppParams arrivals;
+  double mu = 10.0;
+  double t = 50.0;
+  unsigned n = 6;
+  unsigned k1 = 10;
+  unsigned k2 = 10;
+};
+
+class TagsMmppModel {
+ public:
+  explicit TagsMmppModel(const TagsMmppParams& params);
+
+  struct State {
+    TagsModel::State base;
+    unsigned m;  ///< modulation phase
+  };
+
+  [[nodiscard]] const TagsMmppParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
+
+  [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
+  [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
+
+  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+  [[nodiscard]] Metrics metrics_from(const linalg::Vec& pi) const;
+  [[nodiscard]] ctmc::SteadyStateResult solve(
+      const ctmc::SteadyStateOptions& opts = {}) const;
+
+ private:
+  TagsMmppParams params_;
+  ctmc::Ctmc chain_;
+  unsigned node1_states_ = 0;
+  unsigned node2_states_ = 0;
+};
+
+}  // namespace tags::models

@@ -1,0 +1,231 @@
+#include "models/tags_nnode.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "ctmc/measures.hpp"
+#include "ctmc/reachability.hpp"
+#include "ctmc/steady_state.hpp"
+
+namespace tags::models {
+namespace {
+
+/// Hashable flattened state for ctmc::explore.
+struct NState {
+  std::vector<int> v;
+  bool operator==(const NState& o) const noexcept { return v == o.v; }
+};
+
+}  // namespace
+}  // namespace tags::models
+
+template <>
+struct std::hash<tags::models::NState> {
+  std::size_t operator()(const tags::models::NState& s) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (int x : s.v) {
+      h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+namespace tags::models {
+
+namespace {
+
+// State layout (flattened ints):
+//   node 0:            [q, j]         j = timeout-timer phase, pinned n when empty
+//   node 1..N-2:       [q, hp, tm]    hp = 0..n repeat phase / n+1 serving,
+//                                     tm = own timeout-timer phase
+//   node N-1 (last):   [q, hp]
+// All phase variables pinned to n when the queue is empty.
+
+struct Layout {
+  unsigned n_nodes;
+  std::vector<unsigned> offset;  // per-node start index in the flat vector
+
+  explicit Layout(const TagsNNodeParams& p) : n_nodes(p.n_nodes()) {
+    unsigned pos = 0;
+    for (unsigned i = 0; i < n_nodes; ++i) {
+      offset.push_back(pos);
+      pos += vars(i);
+    }
+    total = pos;
+  }
+  [[nodiscard]] unsigned vars(unsigned node) const {
+    if (node == 0 || node == n_nodes - 1) return 2;
+    return 3;
+  }
+  unsigned total = 0;
+};
+
+}  // namespace
+
+unsigned TagsNNodeModel::vars_per_node(unsigned node) const {
+  if (node == 0 || node == params_.n_nodes() - 1) return 2;
+  return 3;
+}
+
+TagsNNodeModel::TagsNNodeModel(TagsNNodeParams params) : params_(std::move(params)) {
+  const unsigned nn = params_.n_nodes();
+  if (nn < 2 || params_.timeout_rates.size() != nn - 1) {
+    throw std::invalid_argument(
+        "TagsNNodeModel: need >= 2 nodes and N-1 timeout rates");
+  }
+  const int n = static_cast<int>(params_.n);
+  const int serving = n + 1;
+  const Layout lay(params_);
+
+  NState init;
+  init.v.assign(lay.total, 0);
+  for (unsigned i = 0; i < nn; ++i) {
+    init.v[lay.offset[i] + 1] = n;                   // j or hp pinned to n
+    if (lay.vars(i) == 3) init.v[lay.offset[i] + 2] = n;  // tm pinned to n
+  }
+
+  // Move a timed-out job from node `from_node` into node `from_node + 1`,
+  // mutating `next`; returns false when the target buffer is full (job lost).
+  const auto push_downstream = [&](std::vector<int>& next, unsigned target) -> bool {
+    const unsigned off = lay.offset[target];
+    const int q = next[off];
+    if (q >= static_cast<int>(params_.buffers[target])) return false;
+    next[off] = q + 1;
+    if (q == 0) {
+      next[off + 1] = n;                          // fresh repeat phase
+      if (lay.vars(target) == 3) next[off + 2] = n;  // fresh timer
+    }
+    return true;
+  };
+
+  const auto succ = [&](const NState& s) {
+    std::vector<ctmc::Move<NState>> moves;
+    const auto emit = [&](std::vector<int> v, double rate, std::string label) {
+      moves.push_back({NState{std::move(v)}, rate, std::move(label)});
+    };
+
+    for (unsigned i = 0; i < nn; ++i) {
+      const unsigned off = lay.offset[i];
+      const int q = s.v[off];
+      const bool last = i + 1 == nn;
+      const double t_own = last ? 0.0 : params_.timeout_rates[i];
+      const double t_prev = i == 0 ? 0.0 : params_.timeout_rates[i - 1];
+
+      if (i == 0) {
+        // Arrivals.
+        if (q < static_cast<int>(params_.buffers[0])) {
+          auto v = s.v;
+          v[off] = q + 1;
+          emit(std::move(v), params_.lambda, "arrival");
+        } else {
+          emit(s.v, params_.lambda, "loss1");
+        }
+        if (q >= 1) {
+          const int j = s.v[off + 1];
+          {  // service
+            auto v = s.v;
+            v[off] = q - 1;
+            v[off + 1] = n;
+            emit(std::move(v), params_.mu, "service_1");
+          }
+          if (j >= 1) {
+            auto v = s.v;
+            v[off + 1] = j - 1;
+            emit(std::move(v), t_own, "");
+          } else {
+            auto v = s.v;
+            v[off] = q - 1;
+            v[off + 1] = n;
+            const bool ok = push_downstream(v, 1);
+            emit(std::move(v), t_own, ok ? "timeout_1" : "timeout_lost_1");
+          }
+        }
+        continue;
+      }
+
+      if (q < 1) continue;
+      const int hp = s.v[off + 1];
+      // Head progress: repeat phase ticks at the *previous* node's rate.
+      if (hp == serving) {
+        auto v = s.v;
+        v[off] = q - 1;
+        v[off + 1] = n;
+        if (!last) v[off + 2] = n;
+        emit(std::move(v), params_.mu, "service_" + std::to_string(i + 1));
+      } else if (hp >= 1) {
+        auto v = s.v;
+        v[off + 1] = hp - 1;
+        emit(std::move(v), t_prev, "");
+      } else {
+        auto v = s.v;
+        v[off + 1] = serving;
+        emit(std::move(v), t_prev, "repeat_" + std::to_string(i + 1));
+      }
+      // Own timeout timer (middle nodes only).
+      if (!last) {
+        const int tm = s.v[off + 2];
+        if (tm >= 1) {
+          auto v = s.v;
+          v[off + 2] = tm - 1;
+          emit(std::move(v), t_own, "");
+        } else {
+          auto v = s.v;
+          v[off] = q - 1;
+          v[off + 1] = n;
+          v[off + 2] = n;
+          const bool ok = push_downstream(v, i + 1);
+          emit(std::move(v), t_own,
+               (ok ? "timeout_" : "timeout_lost_") + std::to_string(i + 1));
+        }
+      }
+    }
+    return moves;
+  };
+
+  auto ex = ctmc::explore(init, succ);
+  chain_ = ex.builder.build();
+  states_.reserve(ex.states.size());
+  for (auto& st : ex.states) states_.push_back(std::move(st.v));
+}
+
+unsigned TagsNNodeModel::queue_length(ctmc::index_t idx, unsigned node) const {
+  unsigned off = 0;
+  for (unsigned i = 0; i < node; ++i) off += vars_per_node(i);
+  return static_cast<unsigned>(states_[static_cast<std::size_t>(idx)][off]);
+}
+
+NNodeMetrics TagsNNodeModel::metrics(const ctmc::SteadyStateOptions& opts) const {
+  const auto result = ctmc::steady_state(chain_, opts);
+  assert(result.converged);
+  const linalg::Vec& pi = result.pi;
+  const unsigned nn = params_.n_nodes();
+
+  NNodeMetrics m;
+  m.mean_q.assign(nn, 0.0);
+  m.utilisation.assign(nn, 0.0);
+  m.loss_rate.assign(nn, 0.0);
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    for (unsigned i = 0; i < nn; ++i) {
+      const unsigned q = queue_length(static_cast<ctmc::index_t>(s), i);
+      m.mean_q[i] += pi[s] * q;
+      if (q >= 1) m.utilisation[i] += pi[s];
+    }
+  }
+  for (unsigned i = 0; i < nn; ++i) {
+    m.mean_total += m.mean_q[i];
+    m.throughput +=
+        ctmc::throughput(chain_, pi, "service_" + std::to_string(i + 1));
+  }
+  m.loss_rate[0] = ctmc::throughput(chain_, pi, "loss1");
+  m.total_loss = m.loss_rate[0];
+  for (unsigned i = 1; i < nn; ++i) {
+    m.loss_rate[i] =
+        ctmc::throughput(chain_, pi, "timeout_lost_" + std::to_string(i));
+    m.total_loss += m.loss_rate[i];
+  }
+  m.response_time = m.throughput > 0.0 ? m.mean_total / m.throughput : 0.0;
+  return m;
+}
+
+}  // namespace tags::models

@@ -1,0 +1,65 @@
+// N-node TAGS ("it is a simple matter to add more nodes to the model in the
+// same fashion" — paper Section 3). Exponential service demands.
+//
+// Node 1 races service against its timeout; nodes 2..N-1 first repeat the
+// previous node's (timed-out) work — an Erlang period with the previous
+// node's timer rate — then serve the residual demand, with their own
+// timeout racing the head's whole occupancy; node N is identical but has
+// no timeout. N = 2 reduces exactly to TagsModel.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/metrics.hpp"
+
+namespace tags::models {
+
+struct TagsNNodeParams {
+  double lambda = 5.0;
+  double mu = 10.0;
+  unsigned n = 3;  ///< ticks per Erlang stage (n+1 phases per period)
+  /// Timer phase rates t_1..t_{N-1}; node i's timeout period is
+  /// Erlang(n+1, t_i) and node i+1's repeat period is Erlang(n+1, t_i).
+  std::vector<double> timeout_rates{50.0};
+  /// Buffer sizes K_1..K_N (size = timeout_rates.size() + 1).
+  std::vector<unsigned> buffers{10, 10};
+
+  [[nodiscard]] unsigned n_nodes() const noexcept {
+    return static_cast<unsigned>(buffers.size());
+  }
+};
+
+struct NNodeMetrics {
+  std::vector<double> mean_q;       ///< per node
+  std::vector<double> utilisation;  ///< per node
+  std::vector<double> loss_rate;    ///< loss at node 1 (arrivals) then per hop
+  double mean_total = 0.0;
+  double throughput = 0.0;
+  double total_loss = 0.0;
+  double response_time = 0.0;
+};
+
+class TagsNNodeModel {
+ public:
+  explicit TagsNNodeModel(TagsNNodeParams params);
+
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
+  [[nodiscard]] const TagsNNodeParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] NNodeMetrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+  /// Queue length of node `node` in enumerated state `idx`.
+  [[nodiscard]] unsigned queue_length(ctmc::index_t idx, unsigned node) const;
+
+ private:
+  TagsNNodeParams params_;
+  ctmc::Ctmc chain_;
+  /// Enumerated states: flattened per-node variables (see .cpp).
+  std::vector<std::vector<int>> states_;
+  unsigned vars_per_node(unsigned node) const;
+};
+
+}  // namespace tags::models

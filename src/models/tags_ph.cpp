@@ -1,0 +1,225 @@
+#include "models/tags_ph.hpp"
+
+#include <cassert>
+
+#include "ctmc/builder.hpp"
+#include "ctmc/measures.hpp"
+
+namespace tags::models {
+
+namespace {
+
+unsigned node1_index(unsigned q1, unsigned h1, unsigned j1, unsigned n, unsigned m) {
+  return q1 == 0 ? 0 : 1 + ((q1 - 1) * m + h1) * (n + 1) + j1;
+}
+
+unsigned node2_index(unsigned q2, unsigned phase2, unsigned n, unsigned m) {
+  (void)m;
+  return q2 == 0 ? 0 : 1 + (q2 - 1) * (n + 1 + m) + phase2;
+}
+
+}  // namespace
+
+ctmc::index_t TagsPhModel::state_count(const TagsPhParams& p) noexcept {
+  const auto m = static_cast<ctmc::index_t>(p.service.n_phases());
+  const auto n1 = static_cast<ctmc::index_t>(p.k1) * m * (p.n + 1) + 1;
+  const auto n2 = static_cast<ctmc::index_t>(p.k2) * (p.n + 1 + m) + 1;
+  return n1 * n2;
+}
+
+ctmc::index_t TagsPhModel::encode(const State& s) const noexcept {
+  const unsigned i1 = node1_index(s.q1, s.h1, s.j1, params_.n, m_);
+  const unsigned i2 = node2_index(s.q2, s.phase2, params_.n, m_);
+  return static_cast<ctmc::index_t>(i1) * node2_states_ + i2;
+}
+
+TagsPhModel::State TagsPhModel::decode(ctmc::index_t idx) const noexcept {
+  const unsigned n = params_.n;
+  const auto i1 = static_cast<unsigned>(idx / node2_states_);
+  const auto i2 = static_cast<unsigned>(idx % node2_states_);
+  State s{};
+  if (i1 == 0) {
+    s.q1 = 0;
+    s.h1 = 0;
+    s.j1 = n;
+  } else {
+    const unsigned rest = i1 - 1;
+    s.j1 = rest % (n + 1);
+    const unsigned qh = rest / (n + 1);
+    s.h1 = qh % m_;
+    s.q1 = 1 + qh / m_;
+  }
+  if (i2 == 0) {
+    s.q2 = 0;
+    s.phase2 = n;
+  } else {
+    s.q2 = 1 + (i2 - 1) / (n + 1 + m_);
+    s.phase2 = (i2 - 1) % (n + 1 + m_);
+  }
+  return s;
+}
+
+TagsPhModel::TagsPhModel(TagsPhParams params)
+    : params_(std::move(params)),
+      residual_alpha_(
+          params_.service.residual_after_erlang(params_.n + 1, params_.t).alpha()) {
+  m_ = static_cast<unsigned>(params_.service.n_phases());
+  const unsigned n = params_.n;
+  const unsigned k1 = params_.k1;
+  const unsigned k2 = params_.k2;
+  node1_states_ = k1 * m_ * (n + 1) + 1;
+  node2_states_ = k2 * (n + 1 + m_) + 1;
+
+  const auto& alpha = params_.service.alpha();
+  const auto& T = params_.service.T();
+  const linalg::Vec exit = params_.service.exit_rates();
+
+  ctmc::CtmcBuilder b;
+  const auto l_arrival = b.label("arrival");
+  const auto l_service1 = b.label("service1");
+  const auto l_phase1 = b.label("phase1");
+  const auto l_tick1 = b.label("tick1");
+  const auto l_timeout = b.label("timeout");
+  const auto l_timeout_lost = b.label("timeout_lost");
+  const auto l_tick2 = b.label("tick2");
+  const auto l_repeat = b.label("repeatservice");
+  const auto l_phase2 = b.label("phase2");
+  const auto l_service2 = b.label("service2");
+  const auto l_loss1 = b.label("loss1");
+
+  const auto for_each_state = [&](auto&& fn) {
+    for (unsigned q1 = 0; q1 <= k1; ++q1) {
+      const unsigned h1_hi = q1 == 0 ? 0 : m_ - 1;
+      for (unsigned h1 = 0; h1 <= h1_hi; ++h1) {
+        const unsigned j1_lo = q1 == 0 ? n : 0;
+        for (unsigned j1 = j1_lo; j1 <= n; ++j1) {
+          for (unsigned q2 = 0; q2 <= k2; ++q2) {
+            const unsigned p2_lo = q2 == 0 ? n : 0;
+            const unsigned p2_hi = q2 == 0 ? n : n + m_;
+            for (unsigned p2 = p2_lo; p2 <= p2_hi; ++p2) {
+              fn(State{q1, h1, j1, q2, p2});
+            }
+          }
+        }
+      }
+    }
+  };
+
+  // A head departs node 1 (service or timeout): the next head starts in a
+  // phase drawn from alpha; an emptied queue pins (h=0, j=n).
+  const auto add_node1_departure = [&](const State& s, ctmc::index_t from, double rate,
+                                       unsigned q2_next, unsigned p2_next,
+                                       ctmc::label_t label) {
+    if (rate == 0.0) return;
+    if (s.q1 >= 2) {
+      for (unsigned h = 0; h < m_; ++h) {
+        if (alpha[h] <= 0.0) continue;
+        b.add(from, encode({s.q1 - 1, h, n, q2_next, p2_next}), rate * alpha[h], label);
+      }
+      // Any deficit of alpha would be an instantaneous job — unsupported in
+      // a CTMC; PhaseType construction already bounds sum(alpha) <= 1 and
+      // queueing models require it to be exactly 1.
+    } else {
+      b.add(from, encode({0, 0, n, q2_next, p2_next}), rate, label);
+    }
+  };
+
+  for_each_state([&](const State& s) {
+    const ctmc::index_t from = encode(s);
+
+    // --- Node 1 ---
+    if (s.q1 < k1) {
+      if (s.q1 == 0) {
+        for (unsigned h = 0; h < m_; ++h) {
+          if (alpha[h] <= 0.0) continue;
+          b.add(from, encode({1, h, n, s.q2, s.phase2}), params_.lambda * alpha[h],
+                l_arrival);
+        }
+      } else {
+        b.add(from, encode({s.q1 + 1, s.h1, s.j1, s.q2, s.phase2}), params_.lambda,
+              l_arrival);
+      }
+    } else {
+      b.add(from, from, params_.lambda, l_loss1);
+    }
+    if (s.q1 >= 1) {
+      // PH internal phase moves.
+      for (unsigned h = 0; h < m_; ++h) {
+        if (h == s.h1) continue;
+        const double r = T(s.h1, h);
+        if (r > 0.0) {
+          b.add(from, encode({s.q1, h, s.j1, s.q2, s.phase2}), r, l_phase1);
+        }
+      }
+      // Completion (absorption).
+      add_node1_departure(s, from, exit[s.h1], s.q2, s.phase2, l_service1);
+      // Timer.
+      if (s.j1 >= 1) {
+        b.add(from, encode({s.q1, s.h1, s.j1 - 1, s.q2, s.phase2}), params_.t, l_tick1);
+      } else {
+        if (s.q2 < k2) {
+          const unsigned p2 = s.q2 == 0 ? n : s.phase2;
+          add_node1_departure(s, from, params_.t, s.q2 + 1, p2, l_timeout);
+        } else {
+          add_node1_departure(s, from, params_.t, s.q2, s.phase2, l_timeout_lost);
+        }
+      }
+    }
+
+    // --- Node 2 ---
+    if (s.q2 >= 1) {
+      if (s.phase2 > n) {
+        const unsigned h = s.phase2 - (n + 1);
+        for (unsigned h2 = 0; h2 < m_; ++h2) {
+          if (h2 == h) continue;
+          const double r = T(h, h2);
+          if (r > 0.0) {
+            b.add(from, encode({s.q1, s.h1, s.j1, s.q2, n + 1 + h2}), r, l_phase2);
+          }
+        }
+        b.add(from, encode({s.q1, s.h1, s.j1, s.q2 - 1, n}), exit[h], l_service2);
+      } else if (s.phase2 >= 1) {
+        b.add(from, encode({s.q1, s.h1, s.j1, s.q2, s.phase2 - 1}), params_.t, l_tick2);
+      } else {
+        // Repeat ends: sample the residual phase.
+        for (unsigned h = 0; h < m_; ++h) {
+          if (residual_alpha_[h] <= 0.0) continue;
+          b.add(from, encode({s.q1, s.h1, s.j1, s.q2, n + 1 + h}),
+                params_.t * residual_alpha_[h], l_repeat);
+        }
+      }
+    }
+  });
+
+  b.ensure_states(static_cast<ctmc::index_t>(node1_states_) * node2_states_);
+  chain_ = b.build();
+}
+
+ctmc::SteadyStateResult TagsPhModel::solve(const ctmc::SteadyStateOptions& opts) const {
+  return ctmc::steady_state(chain_, opts);
+}
+
+Metrics TagsPhModel::metrics(const ctmc::SteadyStateOptions& opts) const {
+  const auto result = solve(opts);
+  assert(result.converged);
+  return metrics_from(result.pi);
+}
+
+Metrics TagsPhModel::metrics_from(const linalg::Vec& pi) const {
+  Metrics m;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const State s = decode(static_cast<ctmc::index_t>(i));
+    m.mean_q1 += pi[i] * s.q1;
+    m.mean_q2 += pi[i] * s.q2;
+    if (s.q1 >= 1) m.utilisation1 += pi[i];
+    if (s.q2 >= 1) m.utilisation2 += pi[i];
+  }
+  m.throughput = ctmc::throughput(chain_, pi, "service1") +
+                 ctmc::throughput(chain_, pi, "service2");
+  m.loss1_rate = ctmc::throughput(chain_, pi, "loss1");
+  m.loss2_rate = ctmc::throughput(chain_, pi, "timeout_lost");
+  finalize(m);
+  return m;
+}
+
+}  // namespace tags::models

@@ -1,0 +1,75 @@
+// TAGS with *general phase-type* service demands — the "certain phase type
+// distributions are also possible" direction of Section 3. Subsumes both
+// paper models: PH = exponential reproduces TagsModel exactly, PH = H2
+// reproduces TagsH2Model exactly (the class bit is the PH phase).
+//
+// Node 1 tracks the head job's service phase; on a timeout the job
+// restarts downstream, and when its repeat period ends the residual
+// demand's phase is sampled from the Section 3.2 residual distribution
+// beta = alpha * [t(tI - T)^{-1}]^{n+1} (normalised) — computed by
+// ph::PhaseType::residual_after_erlang, the general form of the paper's
+// alpha'.
+//
+// State (q1, h1, j1, q2, p2):
+//   q1 in 0..K1, h1 in 0..m-1 (head phase; 0 when empty), j1 in 0..n;
+//   q2 in 0..K2, p2 in 0..n = repeat timer, n+1+h = serving in phase h.
+#pragma once
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/metrics.hpp"
+#include "phasetype/ph.hpp"
+
+namespace tags::models {
+
+struct TagsPhParams {
+  double lambda = 5.0;
+  ph::PhaseType service = ph::exponential(10.0);
+  double t = 50.0;
+  unsigned n = 6;
+  unsigned k1 = 10;
+  unsigned k2 = 10;
+};
+
+class TagsPhModel {
+ public:
+  explicit TagsPhModel(TagsPhParams params);
+
+  struct State {
+    unsigned q1;
+    unsigned h1;      ///< node-1 head phase (0 when q1 == 0)
+    unsigned j1;      ///< node-1 timer (n when q1 == 0)
+    unsigned q2;
+    unsigned phase2;  ///< 0..n repeat timer; n+1+h = serving in phase h
+  };
+
+  [[nodiscard]] const TagsPhParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
+
+  [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
+  [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
+
+  /// (K1*m*(n+1) + 1) * (K2*(n+1+m) + 1), m = number of PH phases.
+  [[nodiscard]] static ctmc::index_t state_count(const TagsPhParams& p) noexcept;
+
+  /// The residual initial distribution used at node 2 (exposed for tests).
+  [[nodiscard]] const linalg::Vec& residual_alpha() const noexcept {
+    return residual_alpha_;
+  }
+
+  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+  [[nodiscard]] Metrics metrics_from(const linalg::Vec& pi) const;
+  [[nodiscard]] ctmc::SteadyStateResult solve(
+      const ctmc::SteadyStateOptions& opts = {}) const;
+
+ private:
+  TagsPhParams params_;
+  linalg::Vec residual_alpha_;
+  ctmc::Ctmc chain_;
+  unsigned m_ = 0;  ///< PH phases
+  unsigned node1_states_ = 0;
+  unsigned node2_states_ = 0;
+};
+
+}  // namespace tags::models

@@ -1,0 +1,95 @@
+#include "pepa/ast.hpp"
+
+namespace tags::pepa {
+
+RateExprPtr rate_number(double v) {
+  auto e = std::make_shared<RateExpr>();
+  e->kind = RateExpr::Kind::kNumber;
+  e->number = v;
+  return e;
+}
+
+RateExprPtr rate_ident(std::string name) {
+  auto e = std::make_shared<RateExpr>();
+  e->kind = RateExpr::Kind::kIdent;
+  e->ident = std::move(name);
+  return e;
+}
+
+RateExprPtr rate_infty() {
+  auto e = std::make_shared<RateExpr>();
+  e->kind = RateExpr::Kind::kInfty;
+  return e;
+}
+
+RateExprPtr rate_binary(RateExpr::Kind op, RateExprPtr l, RateExprPtr r) {
+  auto e = std::make_shared<RateExpr>();
+  e->kind = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+RateExprPtr rate_neg(RateExprPtr inner) {
+  auto e = std::make_shared<RateExpr>();
+  e->kind = RateExpr::Kind::kNeg;
+  e->lhs = std::move(inner);
+  return e;
+}
+
+ProcPtr make_prefix(std::string action, RateExprPtr rate, ProcPtr cont) {
+  auto p = std::make_shared<Process>();
+  p->kind = Process::Kind::kPrefix;
+  p->action = std::move(action);
+  p->rate = std::move(rate);
+  p->continuation = std::move(cont);
+  return p;
+}
+
+ProcPtr make_choice(ProcPtr l, ProcPtr r) {
+  auto p = std::make_shared<Process>();
+  p->kind = Process::Kind::kChoice;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+ProcPtr make_constant(std::string name) {
+  auto p = std::make_shared<Process>();
+  p->kind = Process::Kind::kConstant;
+  p->name = std::move(name);
+  return p;
+}
+
+ProcPtr make_coop(ProcPtr l, ProcPtr r, std::vector<std::string> set) {
+  auto p = std::make_shared<Process>();
+  p->kind = Process::Kind::kCoop;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  p->action_set = std::move(set);
+  return p;
+}
+
+ProcPtr make_hide(ProcPtr inner, std::vector<std::string> set) {
+  auto p = std::make_shared<Process>();
+  p->kind = Process::Kind::kHide;
+  p->left = std::move(inner);
+  p->action_set = std::move(set);
+  return p;
+}
+
+const ProcessDef* Model::find_definition(std::string_view name) const noexcept {
+  for (const ProcessDef& d : definitions) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const ParamDef* Model::find_param(std::string_view name) const noexcept {
+  for (const ParamDef& d : params) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace tags::pepa

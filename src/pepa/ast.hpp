@@ -1,0 +1,95 @@
+// Abstract syntax for PEPA models.
+//
+// Rate expressions are symbolic (parameters are looked up at derivation
+// time) and may be "passive": a linear multiple of the unspecified-rate
+// symbol infty (the paper's ⊤). Process terms follow the PEPA grammar
+//   P ::= (alpha, r).P | P + Q | P/L | P <L> Q | A
+// with the usual two-level discipline (cooperation/hiding must not appear
+// under prefix or choice) enforced semantically, not grammatically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tags::pepa {
+
+// ---------------------------------------------------------------------------
+// Rate expressions
+// ---------------------------------------------------------------------------
+
+struct RateExpr;
+using RateExprPtr = std::shared_ptr<const RateExpr>;
+
+struct RateExpr {
+  enum class Kind { kNumber, kIdent, kInfty, kAdd, kSub, kMul, kDiv, kNeg };
+  Kind kind;
+  double number = 0.0;   // kNumber
+  std::string ident;     // kIdent
+  RateExprPtr lhs, rhs;  // binary ops; kNeg uses lhs only
+};
+
+[[nodiscard]] RateExprPtr rate_number(double v);
+[[nodiscard]] RateExprPtr rate_ident(std::string name);
+[[nodiscard]] RateExprPtr rate_infty();
+[[nodiscard]] RateExprPtr rate_binary(RateExpr::Kind op, RateExprPtr l, RateExprPtr r);
+[[nodiscard]] RateExprPtr rate_neg(RateExprPtr e);
+
+// ---------------------------------------------------------------------------
+// Process terms
+// ---------------------------------------------------------------------------
+
+struct Process;
+using ProcPtr = std::shared_ptr<const Process>;
+
+struct Process {
+  enum class Kind { kPrefix, kChoice, kConstant, kCoop, kHide };
+  Kind kind;
+
+  // kPrefix
+  std::string action;
+  RateExprPtr rate;
+  ProcPtr continuation;
+
+  // kChoice / kCoop
+  ProcPtr left, right;
+
+  // kCoop (cooperation set) / kHide (hidden set)
+  std::vector<std::string> action_set;
+
+  // kConstant
+  std::string name;
+};
+
+[[nodiscard]] ProcPtr make_prefix(std::string action, RateExprPtr rate, ProcPtr cont);
+[[nodiscard]] ProcPtr make_choice(ProcPtr l, ProcPtr r);
+[[nodiscard]] ProcPtr make_constant(std::string name);
+[[nodiscard]] ProcPtr make_coop(ProcPtr l, ProcPtr r, std::vector<std::string> set);
+[[nodiscard]] ProcPtr make_hide(ProcPtr p, std::vector<std::string> set);
+
+// ---------------------------------------------------------------------------
+// Whole model
+// ---------------------------------------------------------------------------
+
+struct ParamDef {
+  std::string name;
+  RateExprPtr value;  // may reference earlier parameters
+};
+
+struct ProcessDef {
+  std::string name;  // Uppercase-initial identifier
+  ProcPtr body;
+};
+
+/// A parsed model: parameters, process definitions, in source order. The
+/// "system equation" is a process definition chosen by name at derivation
+/// time (defaulting to the last definition, the Workbench convention).
+struct Model {
+  std::vector<ParamDef> params;
+  std::vector<ProcessDef> definitions;
+
+  [[nodiscard]] const ProcessDef* find_definition(std::string_view name) const noexcept;
+  [[nodiscard]] const ParamDef* find_param(std::string_view name) const noexcept;
+};
+
+}  // namespace tags::pepa

@@ -1,0 +1,118 @@
+// State-space derivation: from a parsed PEPA model to a labelled CTMC.
+//
+// The derivation follows Hillston's operational semantics with apparent
+// rates. A model state is the tuple of local derivatives of its sequential
+// components (the static cooperation/hiding structure never changes), so we
+//  1. intern every reachable sequential derivative ("seq term") once,
+//  2. represent a global state as a fixed-length vector of seq-term ids,
+//  3. breadth-first explore global states, deriving moves compositionally
+//     up the static structure tree with the cooperation rate law
+//        R = (r1/ra1) (r2/ra2) min(ra1, ra2),
+//     passive rates acting as infinity with probabilistic weights.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "pepa/env.hpp"
+
+namespace tags::pepa {
+
+using seq_id = std::int32_t;
+
+/// Registry of concrete (rate-evaluated) sequential terms. Terms are
+/// interned structurally, so syntactically identical derivatives share ids.
+class SeqSpace {
+ public:
+  /// Owns copies of the model and parameter table (and shares the action
+  /// table) so a DerivedModel stays self-contained after derive() returns.
+  SeqSpace(Model model, ParamTable params, std::shared_ptr<ActionTable> actions);
+
+  struct LocalTrans {
+    std::uint32_t action;
+    ConcreteRate rate;
+    seq_id target;
+  };
+
+  /// Concretise an AST term known to be sequential.
+  seq_id from_ast(const Process& p);
+
+  /// Enabled activities of a term (memoised; unfolds constants).
+  const std::vector<LocalTrans>& transitions(seq_id id);
+
+  /// Printable name: the defining constant's name when the term is a
+  /// constant reference, otherwise a rendering of the term.
+  [[nodiscard]] std::string name(seq_id id) const;
+
+  /// If the term is exactly a reference to a named constant, that name.
+  [[nodiscard]] std::optional<std::string> constant_name(seq_id id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+
+ private:
+  struct Term {
+    enum class Kind { kPrefix, kChoice, kConst } kind;
+    // kPrefix
+    std::uint32_t action = 0;
+    ConcreteRate rate;
+    seq_id cont = -1;
+    // kChoice
+    seq_id left = -1, right = -1;
+    // kConst
+    std::int32_t def_index = -1;
+  };
+
+  seq_id intern(Term t, std::string key);
+  const std::vector<LocalTrans>& transitions_impl(seq_id id, std::vector<char>& visiting);
+
+  Model model_;
+  ParamTable params_;
+  std::shared_ptr<ActionTable> actions_;
+  std::vector<Term> terms_;
+  std::vector<std::optional<std::vector<LocalTrans>>> trans_memo_;
+  std::unordered_map<std::string, seq_id> interned_;
+  std::vector<std::string> alias_stack_;  // guards A = B; B = A; cycles
+};
+
+/// Options for derive().
+struct DeriveOptions {
+  std::size_t max_states = 5'000'000;
+  /// Parameter overrides applied on top of the model's own definitions.
+  std::vector<std::pair<std::string, double>> param_overrides;
+};
+
+/// The derived model: CTMC plus the state <-> local-derivative mapping.
+struct DerivedModel {
+  ctmc::Ctmc chain;
+  /// states[i] = local derivative (seq-term id) of each sequential
+  /// component, in left-to-right static order; state 0 is the initial state.
+  std::vector<std::vector<seq_id>> states;
+  std::shared_ptr<SeqSpace> seq;
+  std::shared_ptr<ActionTable> actions;
+  std::size_t n_components = 0;
+
+  /// Printable local derivative of component `leaf` in state `state`.
+  [[nodiscard]] std::string local_name(std::size_t state, std::size_t leaf) const;
+
+  /// Reward vector: for each state, how many components are currently in a
+  /// derivative whose printable name equals `derivative`. This implements
+  /// the population counting the paper's Section 3.1 relies on.
+  [[nodiscard]] linalg::Vec population_reward(std::string_view derivative) const;
+
+  /// Reward vector from an arbitrary per-state function of local names.
+  [[nodiscard]] linalg::Vec state_reward(
+      const std::function<double(const std::vector<seq_id>&)>& f) const;
+};
+
+/// Derive the CTMC of `system_name` (or the model's last definition when
+/// empty). Throws SemanticError on undefined names, passive actions
+/// escaping to the top level, unguarded recursion, or state-space blowup.
+[[nodiscard]] DerivedModel derive(const Model& model, std::string_view system_name = {},
+                                  const DeriveOptions& opts = {});
+
+}  // namespace tags::pepa

@@ -1,0 +1,205 @@
+#include "pepa/env.hpp"
+
+#include <cmath>
+
+namespace tags::pepa {
+
+namespace {
+
+/// Rate values form a linear space over {1, infty}: v + w*infty. Products
+/// may not multiply two infty terms; divisions may not divide by infty.
+struct LinRate {
+  double value = 0.0;
+  double infty = 0.0;
+};
+
+LinRate eval_lin(const RateExpr& e, const ParamTable& params) {
+  using K = RateExpr::Kind;
+  switch (e.kind) {
+    case K::kNumber: return {e.number, 0.0};
+    case K::kIdent: return {params.value(e.ident), 0.0};
+    case K::kInfty: return {0.0, 1.0};
+    case K::kNeg: {
+      const LinRate a = eval_lin(*e.lhs, params);
+      return {-a.value, -a.infty};
+    }
+    case K::kAdd: {
+      const LinRate a = eval_lin(*e.lhs, params);
+      const LinRate b = eval_lin(*e.rhs, params);
+      return {a.value + b.value, a.infty + b.infty};
+    }
+    case K::kSub: {
+      const LinRate a = eval_lin(*e.lhs, params);
+      const LinRate b = eval_lin(*e.rhs, params);
+      return {a.value - b.value, a.infty - b.infty};
+    }
+    case K::kMul: {
+      const LinRate a = eval_lin(*e.lhs, params);
+      const LinRate b = eval_lin(*e.rhs, params);
+      if (a.infty != 0.0 && b.infty != 0.0) {
+        throw SemanticError("rate expression multiplies infty by infty");
+      }
+      if (a.infty != 0.0) return {0.0, a.infty * b.value};
+      if (b.infty != 0.0) return {0.0, b.infty * a.value};
+      return {a.value * b.value, 0.0};
+    }
+    case K::kDiv: {
+      const LinRate a = eval_lin(*e.lhs, params);
+      const LinRate b = eval_lin(*e.rhs, params);
+      if (b.infty != 0.0) throw SemanticError("rate expression divides by infty");
+      if (b.value == 0.0) throw SemanticError("rate expression divides by zero");
+      return {a.value / b.value, a.infty / b.value};
+    }
+  }
+  throw SemanticError("corrupt rate expression");
+}
+
+}  // namespace
+
+ActionTable::ActionTable() {
+  names_.emplace_back("tau");
+  ids_.emplace("tau", 0);
+}
+
+std::uint32_t ActionTable::intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::int64_t ActionTable::find(std::string_view name) const noexcept {
+  const auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? -1 : static_cast<std::int64_t>(it->second);
+}
+
+ParamTable::ParamTable(const Model& model) {
+  // Evaluate in definition order so later parameters can use earlier ones.
+  for (const ParamDef& p : model.params) {
+    if (values_.contains(p.name)) {
+      throw SemanticError("parameter '" + p.name + "' defined twice");
+    }
+    const ConcreteRate r = eval_rate(*p.value, *this);
+    if (r.passive) {
+      throw SemanticError("parameter '" + p.name + "' evaluates to a passive rate");
+    }
+    values_.emplace(p.name, r.value);
+  }
+}
+
+double ParamTable::value(std::string_view name) const {
+  const auto it = values_.find(std::string(name));
+  if (it == values_.end()) {
+    throw SemanticError("unknown rate parameter '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool ParamTable::contains(std::string_view name) const noexcept {
+  return values_.contains(std::string(name));
+}
+
+void ParamTable::set(std::string name, double value) {
+  values_[std::move(name)] = value;
+}
+
+ConcreteRate eval_rate(const RateExpr& expr, const ParamTable& params) {
+  const auto lin = eval_lin(expr, params);
+  if (lin.infty != 0.0) {
+    if (lin.value != 0.0) {
+      throw SemanticError("rate expression mixes a finite part with infty");
+    }
+    if (lin.infty <= 0.0 || !std::isfinite(lin.infty)) {
+      throw SemanticError("passive weight must be positive and finite");
+    }
+    return ConcreteRate::make_passive(lin.infty);
+  }
+  if (!(lin.value > 0.0) || !std::isfinite(lin.value)) {
+    throw SemanticError("activity rate must be positive and finite (got " +
+                        std::to_string(lin.value) + ")");
+  }
+  return ConcreteRate::active(lin.value);
+}
+
+namespace {
+
+enum class Mark { kInProgress, kSequential, kComposite };
+
+class Classifier {
+ public:
+  explicit Classifier(const Model& model) : model_(model) {}
+
+  ProcClass classify_def(const std::string& name) {
+    const auto it = marks_.find(name);
+    if (it != marks_.end()) {
+      // Recursion through a definition under classification: legal only for
+      // sequential components (e.g. P = (a,r).P). Assume sequential; a
+      // composite body will override and be caught below.
+      if (it->second == Mark::kInProgress) return ProcClass::kSequential;
+      return it->second == Mark::kSequential ? ProcClass::kSequential
+                                             : ProcClass::kComposite;
+    }
+    const ProcessDef* def = model_.find_definition(name);
+    if (def == nullptr) {
+      throw SemanticError("undefined process constant '" + name + "'");
+    }
+    marks_[name] = Mark::kInProgress;
+    const ProcClass c = classify(*def->body);
+    marks_[name] = c == ProcClass::kSequential ? Mark::kSequential : Mark::kComposite;
+    return c;
+  }
+
+  ProcClass classify(const Process& p) {
+    using K = Process::Kind;
+    switch (p.kind) {
+      case K::kPrefix: {
+        const ProcClass c = classify(*p.continuation);
+        if (c == ProcClass::kComposite) {
+          throw SemanticError("cooperation/hiding under an activity prefix ('" +
+                              p.action + "') violates PEPA's grammar");
+        }
+        return ProcClass::kSequential;
+      }
+      case K::kChoice: {
+        if (classify(*p.left) == ProcClass::kComposite ||
+            classify(*p.right) == ProcClass::kComposite) {
+          throw SemanticError("cooperation/hiding under '+' violates PEPA's grammar");
+        }
+        return ProcClass::kSequential;
+      }
+      case K::kConstant: return classify_def(p.name);
+      case K::kCoop: {
+        classify(*p.left);
+        classify(*p.right);
+        return ProcClass::kComposite;
+      }
+      case K::kHide: {
+        classify(*p.left);
+        return ProcClass::kComposite;
+      }
+    }
+    throw SemanticError("corrupt process term");
+  }
+
+  std::unordered_map<std::string, Mark> marks_;
+
+ private:
+  const Model& model_;
+};
+
+}  // namespace
+
+std::unordered_map<std::string, ProcClass> classify_definitions(const Model& model) {
+  Classifier cl(model);
+  for (const ProcessDef& d : model.definitions) cl.classify_def(d.name);
+  std::unordered_map<std::string, ProcClass> out;
+  for (const auto& [name, mark] : cl.marks_) {
+    out.emplace(name, mark == Mark::kComposite ? ProcClass::kComposite
+                                               : ProcClass::kSequential);
+  }
+  return out;
+}
+
+}  // namespace tags::pepa

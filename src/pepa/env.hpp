@@ -1,0 +1,79 @@
+// Semantic environment for a parsed PEPA model: parameter evaluation,
+// action interning, rate evaluation (with passive arithmetic), and the
+// sequential/composite classification that enforces PEPA's two-level
+// grammar discipline.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pepa/ast.hpp"
+
+namespace tags::pepa {
+
+class SemanticError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A rate that is either active (finite value > 0) or passive (a weight on
+/// the unspecified-rate symbol infty).
+struct ConcreteRate {
+  bool passive = false;
+  double value = 0.0;  ///< active rate, or passive weight
+
+  [[nodiscard]] static ConcreteRate active(double v) { return {false, v}; }
+  [[nodiscard]] static ConcreteRate make_passive(double w) { return {true, w}; }
+};
+
+/// Interned action names. Id 0 is always "tau" (the hidden action).
+class ActionTable {
+ public:
+  ActionTable();
+  std::uint32_t intern(std::string_view name);
+  [[nodiscard]] const std::string& name(std::uint32_t id) const { return names_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  /// -1 when unknown.
+  [[nodiscard]] std::int64_t find(std::string_view name) const noexcept;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+inline constexpr std::uint32_t kTauAction = 0;
+
+/// Evaluated parameter table. Parameters may reference earlier parameters;
+/// cycles and unknown names raise SemanticError.
+class ParamTable {
+ public:
+  explicit ParamTable(const Model& model);
+  [[nodiscard]] double value(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  /// Override a parameter after construction (used to re-derive a model at
+  /// a different parameter point without reparsing).
+  void set(std::string name, double value);
+
+ private:
+  std::unordered_map<std::string, double> values_;
+};
+
+/// Evaluate a rate expression to a concrete rate. Passive rates must be of
+/// the form w * infty with w > 0; active rates must be > 0 and finite.
+[[nodiscard]] ConcreteRate eval_rate(const RateExpr& expr, const ParamTable& params);
+
+/// PEPA two-level classification.
+enum class ProcClass { kSequential, kComposite };
+
+/// Classify every process definition of the model and check discipline:
+/// cooperation/hiding may not occur under prefix or choice, and recursion
+/// through cooperation is rejected. Returns per-definition classes keyed by
+/// definition name.
+[[nodiscard]] std::unordered_map<std::string, ProcClass> classify_definitions(
+    const Model& model);
+
+}  // namespace tags::pepa

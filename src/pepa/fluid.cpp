@@ -1,0 +1,277 @@
+#include "pepa/fluid.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "pepa/parser.hpp"
+
+namespace tags::pepa {
+
+namespace {
+
+/// Flatten the system equation into sequential leaves (with the composite
+/// constants expanded) and the union of all cooperation-set action names.
+struct Flattener {
+  const Model& model;
+  const std::unordered_map<std::string, ProcClass>& classes;
+  std::vector<const Process*> leaves;
+  std::set<std::string> coop_actions;
+  std::vector<std::string> expansion_stack;
+
+  void walk(const Process& p) {
+    using K = Process::Kind;
+    switch (p.kind) {
+      case K::kCoop:
+        for (const std::string& a : p.action_set) coop_actions.insert(a);
+        walk(*p.left);
+        walk(*p.right);
+        return;
+      case K::kHide:
+        throw SemanticError("fluid translation does not support hiding");
+      case K::kConstant: {
+        const auto it = classes.find(p.name);
+        if (it != classes.end() && it->second == ProcClass::kComposite) {
+          if (std::find(expansion_stack.begin(), expansion_stack.end(), p.name) !=
+              expansion_stack.end()) {
+            throw SemanticError("recursive composite constant '" + p.name + "'");
+          }
+          const ProcessDef* def = model.find_definition(p.name);
+          expansion_stack.push_back(p.name);
+          walk(*def->body);
+          expansion_stack.pop_back();
+          return;
+        }
+        leaves.push_back(&p);
+        return;
+      }
+      case K::kPrefix:
+      case K::kChoice:
+        leaves.push_back(&p);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+FluidModel::FluidModel(const Model& model, std::string_view system_name,
+                       const DeriveOptions& opts) {
+  if (model.definitions.empty()) {
+    throw SemanticError("model has no process definitions");
+  }
+  const ProcessDef* system = system_name.empty() ? &model.definitions.back()
+                                                 : model.find_definition(system_name);
+  if (system == nullptr) {
+    throw SemanticError("unknown system equation '" + std::string(system_name) + "'");
+  }
+  const auto classes = classify_definitions(model);
+  ParamTable params(model);
+  for (const auto& [k, v] : opts.param_overrides) params.set(k, v);
+  actions_ = std::make_shared<ActionTable>();
+  seq_ = std::make_shared<SeqSpace>(model, params, actions_);
+
+  Flattener fl{model, classes, {}, {}, {}};
+  const ProcPtr root = make_constant(system->name);
+  fl.walk(classes.at(system->name) == ProcClass::kComposite ? *system->body : *root);
+
+  // Merge identical leaves (same initial derivative) into population groups.
+  std::vector<seq_id> initials;
+  for (const Process* leaf : fl.leaves) initials.push_back(seq_->from_ast(*leaf));
+  for (seq_id init : initials) {
+    bool merged = false;
+    for (FluidGroup& g : groups_) {
+      if (g.initial == init) {
+        ++g.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      FluidGroup g;
+      g.initial = init;
+      groups_.push_back(g);
+    }
+  }
+
+  // Reachable local derivatives per group (BFS over local transitions).
+  var_index_.resize(groups_.size());
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    FluidGroup& g = groups_[gi];
+    std::queue<seq_id> frontier;
+    std::set<seq_id> seen{g.initial};
+    frontier.push(g.initial);
+    while (!frontier.empty()) {
+      const seq_id s = frontier.front();
+      frontier.pop();
+      g.derivatives.push_back(s);
+      for (const SeqSpace::LocalTrans& tr : seq_->transitions(s)) {
+        if (seen.insert(tr.target).second) frontier.push(tr.target);
+      }
+    }
+    std::sort(g.derivatives.begin(), g.derivatives.end());
+    for (seq_id s : g.derivatives) {
+      var_index_[gi].emplace_back(s, dim_++);
+    }
+  }
+
+  // Synced action ids.
+  std::set<std::uint32_t> synced;
+  for (const std::string& a : fl.coop_actions) synced.insert(actions_->intern(a));
+
+  // Collect per-(group, action) moves.
+  struct GroupMoves {
+    std::vector<LocalMove> active;
+    std::vector<LocalMove> passive;
+  };
+  // action -> group -> moves
+  std::map<std::uint32_t, std::map<std::size_t, GroupMoves>> by_action;
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    for (seq_id s : groups_[gi].derivatives) {
+      for (const SeqSpace::LocalTrans& tr : seq_->transitions(s)) {
+        LocalMove mv;
+        mv.group = gi;
+        mv.var_from = static_cast<std::size_t>(variable(gi, s));
+        mv.var_to = static_cast<std::size_t>(variable(gi, tr.target));
+        mv.rate_or_weight = tr.rate.value;
+        mv.passive = tr.rate.passive;
+        auto& slot = by_action[tr.action][gi];
+        (mv.passive ? slot.passive : slot.active).push_back(mv);
+      }
+    }
+  }
+
+  // Build the fluid transition classes.
+  for (auto& [action, group_moves] : by_action) {
+    const bool is_synced = synced.contains(action);
+    if (!is_synced) {
+      for (auto& [gi, moves] : group_moves) {
+        if (!moves.passive.empty()) {
+          throw SemanticError("passive action '" + actions_->name(action) +
+                              "' is not synchronised with any active partner");
+        }
+        ActionClass cls;
+        cls.action = action;
+        cls.active_group = gi;
+        cls.active_moves = moves.active;
+        cls.synced = false;
+        classes_.push_back(std::move(cls));
+      }
+      continue;
+    }
+    ActionClass cls;
+    cls.action = action;
+    cls.synced = true;
+    std::size_t n_active_groups = 0;
+    for (auto& [gi, moves] : group_moves) {
+      if (!moves.active.empty() && !moves.passive.empty()) {
+        throw SemanticError("group mixes active and passive '" +
+                            actions_->name(action) + "' moves");
+      }
+      if (!moves.active.empty()) {
+        ++n_active_groups;
+        cls.active_group = gi;
+        cls.active_moves = moves.active;
+      } else {
+        cls.passive_groups.push_back(gi);
+        std::set<std::size_t> sources;
+        for (const LocalMove& mv : moves.passive) {
+          cls.passive_moves.push_back(mv);
+          sources.insert(mv.var_from);
+        }
+        cls.passive_sources.emplace_back(sources.begin(), sources.end());
+      }
+    }
+    if (n_active_groups == 0) {
+      throw SemanticError("synchronised action '" + actions_->name(action) +
+                          "' has no active participant");
+    }
+    if (n_active_groups > 1) {
+      throw SemanticError(
+          "fluid translation requires a unique active participant for '" +
+          actions_->name(action) + "' (found " + std::to_string(n_active_groups) + ")");
+    }
+    classes_.push_back(std::move(cls));
+  }
+}
+
+std::int64_t FluidModel::variable(std::size_t group, seq_id derivative) const {
+  for (const auto& [s, idx] : var_index_[group]) {
+    if (s == derivative) return static_cast<std::int64_t>(idx);
+  }
+  return -1;
+}
+
+fluid::Vec FluidModel::initial() const {
+  fluid::Vec x(dim_, 0.0);
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    x[static_cast<std::size_t>(variable(gi, groups_[gi].initial))] =
+        static_cast<double>(groups_[gi].count);
+  }
+  return x;
+}
+
+fluid::OdeRhs FluidModel::rhs() const {
+  // Capture by value: the classes table is the whole semantics.
+  const std::vector<ActionClass> classes = classes_;
+  return [classes](double /*t*/, const fluid::Vec& x, fluid::Vec& dx) {
+    std::fill(dx.begin(), dx.end(), 0.0);
+    const auto pop = [&x](std::size_t v) { return std::max(x[v], 0.0); };
+    for (const ActionClass& cls : classes) {
+      // Passive gate: every passive participant must have someone enabled.
+      double gate = 1.0;
+      for (const auto& sources : cls.passive_sources) {
+        double enabled = 0.0;
+        for (std::size_t v : sources) enabled += pop(v);
+        gate = std::min(gate, enabled);
+        if (gate <= 0.0) break;
+      }
+      if (gate <= 0.0) continue;
+      // Active flows: rate r * x_from, scaled by the gate.
+      double total_rate = 0.0;
+      for (const LocalMove& mv : cls.active_moves) {
+        const double flow = gate * mv.rate_or_weight * pop(mv.var_from);
+        if (flow <= 0.0) continue;
+        total_rate += flow;
+        dx[mv.var_from] -= flow;
+        dx[mv.var_to] += flow;
+      }
+      if (total_rate <= 0.0 || cls.passive_moves.empty()) continue;
+      // Passive flows: the total rate distributed over enabled passive
+      // moves proportionally to weight * population, per passive group.
+      for (std::size_t pg = 0; pg < cls.passive_groups.size(); ++pg) {
+        double denom = 0.0;
+        for (const LocalMove& mv : cls.passive_moves) {
+          if (mv.group == cls.passive_groups[pg]) {
+            denom += mv.rate_or_weight * pop(mv.var_from);
+          }
+        }
+        if (denom <= 0.0) continue;
+        for (const LocalMove& mv : cls.passive_moves) {
+          if (mv.group != cls.passive_groups[pg]) continue;
+          const double flow =
+              total_rate * (mv.rate_or_weight * pop(mv.var_from)) / denom;
+          dx[mv.var_from] -= flow;
+          dx[mv.var_to] += flow;
+        }
+      }
+    }
+  };
+}
+
+double FluidModel::population(const fluid::Vec& x, std::string_view name) const {
+  double acc = 0.0;
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    for (const auto& [s, idx] : var_index_[gi]) {
+      if (seq_->name(s) == name) acc += x[idx];
+    }
+  }
+  return acc;
+}
+
+fluid::SteadyStateOde FluidModel::steady_state(double tol) const {
+  return fluid::integrate_to_steady(rhs(), initial(), tol, 1e5);
+}
+
+}  // namespace tags::pepa

@@ -1,0 +1,99 @@
+// Fluid-flow (population/ODE) translation of PEPA models — the analysis
+// route of Section 3.1 (Hillston, QEST 2005; the Dizzy tool): instead of
+// deriving the CTMC, count how many components of each kind sit in each
+// local derivative and integrate mean-field ODEs. State-space cost becomes
+// independent of bank sizes, which is exactly why the paper introduces the
+// place-per-slot model of Figure 4.
+//
+// Supported model shape (checked, SemanticError otherwise):
+//   * the system equation is a cooperation tree whose leaves are sequential
+//     components; leaves combined by "<>"/"||" with IDENTICAL initial
+//     derivatives are merged into one population group;
+//   * for every synchronised action, at most ONE group participates with
+//     active rates — all other participants must be passive (this covers
+//     the queueing idiom of Figure 4, where queue slots are passive and
+//     servers/timers carry the rates).
+//
+// Semantics: for each action a the fluid rate is
+//   rate_a(x) = R_act(a, x) * prod_{passive groups} min(1, enabled_a(x))
+// where R_act is the active group's apparent rate (sum over enabled local
+// transitions of rate * population) and enabled_a counts passive-enabled
+// components. Flows distribute proportionally within each group. Gating
+// passive participation with min(1, .) is the usual mean-field closure; it
+// is exact for independent banks and an approximation under contention.
+#pragma once
+
+#include "fluid/ode.hpp"
+#include "pepa/derivation.hpp"
+
+namespace tags::pepa {
+
+/// A population group: `count` identical sequential components, with
+/// `derivatives` listing the reachable local states (seq ids).
+struct FluidGroup {
+  unsigned count = 1;
+  std::vector<seq_id> derivatives;
+  seq_id initial = -1;
+};
+
+class FluidModel {
+ public:
+  /// Translate. `system_name` empty = last definition.
+  FluidModel(const Model& model, std::string_view system_name = {},
+             const DeriveOptions& opts = {});
+
+  [[nodiscard]] const std::vector<FluidGroup>& groups() const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// Initial condition: each group's full population in its initial
+  /// derivative.
+  [[nodiscard]] fluid::Vec initial() const;
+
+  /// The ODE right-hand side dx/dt = f(x).
+  [[nodiscard]] fluid::OdeRhs rhs() const;
+
+  /// Index of the population variable for (group, derivative), -1 if the
+  /// derivative is not reachable in that group.
+  [[nodiscard]] std::int64_t variable(std::size_t group, seq_id derivative) const;
+
+  /// Total population over all groups currently in a derivative whose
+  /// printable name equals `name` (mirrors DerivedModel::population_reward).
+  [[nodiscard]] double population(const fluid::Vec& x, std::string_view name) const;
+
+  /// Printable name of a local derivative.
+  [[nodiscard]] std::string derivative_name(seq_id id) const { return seq_->name(id); }
+
+  /// Fixed point by integration (thin wrapper over fluid::integrate_to_steady).
+  [[nodiscard]] fluid::SteadyStateOde steady_state(double tol = 1e-6) const;
+
+ private:
+  struct LocalMove {
+    std::size_t group;
+    std::size_t var_from;   // variable indices
+    std::size_t var_to;
+    double rate_or_weight;  // active rate, or passive weight
+    bool passive;
+  };
+  /// One fluid transition class per action id.
+  struct ActionClass {
+    std::uint32_t action;
+    std::size_t active_group;              // the unique active participant
+    std::vector<LocalMove> active_moves;   // its enabled local transitions
+    std::vector<std::size_t> passive_groups;
+    std::vector<LocalMove> passive_moves;  // all passive participants' moves
+    /// Distinct source variables per passive group (for the min(1, .) gate).
+    std::vector<std::vector<std::size_t>> passive_sources;
+    bool synced = false;                   // false => purely local action
+  };
+
+  std::shared_ptr<ActionTable> actions_;
+  std::shared_ptr<SeqSpace> seq_;
+  std::vector<FluidGroup> groups_;
+  std::vector<std::vector<std::pair<seq_id, std::size_t>>> var_index_;  // per group
+  std::size_t dim_ = 0;
+  std::vector<ActionClass> classes_;
+};
+
+}  // namespace tags::pepa

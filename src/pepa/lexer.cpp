@@ -1,0 +1,180 @@
+#include "pepa/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace tags::pepa {
+
+const char* token_kind_name(TokenKind k) noexcept {
+  switch (k) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kInfty: return "infty";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kParallel: return "'||'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const noexcept {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+[[noreturn]] void fail(const Cursor& c, const std::string& msg) {
+  throw LexError("lex error at " + std::to_string(c.line()) + ":" +
+                 std::to_string(c.column()) + ": " + msg);
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor c(source);
+
+  const auto push = [&](TokenKind k, std::string text = {}, double num = 0.0) {
+    out.push_back({k, std::move(text), num, c.line(), c.column()});
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+    // Comments.
+    if (ch == '#' || ch == '%' || (ch == '/' && c.peek(1) == '/')) {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!(c.peek() == '*' && c.peek(1) == '/')) {
+        if (c.done()) fail(c, "unterminated block comment");
+        c.advance();
+      }
+      c.advance();
+      c.advance();
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      const std::size_t start = c.pos();
+      while (std::isalnum(static_cast<unsigned char>(c.peek())) || c.peek() == '_' ||
+             c.peek() == '\'') {
+        c.advance();
+      }
+      std::string text(c.slice(start));
+      if (text == "infty" || text == "T") {
+        push(TokenKind::kInfty, std::move(text));
+      } else {
+        push(TokenKind::kIdent, std::move(text));
+      }
+      continue;
+    }
+    // Numbers (digits, optional fraction and exponent).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      const std::size_t start = c.pos();
+      while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+      if (c.peek() == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1)))) {
+        c.advance();
+        while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+      }
+      if (c.peek() == 'e' || c.peek() == 'E') {
+        const char sign = c.peek(1);
+        const char digit = (sign == '+' || sign == '-') ? c.peek(2) : sign;
+        if (std::isdigit(static_cast<unsigned char>(digit))) {
+          c.advance();  // e
+          if (c.peek() == '+' || c.peek() == '-') c.advance();
+          while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+        }
+      }
+      const std::string_view text = c.slice(start);
+      double value = 0.0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        fail(c, "bad number literal '" + std::string(text) + "'");
+      }
+      push(TokenKind::kNumber, std::string(text), value);
+      continue;
+    }
+    // Operators.
+    c.advance();
+    switch (ch) {
+      case '=': push(TokenKind::kEquals); break;
+      case ';': push(TokenKind::kSemicolon); break;
+      case '(': push(TokenKind::kLParen); break;
+      case ')': push(TokenKind::kRParen); break;
+      case ',': push(TokenKind::kComma); break;
+      case '.': push(TokenKind::kDot); break;
+      case '+': push(TokenKind::kPlus); break;
+      case '-': push(TokenKind::kMinus); break;
+      case '*': push(TokenKind::kStar); break;
+      case '/': push(TokenKind::kSlash); break;
+      case '<': push(TokenKind::kLAngle); break;
+      case '>': push(TokenKind::kRAngle); break;
+      case '{': push(TokenKind::kLBrace); break;
+      case '}': push(TokenKind::kRBrace); break;
+      case '|':
+        if (c.peek() == '|') {
+          c.advance();
+          push(TokenKind::kParallel);
+        } else {
+          fail(c, "stray '|' (did you mean '||'?)");
+        }
+        break;
+      default:
+        fail(c, std::string("unexpected character '") + ch + "'");
+    }
+  }
+  out.push_back({TokenKind::kEof, {}, 0.0, c.line(), c.column()});
+  return out;
+}
+
+}  // namespace tags::pepa

@@ -1,0 +1,25 @@
+// Hand-written lexer for PEPA model text.
+//
+// Comment styles accepted: `//`, `#`, and `%` to end of line, plus
+// `/* ... */` blocks (the PEPA Workbench uses `%`).
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "pepa/token.hpp"
+
+namespace tags::pepa {
+
+/// Raised on malformed input (bad characters, unterminated comments, bad
+/// numbers). what() includes line/column.
+class LexError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Tokenise the whole input. The result always ends with a kEof token.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace tags::pepa

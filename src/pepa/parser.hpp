@@ -1,0 +1,42 @@
+// Recursive-descent parser for PEPA model text.
+//
+// Naming convention (PEPA Workbench style): identifiers starting with a
+// lowercase letter are rate parameters or action names; identifiers
+// starting with an uppercase letter are process constants. A top-level
+// definition `x = <expr>;` is a parameter when x is lowercase and a process
+// definition when x is uppercase.
+//
+// Grammar (informal):
+//   model    := definition*
+//   defn     := IDENT '=' (rate_expr | proc) ';'
+//   proc     := hideterm (coop_op hideterm)*          -- left associative
+//   coop_op  := '<' [ names ] '>' | '||'
+//   hideterm := sum ('/' '{' names '}')*
+//   sum      := seq ('+' seq)*
+//   seq      := '(' IDENT ',' rate_expr ')' '.' seq   -- prefix
+//             | '(' proc ')'
+//             | IDENT                                  -- constant
+//   rate_expr: usual arithmetic on numbers/idents, with `infty` (or `T`)
+//              usable so that the whole expression is w * infty for a
+//              positive weight w (checked at evaluation time).
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "pepa/ast.hpp"
+
+namespace tags::pepa {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a whole model. Throws LexError / ParseError on bad input.
+[[nodiscard]] Model parse_model(std::string_view source);
+
+/// Parse a single process expression (for tests / tools).
+[[nodiscard]] ProcPtr parse_process(std::string_view source);
+
+}  // namespace tags::pepa

@@ -1,0 +1,22 @@
+// Pretty-printing of PEPA terms and models (debugging, round-trip tests,
+// and generated model sources).
+#pragma once
+
+#include <string>
+
+#include "pepa/ast.hpp"
+
+namespace tags::pepa {
+
+/// Compact numeric formatting: integers print without a decimal point,
+/// everything else with enough digits to round-trip.
+[[nodiscard]] std::string format_rate(double v);
+
+[[nodiscard]] std::string to_string(const RateExpr& e);
+[[nodiscard]] std::string to_string(const Process& p);
+
+/// Full model source (parameters, then definitions, in order). The output
+/// re-parses to an equivalent model.
+[[nodiscard]] std::string to_source(const Model& m);
+
+}  // namespace tags::pepa

@@ -1,0 +1,43 @@
+// Convenience layer: solve a derived PEPA model and query the measures the
+// paper uses (population means, action throughputs, probabilities).
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "ctmc/measures.hpp"
+#include "ctmc/steady_state.hpp"
+#include "pepa/derivation.hpp"
+
+namespace tags::pepa {
+
+/// A derived model together with its stationary distribution.
+struct SolvedModel {
+  DerivedModel model;
+  linalg::Vec pi;
+  ctmc::SteadyStateResult solve_info;
+
+  /// Mean number of components currently in the named local derivative.
+  [[nodiscard]] double population_mean(std::string_view derivative) const;
+
+  /// Steady-state throughput of an action (by name), counting self-loops.
+  [[nodiscard]] double action_throughput(std::string_view action) const;
+
+  /// Probability that the state satisfies a predicate over local
+  /// derivatives (given as seq-term ids; use model.seq->name to match).
+  [[nodiscard]] double state_probability(
+      const std::function<bool(const std::vector<seq_id>&)>& pred) const;
+};
+
+/// Derive (if needed) and solve for the stationary distribution. Throws
+/// SemanticError when the model fails validation (deadlock / reducible).
+[[nodiscard]] SolvedModel solve(DerivedModel dm,
+                                const ctmc::SteadyStateOptions& opts = {});
+
+/// One-stop: parse text -> derive -> solve.
+[[nodiscard]] SolvedModel solve_source(std::string_view source,
+                                       std::string_view system_name = {},
+                                       const DeriveOptions& dopts = {},
+                                       const ctmc::SteadyStateOptions& sopts = {});
+
+}  // namespace tags::pepa

@@ -1,0 +1,41 @@
+// Token stream for the PEPA surface syntax.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tags::pepa {
+
+enum class TokenKind {
+  kIdent,     // names: lowercase = rates/actions, Uppercase = process constants
+  kNumber,    // floating literal
+  kInfty,     // the passive rate symbol ("infty" keyword or "T")
+  kEquals,    // =
+  kSemicolon, // ;
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kDot,       // .
+  kPlus,      // +
+  kMinus,     // -
+  kStar,      // *
+  kSlash,     // /
+  kLAngle,    // <
+  kRAngle,    // >
+  kLBrace,    // {
+  kRBrace,    // }
+  kParallel,  // ||
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier text / raw number
+  double number = 0.0;   // value when kind == kNumber
+  std::size_t line = 0;  // 1-based
+  std::size_t column = 0;
+};
+
+[[nodiscard]] const char* token_kind_name(TokenKind k) noexcept;
+
+}  // namespace tags::pepa

@@ -1,0 +1,136 @@
+#include "pepa/validate.hpp"
+
+#include <set>
+#include <unordered_set>
+
+#include "ctmc/reachability.hpp"
+
+namespace tags::pepa {
+
+namespace {
+
+/// Syntactic action alphabet of a process (through constants, to fixpoint).
+void collect_alphabet(const Model& model, const Process& p,
+                      std::set<std::string>& out,
+                      std::unordered_set<std::string>& seen_consts) {
+  using K = Process::Kind;
+  switch (p.kind) {
+    case K::kPrefix:
+      out.insert(p.action);
+      collect_alphabet(model, *p.continuation, out, seen_consts);
+      break;
+    case K::kChoice:
+    case K::kCoop:
+      collect_alphabet(model, *p.left, out, seen_consts);
+      collect_alphabet(model, *p.right, out, seen_consts);
+      break;
+    case K::kHide:
+      collect_alphabet(model, *p.left, out, seen_consts);
+      break;
+    case K::kConstant: {
+      if (!seen_consts.insert(p.name).second) return;
+      const ProcessDef* def = model.find_definition(p.name);
+      if (def != nullptr) collect_alphabet(model, *def->body, out, seen_consts);
+      break;
+    }
+  }
+}
+
+std::set<std::string> alphabet(const Model& model, const Process& p) {
+  std::set<std::string> out;
+  std::unordered_set<std::string> seen;
+  collect_alphabet(model, p, out, seen);
+  return out;
+}
+
+void check_coop_sets(const Model& model, const Process& p, ValidationReport& report) {
+  using K = Process::Kind;
+  switch (p.kind) {
+    case K::kPrefix:
+      check_coop_sets(model, *p.continuation, report);
+      break;
+    case K::kChoice:
+      check_coop_sets(model, *p.left, report);
+      check_coop_sets(model, *p.right, report);
+      break;
+    case K::kCoop: {
+      const std::set<std::string> left = alphabet(model, *p.left);
+      const std::set<std::string> right = alphabet(model, *p.right);
+      for (const std::string& a : p.action_set) {
+        if (!left.contains(a) && !right.contains(a)) {
+          report.add("cooperation set names action '" + a +
+                     "' which neither cooperand can ever perform");
+        } else if (!left.contains(a) || !right.contains(a)) {
+          // One-sided synchronisation permanently blocks the action — almost
+          // always a modelling slip worth flagging.
+          report.add("action '" + a +
+                     "' is synchronised but only one cooperand can perform it; "
+                     "it will be blocked forever");
+        }
+      }
+      check_coop_sets(model, *p.left, report);
+      check_coop_sets(model, *p.right, report);
+      break;
+    }
+    case K::kHide:
+      check_coop_sets(model, *p.left, report);
+      break;
+    case K::kConstant:
+      break;  // handled when its definition is visited
+  }
+}
+
+}  // namespace
+
+ValidationReport check_model(const Model& model) {
+  ValidationReport report;
+  if (model.definitions.empty()) {
+    report.add("model defines no processes");
+    return report;
+  }
+  // Parameter evaluation + two-level discipline + defined constants.
+  try {
+    const ParamTable params(model);
+    (void)params;
+  } catch (const SemanticError& e) {
+    report.add(e.what());
+  }
+  try {
+    (void)classify_definitions(model);
+  } catch (const SemanticError& e) {
+    report.add(e.what());
+    return report;  // further checks would cascade
+  }
+  for (const ProcessDef& d : model.definitions) {
+    check_coop_sets(model, *d.body, report);
+  }
+  return report;
+}
+
+ValidationReport check_derived(const DerivedModel& dm) {
+  ValidationReport report;
+  if (dm.chain.n_states() == 0) {
+    report.add("derived chain has no states");
+    return report;
+  }
+  if (!dm.chain.is_valid_generator()) {
+    report.add("generator matrix is malformed (row sums / signs)");
+  }
+  const auto dead = ctmc::absorbing_states(dm.chain);
+  for (const auto s : dead) {
+    std::string desc = "deadlock state #" + std::to_string(s) + ": (";
+    for (std::size_t l = 0; l < dm.states[static_cast<std::size_t>(s)].size(); ++l) {
+      if (l > 0) desc += ", ";
+      desc += dm.local_name(static_cast<std::size_t>(s), l);
+    }
+    desc += ")";
+    report.add(std::move(desc));
+  }
+  if (dead.empty() && !ctmc::is_irreducible(dm.chain)) {
+    report.add("chain is not irreducible: the model is not cyclic "
+               "(some derivative is transient)");
+  }
+  return report;
+}
+
+}  // namespace tags::pepa

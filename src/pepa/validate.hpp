@@ -1,0 +1,35 @@
+// Static and derived-model validation.
+//
+// The paper (Section 2) restricts attention to *cyclic* models: every
+// derivative of the cooperating components remains reachable, i.e. the
+// underlying CTMC is irreducible. check_derived() verifies that, plus
+// deadlock freedom.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pepa/derivation.hpp"
+
+namespace tags::pepa {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void add(std::string msg) {
+    ok = false;
+    problems.push_back(std::move(msg));
+  }
+};
+
+/// Static checks on a parsed model: constants defined, parameters
+/// evaluable, two-level grammar respected, cooperation sets only name
+/// actions that the cooperands can perform (a common modelling slip).
+[[nodiscard]] ValidationReport check_model(const Model& model);
+
+/// Checks on a derived model: no deadlock states, irreducible chain,
+/// generator well-formed.
+[[nodiscard]] ValidationReport check_derived(const DerivedModel& dm);
+
+}  // namespace tags::pepa

@@ -1,0 +1,44 @@
+#include "phasetype/fitting.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tags::ph {
+
+PhaseType fit_erlang(double mean, double scv) {
+  if (!(mean > 0.0) || !(scv > 0.0) || scv > 1.0 + 1e-12) {
+    throw std::invalid_argument("fit_erlang: need mean > 0 and 0 < scv <= 1");
+  }
+  const unsigned k = static_cast<unsigned>(std::max(1.0, std::round(1.0 / scv)));
+  return erlang(k, static_cast<double>(k) / mean);
+}
+
+PhaseType fit_h2(double mean, double scv) {
+  if (!(mean > 0.0) || scv < 1.0 - 1e-12) {
+    throw std::invalid_argument("fit_h2: need mean > 0 and scv >= 1");
+  }
+  if (scv <= 1.0 + 1e-12) return exponential(1.0 / mean);
+  // Balanced means: p/mu1 = (1-p)/mu2.
+  const double p = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double mu1 = 2.0 * p / mean;
+  const double mu2 = 2.0 * (1.0 - p) / mean;
+  return hyperexp2(p, mu1, mu2);
+}
+
+PhaseType fit_two_moment(double mean, double scv) {
+  if (scv < 1.0 - 1e-12) return fit_erlang(mean, scv);
+  return fit_h2(mean, scv);
+}
+
+PhaseType h2_with_ratio(double p, double ratio, double mean) {
+  if (!(p > 0.0) || p >= 1.0 || !(ratio > 0.0) || !(mean > 0.0)) {
+    throw std::invalid_argument("h2_with_ratio: bad parameters");
+  }
+  // mean = p/mu1 + (1-p)/mu2 with mu1 = ratio*mu2
+  //      = (p/ratio + 1 - p) / mu2.
+  const double mu2 = (p / ratio + (1.0 - p)) / mean;
+  const double mu1 = ratio * mu2;
+  return hyperexp2(p, mu1, mu2);
+}
+
+}  // namespace tags::ph

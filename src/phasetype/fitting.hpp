@@ -1,0 +1,28 @@
+// Moment-matching fits (the paper cites EMpht [1] for fitting general
+// distributions; two/three-moment matching covers the cases the models use).
+#pragma once
+
+#include "phasetype/ph.hpp"
+
+namespace tags::ph {
+
+/// Fit an Erlang to (mean, scv <= 1): order k = round(1/scv) clamped to
+/// >= 1, rate = k/mean. Exact when 1/scv is integral.
+[[nodiscard]] PhaseType fit_erlang(double mean, double scv);
+
+/// Fit a balanced-means H2 to (mean, scv >= 1): the standard two-moment
+/// hyper-exponential with p/mu1 = (1-p)/mu2. scv == 1 degenerates to the
+/// exponential.
+[[nodiscard]] PhaseType fit_h2(double mean, double scv);
+
+/// Two-moment fit choosing Erlang for scv < 1, exponential for scv == 1,
+/// H2 for scv > 1 (the classic dispatch).
+[[nodiscard]] PhaseType fit_two_moment(double mean, double scv);
+
+/// H2 parameters with mean `mean` and a fixed rate ratio mu1 = ratio*mu2,
+/// solving p/mu1 + (1-p)/mu2 = mean for the rates. This is exactly how the
+/// paper constructs its Figures 9-12 distributions (ratio 100 or 10,
+/// p = alpha). Returns hyperexp2(p, mu1, mu2).
+[[nodiscard]] PhaseType h2_with_ratio(double p, double ratio, double mean);
+
+}  // namespace tags::ph

@@ -1,0 +1,307 @@
+#include "phasetype/ph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace tags::ph {
+
+using linalg::DenseMatrix;
+using linalg::Vec;
+
+PhaseType::PhaseType(Vec alpha, DenseMatrix t) : alpha_(std::move(alpha)), t_(std::move(t)) {
+  const std::size_t m = alpha_.size();
+  if (t_.rows() != m || t_.cols() != m) {
+    throw std::invalid_argument("PhaseType: alpha/T dimension mismatch");
+  }
+  double mass = 0.0;
+  for (double a : alpha_) {
+    if (a < -1e-12) throw std::invalid_argument("PhaseType: negative alpha entry");
+    mass += a;
+  }
+  if (mass > 1.0 + 1e-9) throw std::invalid_argument("PhaseType: alpha sums above 1");
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t_(i, i) > 0.0) throw std::invalid_argument("PhaseType: positive diagonal in T");
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i != j && t_(i, j) < -1e-12) {
+        throw std::invalid_argument("PhaseType: negative off-diagonal in T");
+      }
+      row += t_(i, j);
+    }
+    if (row > 1e-9 * std::max(1.0, -t_(i, i))) {
+      throw std::invalid_argument("PhaseType: T row sums must be <= 0");
+    }
+  }
+}
+
+Vec PhaseType::exit_rates() const {
+  const std::size_t m = n_phases();
+  Vec t0(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row += t_(i, j);
+    t0[i] = -row;
+  }
+  return t0;
+}
+
+double PhaseType::moment(unsigned k) const {
+  const std::size_t m = n_phases();
+  if (m == 0 || k == 0) return k == 0 ? 1.0 : 0.0;
+  // (-T) x = ones; then repeatedly (-T) x_{j+1} = x_j. m_k = k! alpha x_k.
+  DenseMatrix neg_t(m, m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) neg_t(i, j) = -t_(i, j);
+  const linalg::LuFactorization f = linalg::lu_factor(std::move(neg_t));
+  if (f.singular()) throw std::runtime_error("PhaseType::moment: singular -T");
+  Vec x(m, 1.0);
+  double factorial = 1.0;
+  for (unsigned j = 1; j <= k; ++j) {
+    f.solve_in_place(x);
+    factorial *= static_cast<double>(j);
+  }
+  return factorial * linalg::dot(alpha_, x);
+}
+
+double PhaseType::variance() const {
+  const double m1 = moment(1);
+  return moment(2) - m1 * m1;
+}
+
+double PhaseType::scv() const {
+  const double m1 = moment(1);
+  return variance() / (m1 * m1);
+}
+
+Vec PhaseType::expm_apply(double x, const Vec& v) const {
+  const std::size_t m = n_phases();
+  if (x == 0.0) return v;
+  // Uniformization: T = lambda (P - I) with P = I + T/lambda substochastic.
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < m; ++i) lambda = std::max(lambda, -t_(i, i));
+  lambda = lambda * 1.02 + 1e-300;
+  // Split long horizons to keep the Poisson series short and stable.
+  const double max_jumps = 512.0;
+  const int n_steps = std::max(1, static_cast<int>(std::ceil(lambda * x / max_jumps)));
+  const double dt = x / n_steps;
+  const double q = lambda * dt;
+
+  Vec result = v;
+  Vec term(m), acc(m), next(m);
+  for (int s = 0; s < n_steps; ++s) {
+    term = result;
+    linalg::set_zero(acc);
+    double w = std::exp(-q);
+    double cumulative = 0.0;
+    std::size_t k = 0;
+    while (cumulative < 1.0 - 1e-15) {
+      linalg::axpy(w, term, acc);
+      cumulative += w;
+      ++k;
+      w *= q / static_cast<double>(k);
+      if (k > static_cast<std::size_t>(q + 60.0 * std::sqrt(q + 1.0) + 60.0)) break;
+      // next = P term = term + (T term)/lambda.
+      t_.multiply(term, next);
+      for (std::size_t i = 0; i < m; ++i) next[i] = term[i] + next[i] / lambda;
+      term.swap(next);
+    }
+    result = acc;
+  }
+  return result;
+}
+
+double PhaseType::survival(double x) const {
+  if (x < 0.0) return 1.0;
+  const Vec ones(n_phases(), 1.0);
+  const Vec ex = expm_apply(x, ones);
+  return std::min(1.0, std::max(0.0, linalg::dot(alpha_, ex)));
+}
+
+double PhaseType::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const Vec ex = expm_apply(x, exit_rates());
+  return std::max(0.0, linalg::dot(alpha_, ex));
+}
+
+double PhaseType::laplace(double s) const {
+  const std::size_t m = n_phases();
+  DenseMatrix a(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a(i, j) = (i == j ? s : 0.0) - t_(i, j);
+  }
+  const Vec x = linalg::lu_solve(a, exit_rates());
+  double mass = 0.0;
+  for (double v : alpha_) mass += v;
+  return linalg::dot(alpha_, x) + (1.0 - mass);  // atom at zero transforms to 1
+}
+
+double PhaseType::survival_against_erlang(unsigned k, double theta) const {
+  const std::size_t m = n_phases();
+  DenseMatrix a(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a(i, j) = (i == j ? theta : 0.0) - t_(i, j);
+  }
+  const linalg::LuFactorization f = linalg::lu_factor(std::move(a));
+  if (f.singular()) throw std::runtime_error("survival_against_erlang: singular system");
+  Vec v(m, 1.0);
+  for (unsigned step = 0; step < k; ++step) {
+    f.solve_in_place(v);
+    linalg::scale(theta, v);
+  }
+  return linalg::dot(alpha_, v);
+}
+
+PhaseType PhaseType::residual_after_erlang(unsigned k, double theta) const {
+  const std::size_t m = n_phases();
+  // beta_j proportional to [alpha (theta(theta I - T)^{-1})^k]_j.
+  DenseMatrix a(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a(i, j) = (i == j ? theta : 0.0) - t_(i, j);
+  }
+  const linalg::LuFactorization f = linalg::lu_factor(std::move(a));
+  if (f.singular()) throw std::runtime_error("residual_after_erlang: singular system");
+  Vec beta = alpha_;
+  for (unsigned step = 0; step < k; ++step) {
+    // Row-vector update: beta <- theta * beta (theta I - T)^{-1}
+    // i.e. solve (theta I - T)^T x = beta.
+    beta = f.solve_transpose(beta);
+    linalg::scale(theta, beta);
+  }
+  const double norm = linalg::sum(beta);
+  if (norm <= 0.0) {
+    throw std::runtime_error("residual_after_erlang: survival probability is zero");
+  }
+  linalg::scale(1.0 / norm, beta);
+  return PhaseType(std::move(beta), t_);
+}
+
+// -- Constructors -----------------------------------------------------------
+
+PhaseType exponential(double rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("exponential: rate must be > 0");
+  DenseMatrix t(1, 1);
+  t(0, 0) = -rate;
+  return PhaseType({1.0}, std::move(t));
+}
+
+PhaseType erlang(unsigned k, double rate) {
+  if (k == 0 || !(rate > 0.0)) throw std::invalid_argument("erlang: bad parameters");
+  DenseMatrix t(k, k);
+  for (unsigned i = 0; i < k; ++i) {
+    t(i, i) = -rate;
+    if (i + 1 < k) t(i, i + 1) = rate;
+  }
+  Vec alpha(k, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+PhaseType hyperexp2(double p, double mu1, double mu2) {
+  return hyperexp({p, 1.0 - p}, {mu1, mu2});
+}
+
+PhaseType hyperexp(const Vec& weights, const Vec& rates) {
+  if (weights.size() != rates.size() || weights.empty()) {
+    throw std::invalid_argument("hyperexp: weights/rates mismatch");
+  }
+  const std::size_t m = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("hyperexp: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("hyperexp: zero total weight");
+  DenseMatrix t(m, m);
+  Vec alpha(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!(rates[i] > 0.0)) throw std::invalid_argument("hyperexp: rate must be > 0");
+    t(i, i) = -rates[i];
+    alpha[i] = weights[i] / total;
+  }
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+PhaseType coxian(const Vec& rates, const Vec& cont) {
+  const std::size_t m = rates.size();
+  if (m == 0 || cont.size() != m - 1) {
+    throw std::invalid_argument("coxian: need m rates and m-1 continuation probs");
+  }
+  DenseMatrix t(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!(rates[i] > 0.0)) throw std::invalid_argument("coxian: rate must be > 0");
+    t(i, i) = -rates[i];
+    if (i + 1 < m) {
+      if (cont[i] < 0.0 || cont[i] > 1.0) {
+        throw std::invalid_argument("coxian: continuation prob out of [0,1]");
+      }
+      t(i, i + 1) = rates[i] * cont[i];
+    }
+  }
+  Vec alpha(m, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+// -- Closure operations -----------------------------------------------------
+
+PhaseType convolve(const PhaseType& a, const PhaseType& b) {
+  const std::size_t ma = a.n_phases(), mb = b.n_phases();
+  const Vec ta0 = a.exit_rates();
+  DenseMatrix t(ma + mb, ma + mb);
+  for (std::size_t i = 0; i < ma; ++i) {
+    for (std::size_t j = 0; j < ma; ++j) t(i, j) = a.T()(i, j);
+    // Absorption from A enters B with B's initial distribution.
+    for (std::size_t j = 0; j < mb; ++j) t(i, ma + j) = ta0[i] * b.alpha()[j];
+  }
+  for (std::size_t i = 0; i < mb; ++i)
+    for (std::size_t j = 0; j < mb; ++j) t(ma + i, ma + j) = b.T()(i, j);
+
+  double a_mass = 0.0;
+  for (double v : a.alpha()) a_mass += v;
+  Vec alpha(ma + mb, 0.0);
+  for (std::size_t i = 0; i < ma; ++i) alpha[i] = a.alpha()[i];
+  // If A has an atom at zero, start directly in B.
+  for (std::size_t j = 0; j < mb; ++j) alpha[ma + j] = (1.0 - a_mass) * b.alpha()[j];
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+PhaseType mixture(double p, const PhaseType& a, const PhaseType& b) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("mixture: p out of [0,1]");
+  const std::size_t ma = a.n_phases(), mb = b.n_phases();
+  DenseMatrix t(ma + mb, ma + mb);
+  for (std::size_t i = 0; i < ma; ++i)
+    for (std::size_t j = 0; j < ma; ++j) t(i, j) = a.T()(i, j);
+  for (std::size_t i = 0; i < mb; ++i)
+    for (std::size_t j = 0; j < mb; ++j) t(ma + i, ma + j) = b.T()(i, j);
+  Vec alpha(ma + mb, 0.0);
+  for (std::size_t i = 0; i < ma; ++i) alpha[i] = p * a.alpha()[i];
+  for (std::size_t j = 0; j < mb; ++j) alpha[ma + j] = (1.0 - p) * b.alpha()[j];
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+PhaseType minimum(const PhaseType& a, const PhaseType& b) {
+  // min(A, B) absorbs when either chain absorbs: state space is the product
+  // of transient phases, generator the Kronecker sum T_a (+) T_b.
+  const std::size_t ma = a.n_phases(), mb = b.n_phases();
+  DenseMatrix t(ma * mb, ma * mb);
+  for (std::size_t i1 = 0; i1 < ma; ++i1) {
+    for (std::size_t i2 = 0; i2 < mb; ++i2) {
+      const std::size_t row = i1 * mb + i2;
+      for (std::size_t j1 = 0; j1 < ma; ++j1) {
+        if (a.T()(i1, j1) != 0.0) t(row, j1 * mb + i2) += a.T()(i1, j1);
+      }
+      for (std::size_t j2 = 0; j2 < mb; ++j2) {
+        if (b.T()(i2, j2) != 0.0) t(row, i1 * mb + j2) += b.T()(i2, j2);
+      }
+    }
+  }
+  Vec alpha(ma * mb, 0.0);
+  for (std::size_t i1 = 0; i1 < ma; ++i1)
+    for (std::size_t i2 = 0; i2 < mb; ++i2)
+      alpha[i1 * mb + i2] = a.alpha()[i1] * b.alpha()[i2];
+  return PhaseType(std::move(alpha), std::move(t));
+}
+
+}  // namespace tags::ph

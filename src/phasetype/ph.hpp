@@ -1,0 +1,95 @@
+// Phase-type distributions PH(alpha, T): the absorption time of a CTMC with
+// initial distribution alpha over m transient phases and subgenerator T.
+//
+// This is the machinery behind every distribution in the paper: the Erlang
+// timeout, the exponential and hyper-exponential (H2) service demands, and
+// the residual-life computation of Section 3.2.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tags::ph {
+
+class PhaseType {
+ public:
+  PhaseType() = default;
+
+  /// alpha: initial distribution over phases (sums to <= 1; any deficit is
+  /// an atom at zero). T: m x m subgenerator (negative diagonal, rows sum
+  /// to <= 0). Validated; throws std::invalid_argument on malformed input.
+  PhaseType(linalg::Vec alpha, linalg::DenseMatrix t);
+
+  [[nodiscard]] std::size_t n_phases() const noexcept { return alpha_.size(); }
+  [[nodiscard]] const linalg::Vec& alpha() const noexcept { return alpha_; }
+  [[nodiscard]] const linalg::DenseMatrix& T() const noexcept { return t_; }
+
+  /// Exit-rate vector t0 = -T 1.
+  [[nodiscard]] linalg::Vec exit_rates() const;
+
+  /// k-th raw moment E[S^k] = k! alpha (-T)^{-k} 1.
+  [[nodiscard]] double moment(unsigned k) const;
+
+  [[nodiscard]] double mean() const { return moment(1); }
+  [[nodiscard]] double variance() const;
+  /// Squared coefficient of variation Var/Mean^2.
+  [[nodiscard]] double scv() const;
+
+  /// Survival function P(S > x) = alpha exp(T x) 1.
+  [[nodiscard]] double survival(double x) const;
+  [[nodiscard]] double cdf(double x) const { return 1.0 - survival(x); }
+  /// Density f(x) = alpha exp(T x) t0.
+  [[nodiscard]] double pdf(double x) const;
+
+  /// Laplace-Stieltjes transform E[e^{-sS}] = alpha (sI - T)^{-1} t0
+  /// (+ the point mass at zero). Defined for s >= 0.
+  [[nodiscard]] double laplace(double s) const;
+
+  /// P(S > X) for an independent Erlang(k, theta) horizon X:
+  /// alpha [theta (theta I - T)^{-1}]^k 1.
+  [[nodiscard]] double survival_against_erlang(unsigned k, double theta) const;
+
+  /// Distribution of the phase at an Erlang(k, theta) horizon, conditioned
+  /// on survival; the residual life is PH(beta, T) with this beta. This is
+  /// the general form of the paper's alpha' computation (Section 3.2).
+  [[nodiscard]] PhaseType residual_after_erlang(unsigned k, double theta) const;
+
+ private:
+  linalg::Vec alpha_;
+  linalg::DenseMatrix t_;
+  /// exp(T x) applied to v by uniformization.
+  [[nodiscard]] linalg::Vec expm_apply(double x, const linalg::Vec& v) const;
+};
+
+// -- Constructors -----------------------------------------------------------
+
+/// Exponential(rate).
+[[nodiscard]] PhaseType exponential(double rate);
+
+/// Erlang(k, rate): k phases in series, each Exp(rate); mean k/rate.
+[[nodiscard]] PhaseType erlang(unsigned k, double rate);
+
+/// Two-phase hyper-exponential: Exp(mu1) w.p. p, Exp(mu2) w.p. 1-p.
+[[nodiscard]] PhaseType hyperexp2(double p, double mu1, double mu2);
+
+/// General hyper-exponential: Exp(rates[i]) w.p. weights[i] (normalised).
+[[nodiscard]] PhaseType hyperexp(const linalg::Vec& weights, const linalg::Vec& rates);
+
+/// Coxian: phases in series with rate rates[i]; after phase i the process
+/// continues to phase i+1 with probability cont[i] (cont has size m-1).
+[[nodiscard]] PhaseType coxian(const linalg::Vec& rates, const linalg::Vec& cont);
+
+// -- Closure operations -----------------------------------------------------
+
+/// S = A then B (convolution / series composition).
+[[nodiscard]] PhaseType convolve(const PhaseType& a, const PhaseType& b);
+
+/// S = A w.p. p, else B.
+[[nodiscard]] PhaseType mixture(double p, const PhaseType& a, const PhaseType& b);
+
+/// S = min(A, B) via the Kronecker-sum construction.
+[[nodiscard]] PhaseType minimum(const PhaseType& a, const PhaseType& b);
+
+}  // namespace tags::ph

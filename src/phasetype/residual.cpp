@@ -1,0 +1,32 @@
+#include "phasetype/residual.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tags::ph {
+
+double exp_survival_vs_erlang(double mu, unsigned k, double t) {
+  if (!(mu > 0.0) || !(t > 0.0) || k == 0) {
+    throw std::invalid_argument("exp_survival_vs_erlang: bad parameters");
+  }
+  return std::pow(t / (t + mu), static_cast<double>(k));
+}
+
+double h2_alpha_prime(double alpha, double mu1, double mu2, unsigned k, double t) {
+  const double r1 = exp_survival_vs_erlang(mu1, k, t);
+  const double r2 = exp_survival_vs_erlang(mu2, k, t);
+  const double num = alpha * r1;
+  const double den = num + (1.0 - alpha) * r2;
+  if (den <= 0.0) {
+    throw std::invalid_argument("h2_alpha_prime: zero survival probability");
+  }
+  return num / den;
+}
+
+double h2_timeout_probability(double alpha, double mu1, double mu2, unsigned k,
+                              double t) {
+  return alpha * exp_survival_vs_erlang(mu1, k, t) +
+         (1.0 - alpha) * exp_survival_vs_erlang(mu2, k, t);
+}
+
+}  // namespace tags::ph

@@ -1,0 +1,28 @@
+// Residual-life computations for the TAGS timeout race (paper Section 3.2).
+//
+// A job with H2(alpha, mu1, mu2) demand races an Erlang(k, t) timeout. If
+// the timeout wins, the surviving demand is again H2 with the *same* rates
+// but a shifted mixing probability alpha' (exponential memorylessness within
+// each branch): alpha' = alpha r1 / (alpha r1 + (1-alpha) r2), where
+// r_i = P(Exp(mu_i) survives Erlang(k,t)) = (t / (t + mu_i))^k.
+#pragma once
+
+#include "phasetype/ph.hpp"
+
+namespace tags::ph {
+
+/// P(Exp(mu) > Erlang(k, t)) = (t/(t+mu))^k.
+[[nodiscard]] double exp_survival_vs_erlang(double mu, unsigned k, double t);
+
+/// The paper's alpha': mixing probability of the residual H2 after a job
+/// survives an Erlang(k, t) timeout. k is the total number of Erlang phases
+/// (the paper's n ticks + 1 timeout phase => k = n + 1).
+[[nodiscard]] double h2_alpha_prime(double alpha, double mu1, double mu2, unsigned k,
+                                    double t);
+
+/// Probability that an H2(alpha, mu1, mu2) job times out against
+/// Erlang(k, t).
+[[nodiscard]] double h2_timeout_probability(double alpha, double mu1, double mu2,
+                                            unsigned k, double t);
+
+}  // namespace tags::ph

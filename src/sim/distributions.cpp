@@ -1,0 +1,134 @@
+#include "sim/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tags::sim {
+
+namespace {
+
+double sample_phase_type(const ph::PhaseType& p, Rng& rng) {
+  const std::size_t m = p.n_phases();
+  // Choose the initial phase (or immediate absorption for deficient alpha).
+  double u = rng.uniform();
+  std::size_t phase = m;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (u < p.alpha()[i]) {
+      phase = i;
+      break;
+    }
+    u -= p.alpha()[i];
+  }
+  double total = 0.0;
+  const linalg::Vec t0 = p.exit_rates();
+  while (phase < m) {
+    const double exit_rate = -p.T()(phase, phase);
+    total += rng.exponential(exit_rate);
+    // Pick the next phase (or absorption) proportionally to the row.
+    double v = rng.uniform() * exit_rate;
+    std::size_t next = m;  // absorption by default
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == phase) continue;
+      const double r = p.T()(phase, j);
+      if (v < r) {
+        next = j;
+        break;
+      }
+      v -= r;
+    }
+    if (next == m && v >= t0[phase]) {
+      // Numerical slack: fall through to absorption.
+      next = m;
+    }
+    phase = next;
+  }
+  return total;
+}
+
+struct SampleVisitor {
+  Rng& rng;
+  double operator()(const Exponential& d) const { return rng.exponential(d.rate); }
+  double operator()(const Erlang& d) const {
+    double acc = 0.0;
+    for (unsigned i = 0; i < d.k; ++i) acc += rng.exponential(d.rate);
+    return acc;
+  }
+  double operator()(const Deterministic& d) const { return d.value; }
+  double operator()(const HyperExp2& d) const {
+    return rng.exponential(rng.bernoulli(d.p) ? d.mu1 : d.mu2);
+  }
+  double operator()(const Uniform& d) const {
+    return d.lo + (d.hi - d.lo) * rng.uniform();
+  }
+  double operator()(const BoundedPareto& d) const {
+    // Inverse-CDF: F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a).
+    const double a = d.shape;
+    const double tail = 1.0 - std::pow(d.lo / d.hi, a);
+    const double u = rng.uniform() * tail;
+    return d.lo / std::pow(1.0 - u, 1.0 / a);
+  }
+  double operator()(const PhaseTypeDist& d) const { return sample_phase_type(d.ph, rng); }
+};
+
+struct MeanVisitor {
+  double operator()(const Exponential& d) const { return 1.0 / d.rate; }
+  double operator()(const Erlang& d) const { return d.k / d.rate; }
+  double operator()(const Deterministic& d) const { return d.value; }
+  double operator()(const HyperExp2& d) const {
+    return d.p / d.mu1 + (1.0 - d.p) / d.mu2;
+  }
+  double operator()(const Uniform& d) const { return 0.5 * (d.lo + d.hi); }
+  double operator()(const BoundedPareto& d) const {
+    const double a = d.shape;
+    const double norm = 1.0 - std::pow(d.lo / d.hi, a);
+    if (std::abs(a - 1.0) < 1e-12) {
+      return std::log(d.hi / d.lo) * d.lo / norm;
+    }
+    return (a / (a - 1.0)) *
+           (std::pow(d.lo, a) * (std::pow(d.lo, 1.0 - a) - std::pow(d.hi, 1.0 - a))) /
+           norm;
+  }
+  double operator()(const PhaseTypeDist& d) const { return d.ph.mean(); }
+};
+
+struct M2Visitor {
+  double operator()(const Exponential& d) const { return 2.0 / (d.rate * d.rate); }
+  double operator()(const Erlang& d) const {
+    return static_cast<double>(d.k) * (d.k + 1.0) / (d.rate * d.rate);
+  }
+  double operator()(const Deterministic& d) const { return d.value * d.value; }
+  double operator()(const HyperExp2& d) const {
+    return 2.0 * d.p / (d.mu1 * d.mu1) + 2.0 * (1.0 - d.p) / (d.mu2 * d.mu2);
+  }
+  double operator()(const Uniform& d) const {
+    return (d.lo * d.lo + d.lo * d.hi + d.hi * d.hi) / 3.0;
+  }
+  double operator()(const BoundedPareto& d) const {
+    const double a = d.shape;
+    const double norm = 1.0 - std::pow(d.lo / d.hi, a);
+    if (std::abs(a - 2.0) < 1e-12) {
+      return 2.0 * std::pow(d.lo, 2.0) * std::log(d.hi / d.lo) / norm;
+    }
+    return (a / (a - 2.0)) *
+           (std::pow(d.lo, a) * (std::pow(d.lo, 2.0 - a) - std::pow(d.hi, 2.0 - a))) /
+           norm;
+  }
+  double operator()(const PhaseTypeDist& d) const { return d.ph.moment(2); }
+};
+
+}  // namespace
+
+double sample(const Distribution& d, Rng& rng) {
+  return std::visit(SampleVisitor{rng}, d);
+}
+
+double mean(const Distribution& d) { return std::visit(MeanVisitor{}, d); }
+
+double second_moment(const Distribution& d) { return std::visit(M2Visitor{}, d); }
+
+double scv(const Distribution& d) {
+  const double m1 = mean(d);
+  return (second_moment(d) - m1 * m1) / (m1 * m1);
+}
+
+}  // namespace tags::sim

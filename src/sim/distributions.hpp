@@ -1,0 +1,60 @@
+// Sampling distributions for the simulator: everything the paper's context
+// needs — exponential / Erlang / H2 (the PEPA models), deterministic (the
+// real TAGS timeout), and the bounded Pareto of Harchol-Balter's original
+// evaluation — plus arbitrary phase-type sampling.
+#pragma once
+
+#include <variant>
+
+#include "phasetype/ph.hpp"
+#include "sim/rng.hpp"
+
+namespace tags::sim {
+
+struct Exponential {
+  double rate;
+};
+
+struct Erlang {
+  unsigned k;
+  double rate;
+};
+
+struct Deterministic {
+  double value;
+};
+
+struct HyperExp2 {
+  double p;    ///< P(short branch)
+  double mu1;  ///< short rate
+  double mu2;  ///< long rate
+};
+
+struct Uniform {
+  double lo;
+  double hi;
+};
+
+/// Bounded Pareto B(lo, hi, shape): density ~ x^{-shape-1} on [lo, hi].
+/// Harchol-Balter's web-workload model (shape ~ 1.1 in [5]).
+struct BoundedPareto {
+  double lo;
+  double hi;
+  double shape;
+};
+
+/// General phase-type sampling (walks the phases).
+struct PhaseTypeDist {
+  ph::PhaseType ph;
+};
+
+using Distribution = std::variant<Exponential, Erlang, Deterministic, HyperExp2,
+                                  Uniform, BoundedPareto, PhaseTypeDist>;
+
+[[nodiscard]] double sample(const Distribution& d, Rng& rng);
+[[nodiscard]] double mean(const Distribution& d);
+[[nodiscard]] double second_moment(const Distribution& d);
+/// Squared coefficient of variation.
+[[nodiscard]] double scv(const Distribution& d);
+
+}  // namespace tags::sim

@@ -1,0 +1,9 @@
+// EventQueue is header-only (template); this TU exists to give the target a
+// compiled anchor and to instantiate the common payload for faster builds.
+#include "sim/event_queue.hpp"
+
+namespace tags::sim {
+
+template class EventQueue<int>;
+
+}  // namespace tags::sim

@@ -1,0 +1,52 @@
+// Discrete-event calendar: a binary min-heap keyed on (time, sequence) so
+// simultaneous events fire in schedule order (deterministic replay).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tags::sim {
+
+template <class Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void schedule(double time, Payload payload) {
+    heap_.push_back({time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tags::sim

@@ -1,0 +1,67 @@
+#include "sim/policies.hpp"
+
+#include <limits>
+
+namespace tags::sim {
+
+std::string_view to_string(DispatchPolicy p) noexcept {
+  switch (p) {
+    case DispatchPolicy::kRandom: return "random";
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kShortestQueue: return "shortest-queue";
+    case DispatchPolicy::kLeastWork: return "least-work";
+  }
+  return "?";
+}
+
+int route(DispatchPolicy policy, std::span<const QueueView> queues, RouterState& state,
+          Rng& rng) {
+  const auto full = [&](std::size_t i) { return queues[i].length >= queues[i].capacity; };
+  switch (policy) {
+    case DispatchPolicy::kRandom: {
+      const auto pick = static_cast<std::size_t>(rng.uniform_below(queues.size()));
+      return full(pick) ? -1 : static_cast<int>(pick);
+    }
+    case DispatchPolicy::kRoundRobin: {
+      const std::size_t pick = state.rr_cursor % queues.size();
+      state.rr_cursor = (state.rr_cursor + 1) % queues.size();
+      return full(pick) ? -1 : static_cast<int>(pick);
+    }
+    case DispatchPolicy::kShortestQueue: {
+      unsigned best_len = std::numeric_limits<unsigned>::max();
+      std::size_t n_best = 0;
+      for (std::size_t i = 0; i < queues.size(); ++i) {
+        if (queues[i].length < best_len) {
+          best_len = queues[i].length;
+          n_best = 1;
+        } else if (queues[i].length == best_len) {
+          ++n_best;
+        }
+      }
+      // Random tie-break among the shortest (matches the PEPA model's even
+      // split of the arrival stream).
+      std::size_t which = static_cast<std::size_t>(rng.uniform_below(n_best));
+      for (std::size_t i = 0; i < queues.size(); ++i) {
+        if (queues[i].length == best_len && which-- == 0) {
+          return full(i) ? -1 : static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    case DispatchPolicy::kLeastWork: {
+      double best = std::numeric_limits<double>::infinity();
+      int pick = -1;
+      for (std::size_t i = 0; i < queues.size(); ++i) {
+        if (full(i)) continue;
+        if (queues[i].remaining_work < best) {
+          best = queues[i].remaining_work;
+          pick = static_cast<int>(i);
+        }
+      }
+      return pick;
+    }
+  }
+  return -1;
+}
+
+}  // namespace tags::sim

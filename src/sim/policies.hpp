@@ -1,0 +1,43 @@
+// Dispatch policies for the parallel-queue simulator (the baselines the
+// paper compares TAGS against, plus round-robin and the clairvoyant
+// least-work policy as an upper bound).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "sim/rng.hpp"
+
+namespace tags::sim {
+
+enum class DispatchPolicy {
+  kRandom,        ///< uniform random queue (the paper's random allocation)
+  kRoundRobin,    ///< cyclic assignment
+  kShortestQueue, ///< fewest jobs; ties split randomly
+  kLeastWork,     ///< least remaining work (requires knowing demands — the
+                  ///< clairvoyant baseline TAGS tries to approach blindly)
+};
+
+[[nodiscard]] std::string_view to_string(DispatchPolicy p) noexcept;
+
+/// Per-queue view the router sees.
+struct QueueView {
+  unsigned length;       ///< jobs in queue (including in service)
+  unsigned capacity;     ///< buffer size
+  double remaining_work; ///< total remaining demand (kLeastWork only)
+};
+
+/// Mutable routing state (round-robin cursor).
+struct RouterState {
+  unsigned rr_cursor = 0;
+};
+
+/// Pick a queue for an arriving job; -1 means the job is lost (the chosen /
+/// every eligible queue is full). Policies that do not inspect occupancy
+/// (random, round-robin) lose the job when their chosen queue is full, as
+/// in the paper's bounded models.
+[[nodiscard]] int route(DispatchPolicy policy, std::span<const QueueView> queues,
+                        RouterState& state, Rng& rng);
+
+}  // namespace tags::sim

@@ -1,0 +1,40 @@
+// Deterministic, seedable PRNG: xoshiro256++ seeded via splitmix64.
+// Self-contained so simulation results are reproducible across platforms
+// (std::mt19937 distributions are not specified bit-exactly).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tags::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in (0, 1] — safe for log().
+  double uniform_open0() noexcept;
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Exponential with the given rate.
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) noexcept;
+
+  /// Split off an independently seeded stream (for parallel replications).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace tags::sim

@@ -1,0 +1,111 @@
+// Discrete-event simulators of the *actual* systems the CTMC models
+// approximate:
+//
+//  * simulate_tags()     — an N-node TAGS pipeline with restart semantics
+//    and genuinely deterministic (or any-distribution) timeouts. A job's
+//    demand is sampled once at arrival and carried through every node — the
+//    correlation the Markovian model deliberately forgets. Comparing this
+//    simulator against the CTMC quantifies the paper's Erlang-timeout
+//    approximation (its stated future work).
+//  * simulate_dispatch() — parallel bounded queues under a dispatch policy
+//    (random / round-robin / shortest-queue / clairvoyant least-work).
+//
+// Both report mean response time, mean slowdown (response / demand, the
+// metric of Harchol-Balter [5]), throughput, losses, and time-averaged
+// queue lengths, with batch-means confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/policies.hpp"
+#include "sim/stats.hpp"
+
+namespace tags::sim {
+
+struct SimResults {
+  double mean_response = 0.0;
+  double response_ci = 0.0;   ///< 95% half-width (batch means)
+  double mean_slowdown = 0.0;
+  double slowdown_ci = 0.0;
+  double throughput = 0.0;    ///< completions per unit time (post-warmup)
+  double loss_fraction = 0.0; ///< lost arrivals / all arrivals (post-warmup)
+  double loss_rate = 0.0;
+  std::vector<double> mean_queue;   ///< time-averaged jobs per node/queue
+  std::vector<double> utilisation;  ///< time-averaged busy fraction
+  double mean_total_queue = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t arrivals = 0;
+  /// Per-demand-bucket mean slowdown (see slowdown_buckets in the params;
+  /// empty when no buckets were requested). Bucket i covers demands in
+  /// (bounds[i-1], bounds[i]]; the last bucket is unbounded above.
+  std::vector<double> bucket_mean_slowdown;
+  std::vector<std::uint64_t> bucket_count;
+};
+
+/// Two-state Markov-modulated Poisson arrivals (the "bursty" arrivals of
+/// the paper's conclusions): rate lambda0 in phase 0, lambda1 in phase 1,
+/// switching 0->1 at r01 and 1->0 at r10.
+struct MmppArrivals {
+  double lambda0 = 2.0;
+  double lambda1 = 20.0;
+  double r01 = 0.1;
+  double r10 = 1.0;
+
+  /// Long-run average arrival rate.
+  [[nodiscard]] double mean_rate() const {
+    const double p1 = r01 / (r01 + r10);
+    return (1.0 - p1) * lambda0 + p1 * lambda1;
+  }
+};
+
+/// Dynamic-timeout rule (paper conclusions: "a dynamic timeout duration
+/// that adapts to queue length"): at node i with queue length q, the
+/// sampled timeout is scaled by 1 / (1 + gain * (q - 1)) — a crowded node
+/// kills jobs sooner to drain the backlog.
+struct DynamicTimeout {
+  double gain = 0.0;  ///< 0 = the static TAGS of the paper
+  [[nodiscard]] double scale(unsigned queue_length) const {
+    return 1.0 / (1.0 + gain * (queue_length > 0 ? queue_length - 1 : 0));
+  }
+};
+
+struct TagsSimParams {
+  double lambda = 5.0;
+  /// Optional modulated arrivals; when set, `lambda` is ignored.
+  std::optional<MmppArrivals> mmpp;
+  DynamicTimeout dynamic_timeout;
+  Distribution service = Exponential{10.0};
+  /// Timeout distribution per non-final node (size = nodes - 1). Use
+  /// Deterministic for the real TAGS, Erlang{n+1, t} to mirror the CTMC.
+  std::vector<Distribution> timeouts{Deterministic{0.14}};
+  std::vector<unsigned> buffers{10, 10};
+  double horizon = 2e5;          ///< simulated time units
+  double warmup_fraction = 0.05; ///< statistics discarded before this point
+  std::uint64_t seed = 1;
+  /// Optional ascending demand boundaries for per-size slowdown stats (the
+  /// "fairness" view of Harchol-Balter [5], footnote 1 of the paper).
+  std::vector<double> slowdown_buckets;
+};
+
+[[nodiscard]] SimResults simulate_tags(const TagsSimParams& p);
+
+struct DispatchSimParams {
+  double lambda = 5.0;
+  std::optional<MmppArrivals> mmpp;  ///< when set, `lambda` is ignored
+  Distribution service = Exponential{10.0};
+  unsigned n_queues = 2;
+  unsigned buffer = 10;
+  DispatchPolicy policy = DispatchPolicy::kRandom;
+  double horizon = 2e5;
+  double warmup_fraction = 0.05;
+  std::uint64_t seed = 1;
+  std::vector<double> slowdown_buckets;  ///< as in TagsSimParams
+};
+
+[[nodiscard]] SimResults simulate_dispatch(const DispatchSimParams& p);
+
+}  // namespace tags::sim

@@ -1,0 +1,60 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+namespace tags::sim {
+
+void Welford::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+void BatchMeans::add(double x) {
+  ++total_n_;
+  total_sum_ += x;
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batches_.add(batch_sum_ / static_cast<double>(batch_size_));
+    in_batch_ = 0;
+    batch_sum_ = 0.0;
+  }
+}
+
+double BatchMeans::mean() const noexcept {
+  return total_n_ > 0 ? total_sum_ / static_cast<double>(total_n_) : 0.0;
+}
+
+double BatchMeans::ci_halfwidth() const noexcept {
+  const std::size_t b = batches_.count();
+  if (b < 2) return 0.0;
+  return 1.96 * batches_.stddev() / std::sqrt(static_cast<double>(b));
+}
+
+void TimeAverage::set(double time, double value) noexcept {
+  if (started_) {
+    const double dt = time - last_time_;
+    if (dt > 0.0) {
+      weighted_sum_ += last_value_ * dt;
+      total_time_ += dt;
+    }
+  }
+  last_time_ = time;
+  last_value_ = value;
+  started_ = true;
+}
+
+void TimeAverage::close(double time) noexcept { set(time, last_value_); }
+
+double TimeAverage::average() const noexcept {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+}  // namespace tags::sim

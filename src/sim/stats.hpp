@@ -1,0 +1,68 @@
+// Online statistics for simulation output: Welford accumulators, batch
+// means with a normal-approximation confidence interval, and time-weighted
+// averages for queue-length processes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tags::sim {
+
+/// Numerically stable mean/variance accumulator.
+class Welford {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Batch-means estimator: observations are grouped into fixed-size batches;
+/// the batch averages are treated as ~i.i.d. for the CI.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batch_size = 1000) : batch_size_(batch_size) {}
+
+  void add(double x);
+  [[nodiscard]] double mean() const noexcept;
+  /// Half-width of the ~95% confidence interval over completed batches
+  /// (0 when fewer than 2 batches are complete).
+  [[nodiscard]] double ci_halfwidth() const noexcept;
+  [[nodiscard]] std::size_t completed_batches() const noexcept {
+    return batches_.count();
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return total_n_; }
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::size_t total_n_ = 0;
+  double total_sum_ = 0.0;
+  Welford batches_;
+};
+
+/// Time-weighted average of a piecewise-constant process (queue length,
+/// busy indicator). Call set(t, value) at every change point; finish with
+/// close(t_end).
+class TimeAverage {
+ public:
+  void set(double time, double value) noexcept;
+  void close(double time) noexcept;
+  [[nodiscard]] double average() const noexcept;
+
+ private:
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace tags::sim

@@ -1,0 +1,82 @@
+// Uniformization (transient analysis) against closed-form two-state chains
+// and convergence to the stationary distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/builder.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/uniformization.hpp"
+
+namespace {
+
+using namespace tags;
+
+ctmc::Ctmc two_state(double a, double b) {
+  ctmc::CtmcBuilder builder;
+  builder.add(0, 1, a);
+  builder.add(1, 0, b);
+  return builder.build();
+}
+
+/// Closed form for the 0->1 rate a, 1->0 rate b chain started in state 0:
+/// p0(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+double p0_analytic(double a, double b, double t) {
+  return b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+}
+
+class TwoStateTransient : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoStateTransient, MatchesClosedForm) {
+  const double t = GetParam();
+  const double a = 2.0, b = 5.0;
+  const auto chain = two_state(a, b);
+  const linalg::Vec pi0{1.0, 0.0};
+  const linalg::Vec pit = ctmc::transient_distribution(chain, pi0, t);
+  EXPECT_NEAR(pit[0], p0_analytic(a, b, t), 1e-10) << "t=" << t;
+  EXPECT_NEAR(pit[0] + pit[1], 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, TwoStateTransient,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0));
+
+TEST(Transient, LongHorizonReachesSteadyState) {
+  ctmc::CtmcBuilder b;
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 2.0);
+  b.add(2, 0, 3.0);
+  const auto chain = b.build();
+  const auto ss = ctmc::steady_state(chain);
+  linalg::Vec pi0{1.0, 0.0, 0.0};
+  const auto pit = ctmc::transient_distribution(chain, pi0, 200.0);
+  EXPECT_NEAR(linalg::max_abs_diff(pit, ss.pi), 0.0, 1e-9);
+}
+
+TEST(Transient, TrajectoryIsConsistentWithSingleShots) {
+  const auto chain = two_state(1.0, 4.0);
+  const linalg::Vec pi0{0.3, 0.7};
+  const std::vector<double> times{0.1, 0.5, 2.0};
+  const auto traj = ctmc::transient_trajectory(chain, pi0, times);
+  ASSERT_EQ(traj.size(), 3u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const auto direct = ctmc::transient_distribution(chain, pi0, times[i]);
+    EXPECT_NEAR(linalg::max_abs_diff(traj[i], direct), 0.0, 1e-9);
+  }
+}
+
+TEST(Transient, LargeRatesAreStable) {
+  // Stiff chain: uniformization must split the horizon.
+  const auto chain = two_state(5000.0, 3000.0);
+  const linalg::Vec pi0{1.0, 0.0};
+  const auto pit = ctmc::transient_distribution(chain, pi0, 2.0);
+  EXPECT_NEAR(pit[0], 3000.0 / 8000.0, 1e-8);
+}
+
+TEST(Transient, ZeroHorizonIsIdentity) {
+  const auto chain = two_state(1.0, 1.0);
+  const linalg::Vec pi0{0.25, 0.75};
+  const auto pit = ctmc::transient_distribution(chain, pi0, 0.0);
+  EXPECT_EQ(pit, pi0);
+}
+
+}  // namespace

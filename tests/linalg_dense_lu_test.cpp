@@ -1,0 +1,163 @@
+// Dense matrix and LU factorisation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/lu.hpp"
+
+namespace {
+
+using namespace tags::linalg;
+
+DenseMatrix random_matrix(std::size_t n, unsigned seed, double diag_boost = 0.0) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+    a(i, i) += diag_boost;
+  }
+  return a;
+}
+
+TEST(Dense, IdentityAndMultiply) {
+  const DenseMatrix id = DenseMatrix::identity(3);
+  const Vec x{1.0, 2.0, 3.0};
+  Vec y(3);
+  id.multiply(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Dense, MultiplyKnown) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vec x{1.0, 1.0, 1.0};
+  Vec y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  Vec z(3);
+  const Vec w{1.0, 1.0};
+  a.multiply_transpose(w, z);
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(Dense, TransposeMatmul) {
+  const DenseMatrix a = random_matrix(4, 11);
+  const DenseMatrix at = a.transposed();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(at(j, i), a(i, j));
+  const DenseMatrix prod = a.matmul(DenseMatrix::identity(4));
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(prod(i, j), a(i, j));
+}
+
+TEST(Dense, AddScaledAndNorms) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = -4.0;
+  DenseMatrix b = DenseMatrix::identity(2);
+  a.add_scaled(2.0, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), -2.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+  EXPECT_NEAR(a.frobenius_norm(), std::sqrt(25.0 + 4.0), 1e-12);
+}
+
+TEST(Lu, SolveKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const Vec b{5.0, 10.0};
+  const Vec x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_TRUE(lu_factor(a).singular());
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Vec rhs{3.0, 7.0};
+  const Vec x = lu_solve(a, rhs);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, LogAbsDet) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const auto f = lu_factor(a);
+  EXPECT_NEAR(f.log_abs_det(), std::log(12.0), 1e-12);
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuPropertyTest, RandomSystemsResidual) {
+  const std::size_t n = GetParam();
+  const DenseMatrix a = random_matrix(n, 100 + static_cast<unsigned>(n), 2.0);
+  std::mt19937 gen(55);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  Vec b(n);
+  for (auto& v : b) v = dist(gen);
+  const auto f = lu_factor(a);
+  ASSERT_FALSE(f.singular());
+  const Vec x = f.solve(b);
+  Vec ax(n);
+  a.multiply(x, ax);
+  EXPECT_NEAR(max_abs_diff(ax, b), 0.0, 1e-9 * (1.0 + nrm_inf(b)));
+}
+
+TEST_P(LuPropertyTest, TransposeSolveMatchesTransposedFactor) {
+  const std::size_t n = GetParam();
+  if (n == 0) return;
+  const DenseMatrix a = random_matrix(n, 200 + static_cast<unsigned>(n), 2.0);
+  std::mt19937 gen(66);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  Vec b(n);
+  for (auto& v : b) v = dist(gen);
+  const Vec x1 = lu_factor(a).solve_transpose(b);
+  const Vec x2 = lu_factor(a.transposed()).solve(b);
+  EXPECT_NEAR(max_abs_diff(x1, x2), 0.0, 1e-8 * (1.0 + nrm_inf(x2)));
+}
+
+TEST_P(LuPropertyTest, InverseTimesMatrixIsIdentity) {
+  const std::size_t n = GetParam();
+  if (n == 0 || n > 40) return;
+  const DenseMatrix a = random_matrix(n, 300 + static_cast<unsigned>(n), 3.0);
+  const DenseMatrix inv = lu_inverse(a);
+  const DenseMatrix prod = a.matmul(inv);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 80));
+
+}  // namespace

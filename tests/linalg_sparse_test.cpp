@@ -1,0 +1,138 @@
+// COO assembly and CSR matrix tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/csr.hpp"
+
+namespace {
+
+using namespace tags::linalg;
+
+TEST(Coo, GrowsDimensionsAndStoresTriplets) {
+  CooMatrix coo;
+  coo.add(2, 5, 1.5);
+  coo.add(0, 0, -2.0);
+  EXPECT_EQ(coo.rows(), 3);
+  EXPECT_EQ(coo.cols(), 6);
+  EXPECT_EQ(coo.nnz(), 2u);
+}
+
+TEST(Coo, ResizeKeepsEntries) {
+  CooMatrix coo(2, 2);
+  coo.add(1, 1, 3.0);
+  coo.resize(5, 7);
+  EXPECT_EQ(coo.rows(), 5);
+  EXPECT_EQ(coo.cols(), 7);
+}
+
+TEST(Csr, FromCooSumsDuplicatesAndSortsColumns) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 2, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(0, 2, 3.0);  // duplicate of (0,2)
+  coo.add(1, 1, 5.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 3u);
+  const auto cols = m.row_cols(0);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(Csr, EmptyRowsAreHandled) {
+  CooMatrix coo(4, 4);
+  coo.add(2, 2, 1.0);
+  const CsrMatrix m = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(m.row_cols(0).size(), 0u);
+  EXPECT_EQ(m.row_cols(3).size(), 0u);
+  EXPECT_EQ(m.row_cols(2).size(), 1u);
+}
+
+TEST(Csr, DiagonalExtraction) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 2, 3.0);
+  coo.add(1, 0, 9.0);
+  const Vec d = CsrMatrix::from_coo(coo).diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+class CsrPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+CooMatrix random_coo(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  CooMatrix coo(static_cast<index_t>(n), static_cast<index_t>(n));
+  for (std::size_t e = 0; e < 5 * n; ++e) {
+    coo.add(static_cast<index_t>(pick(gen)), static_cast<index_t>(pick(gen)), dist(gen));
+  }
+  return coo;
+}
+
+TEST_P(CsrPropertyTest, MultiplyMatchesDense) {
+  const std::size_t n = GetParam();
+  const CsrMatrix m = CsrMatrix::from_coo(random_coo(n, 10 + static_cast<unsigned>(n)));
+  const DenseMatrix d = m.to_dense();
+  std::mt19937 gen(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Vec x(n);
+  for (auto& v : x) v = dist(gen);
+  Vec y1(n), y2(n);
+  m.multiply(x, y1);
+  d.multiply(x, y2);
+  EXPECT_NEAR(max_abs_diff(y1, y2), 0.0, 1e-11);
+  m.multiply_transpose(x, y1);
+  d.multiply_transpose(x, y2);
+  EXPECT_NEAR(max_abs_diff(y1, y2), 0.0, 1e-11);
+}
+
+TEST_P(CsrPropertyTest, TransposeRoundTrip) {
+  const std::size_t n = GetParam();
+  const CsrMatrix m = CsrMatrix::from_coo(random_coo(n, 90 + static_cast<unsigned>(n)));
+  const CsrMatrix mtt = m.transposed().transposed();
+  ASSERT_EQ(mtt.nnz(), m.nnz());
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const auto c1 = m.row_cols(i);
+    const auto c2 = mtt.row_cols(i);
+    ASSERT_EQ(c1.size(), c2.size());
+    for (std::size_t k = 0; k < c1.size(); ++k) {
+      EXPECT_EQ(c1[k], c2[k]);
+      EXPECT_DOUBLE_EQ(m.row_vals(i)[k], mtt.row_vals(i)[k]);
+    }
+  }
+}
+
+TEST_P(CsrPropertyTest, FromDenseRoundTrip) {
+  const std::size_t n = GetParam();
+  const CsrMatrix m = CsrMatrix::from_coo(random_coo(n, 50 + static_cast<unsigned>(n)));
+  const CsrMatrix m2 = CsrMatrix::from_dense(m.to_dense());
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m2.at(i, j));
+    }
+  }
+}
+
+TEST_P(CsrPropertyTest, ResidualInfOfExactSolutionIsZero) {
+  const std::size_t n = GetParam();
+  const CsrMatrix m = CsrMatrix::from_coo(random_coo(n, 70 + static_cast<unsigned>(n)));
+  std::mt19937 gen(4);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Vec x(n);
+  for (auto& v : x) v = dist(gen);
+  Vec b(n), scratch(n);
+  m.multiply(x, b);
+  EXPECT_NEAR(m.residual_inf(x, b, scratch), 0.0, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CsrPropertyTest, ::testing::Values(1, 2, 5, 17, 64, 200));
+
+}  // namespace

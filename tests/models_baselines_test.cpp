@@ -1,0 +1,155 @@
+// Baseline policies: M/M/1/K closed form, random allocation, shortest
+// queue (exponential and H2 variants).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ctmc/measures.hpp"
+#include "ctmc/reachability.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/mm1k.hpp"
+#include "models/random_alloc.hpp"
+#include "models/shortest_queue.hpp"
+
+namespace {
+
+using namespace tags;
+
+using QCase = std::tuple<double, double, unsigned>;
+class Mm1kTest : public ::testing::TestWithParam<QCase> {};
+
+TEST_P(Mm1kTest, AnalyticMatchesCtmc) {
+  const auto [lambda, mu, k] = GetParam();
+  const models::Mm1kParams p{lambda, mu, k};
+  const auto analytic = models::mm1k_analytic(p);
+  const auto chain = models::mm1k_ctmc(p);
+  const auto result = ctmc::steady_state(chain);
+  ASSERT_TRUE(result.converged);
+  for (unsigned i = 0; i <= k; ++i) EXPECT_NEAR(result.pi[i], analytic.pi[i], 1e-9);
+  EXPECT_NEAR(analytic.throughput + analytic.loss_rate, lambda, 1e-9);
+}
+
+TEST_P(Mm1kTest, ProbabilitiesFormDistribution) {
+  const auto [lambda, mu, k] = GetParam();
+  const auto analytic = models::mm1k_analytic({lambda, mu, k});
+  double total = 0.0;
+  for (double v : analytic.pi) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Mm1kTest,
+                         ::testing::Combine(::testing::Values(0.5, 3.0, 10.0, 15.0),
+                                            ::testing::Values(10.0),
+                                            ::testing::Values(1u, 5u, 10u, 40u)));
+
+TEST(Mm1k, CriticalLoadUniform) {
+  const auto r = models::mm1k_analytic({10.0, 10.0, 4});
+  for (double v : r.pi) EXPECT_NEAR(v, 0.2, 1e-12);
+}
+
+TEST(RandomAlloc, ExpIsTwoIndependentQueues) {
+  const models::RandomAllocParams p{.lambda = 8.0, .mu = 10.0, .k = 6, .p1 = 0.5};
+  const auto m = models::random_alloc_exp(p);
+  const auto half = models::mm1k_analytic({4.0, 10.0, 6});
+  EXPECT_NEAR(m.mean_q1, half.mean_jobs, 1e-12);
+  EXPECT_NEAR(m.mean_q2, half.mean_jobs, 1e-12);
+  EXPECT_NEAR(m.throughput, 2.0 * half.throughput, 1e-12);
+  EXPECT_NEAR(m.response_time, half.response_time, 1e-12);
+}
+
+TEST(RandomAlloc, WeightedSplit) {
+  const models::RandomAllocParams p{.lambda = 10.0, .mu = 10.0, .k = 6, .p1 = 0.7};
+  const auto m = models::random_alloc_exp(p);
+  const auto q1 = models::mm1k_analytic({7.0, 10.0, 6});
+  const auto q2 = models::mm1k_analytic({3.0, 10.0, 6});
+  EXPECT_NEAR(m.mean_q1, q1.mean_jobs, 1e-12);
+  EXPECT_NEAR(m.mean_q2, q2.mean_jobs, 1e-12);
+  EXPECT_GT(m.mean_q1, m.mean_q2);
+}
+
+TEST(Mh21k, DegeneratesToMm1kWhenRatesEqual) {
+  const models::Mh21kModel h2(4.0, 0.3, 10.0, 10.0, 6);
+  const auto m = h2.metrics();
+  const auto ref = models::mm1k_analytic({4.0, 10.0, 6});
+  EXPECT_NEAR(m.mean_q1, ref.mean_jobs, 1e-9);
+  EXPECT_NEAR(m.throughput, ref.throughput, 1e-9);
+  EXPECT_NEAR(m.loss1_rate, ref.loss_rate, 1e-9);
+}
+
+TEST(Mh21k, EncodeDecodeAndChainShape) {
+  const models::Mh21kModel h2(4.0, 0.9, 20.0, 0.5, 5);
+  EXPECT_EQ(h2.chain().n_states(), 11);
+  for (ctmc::index_t i = 0; i < h2.chain().n_states(); ++i) {
+    EXPECT_EQ(h2.encode(h2.decode(i)), i);
+  }
+  EXPECT_TRUE(ctmc::is_irreducible(h2.chain()));
+}
+
+TEST(Mh21k, HighVarianceHurtsPerformance) {
+  // Same mean demand, higher variance => longer queue (finite-buffer
+  // analogue of Pollaczek-Khinchine).
+  const models::Mh21kModel low(5.0, 0.5, 10.0, 10.0, 10);   // scv = 1
+  const models::Mh21kModel high(5.0, 0.99, 19.9, 0.199, 10);  // scv >> 1
+  EXPECT_GT(high.metrics().mean_q1, low.metrics().mean_q1);
+}
+
+TEST(ShortestQueue, SymmetricAndIrreducible) {
+  const models::ShortestQueueModel sq({.lambda = 8.0, .mu = 10.0, .k = 5});
+  EXPECT_TRUE(sq.chain().is_valid_generator());
+  EXPECT_TRUE(ctmc::is_irreducible(sq.chain()));
+  const auto m = sq.metrics();
+  EXPECT_NEAR(m.mean_q1, m.mean_q2, 1e-9);  // symmetric by construction
+  EXPECT_NEAR(m.flow_balance_gap(8.0), 0.0, 1e-7);
+}
+
+TEST(ShortestQueue, BeatsRandomAllocation) {
+  // The classic result: JSQ dominates random splitting.
+  for (double lambda : {4.0, 10.0, 16.0}) {
+    const auto sq =
+        models::ShortestQueueModel({.lambda = lambda, .mu = 10.0, .k = 8}).metrics();
+    const auto rnd = models::random_alloc_exp({.lambda = lambda, .mu = 10.0, .k = 8});
+    EXPECT_LT(sq.mean_total, rnd.mean_total) << "lambda=" << lambda;
+    EXPECT_GE(sq.throughput, rnd.throughput - 1e-9);
+  }
+}
+
+TEST(ShortestQueue, EncodeDecode) {
+  const models::ShortestQueueModel sq({.lambda = 2.0, .mu = 10.0, .k = 4});
+  for (ctmc::index_t i = 0; i < sq.chain().n_states(); ++i) {
+    const auto s = sq.decode(i);
+    EXPECT_EQ(sq.encode(s), i);
+  }
+}
+
+TEST(ShortestQueueH2, DegeneratesToExpWhenRatesEqual) {
+  const models::ShortestQueueH2Model h2(
+      {.lambda = 8.0, .alpha = 0.4, .mu1 = 10.0, .mu2 = 10.0, .k = 5});
+  const auto mh = h2.metrics();
+  const auto me = models::ShortestQueueModel({.lambda = 8.0, .mu = 10.0, .k = 5}).metrics();
+  EXPECT_NEAR(mh.mean_total, me.mean_total, 1e-8);
+  EXPECT_NEAR(mh.throughput, me.throughput, 1e-8);
+}
+
+TEST(ShortestQueueH2, EncodeDecodeBijection) {
+  const models::ShortestQueueH2Model h2(
+      {.lambda = 8.0, .alpha = 0.9, .mu1 = 20.0, .mu2 = 1.0, .k = 3});
+  const ctmc::index_t n = h2.chain().n_states();
+  EXPECT_EQ(n, 49);  // (2*3+1)^2
+  for (ctmc::index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(h2.encode(h2.decode(i)), i);
+  }
+}
+
+TEST(ShortestQueueH2, LossOnlyWhenBothFull) {
+  const models::ShortestQueueH2Model h2(
+      {.lambda = 30.0, .alpha = 0.9, .mu1 = 20.0, .mu2 = 1.0, .k = 2});
+  const auto m = h2.metrics();
+  EXPECT_GT(m.loss_rate, 0.0);
+  EXPECT_NEAR(m.flow_balance_gap(30.0), 0.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// The worked example from the paper's introduction, reproduced exactly.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "models/batch_example.hpp"
+
+namespace {
+
+using namespace tags::models;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const std::vector<double> kJobs{4, 5, 6, 7, 3, 2};
+const std::vector<double> kJobsHeavy{99, 5, 6, 7, 3, 2};
+
+TEST(BatchExample, NoTimeoutGives17) {
+  EXPECT_NEAR(tags_batch(kJobs, kInf).mean_response, 17.0, 1e-9);
+}
+
+TEST(BatchExample, ZeroTimeoutAlsoGives17) {
+  // "if the timeout was zero, all the jobs would be served at the second
+  // node and the average response time would be the same."
+  EXPECT_NEAR(tags_batch(kJobs, 0.0).mean_response, 17.0, 1e-9);
+}
+
+TEST(BatchExample, Timeout15Gives185) {
+  EXPECT_NEAR(tags_batch(kJobs, 1.5).mean_response, 18.5, 1e-9);
+}
+
+TEST(BatchExample, Timeout35Gives1667) {
+  EXPECT_NEAR(tags_batch(kJobs, 3.5).mean_response, 100.0 / 6.0, 1e-9);
+}
+
+TEST(BatchExample, TimeoutJustAbove3Gives1567) {
+  EXPECT_NEAR(tags_batch(kJobs, 3.0 + 1e-9).mean_response, 94.0 / 6.0, 1e-6);
+}
+
+TEST(BatchExample, OptimalTimeoutIsJustAbove3) {
+  const auto best = optimise_batch_timeout(kJobs);
+  EXPECT_NEAR(best.mean_response, 94.0 / 6.0, 1e-6);
+  EXPECT_NEAR(best.timeout, 3.0, 1e-6);
+}
+
+TEST(BatchExample, HeavyJobNoTimeoutGives112) {
+  EXPECT_NEAR(tags_batch(kJobsHeavy, kInf).mean_response, 112.0, 1e-9);
+}
+
+TEST(BatchExample, HeavyJobTimeout7Gives365) {
+  // "the optimal timeout is (predictably) fractionally above 7 seconds,
+  // where the average response time is 36.5 seconds".
+  EXPECT_NEAR(tags_batch(kJobsHeavy, 7.0 + 1e-9).mean_response, 36.5, 1e-6);
+  const auto best = optimise_batch_timeout(kJobsHeavy);
+  EXPECT_NEAR(best.timeout, 7.0, 1e-6);
+  EXPECT_NEAR(best.mean_response, 36.5, 1e-6);
+}
+
+TEST(BatchExample, CompletedAtNode1Counted) {
+  const auto r = tags_batch(kJobs, 3.5);
+  EXPECT_EQ(r.completed_at_node1, 2u);  // the 3- and 2-second jobs
+  const auto all = tags_batch(kJobs, kInf);
+  EXPECT_EQ(all.completed_at_node1, 6u);
+}
+
+TEST(BatchExample, ServiceRateScalesTime) {
+  const auto slow = tags_batch(kJobs, kInf, 1.0);
+  const auto fast = tags_batch(kJobs, kInf, 2.0);
+  EXPECT_NEAR(fast.mean_response, slow.mean_response / 2.0, 1e-9);
+}
+
+TEST(BatchExample, PerJobResponsesOrdered) {
+  const auto r = tags_batch(kJobs, 3.0 + 1e-9);
+  // Node-2 jobs (the four large ones) finish at 7, 12, 18, 25.
+  EXPECT_NEAR(r.response[0], 7.0, 1e-6);
+  EXPECT_NEAR(r.response[1], 12.0, 1e-6);
+  EXPECT_NEAR(r.response[2], 18.0, 1e-6);
+  EXPECT_NEAR(r.response[3], 25.0, 1e-6);
+  EXPECT_NEAR(r.response[4], 15.0, 1e-6);
+  EXPECT_NEAR(r.response[5], 17.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// The MMPP-modulated TAGS model (exact numerical treatment of the paper's
+// bursty-arrivals conjecture).
+#include <gtest/gtest.h>
+
+#include "ctmc/reachability.hpp"
+#include "models/tags.hpp"
+#include "models/tags_mmpp.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace tags;
+
+TEST(Mmpp, RateAndBurstinessFormulas) {
+  models::MmppParams m{.lambda0 = 1.0, .lambda1 = 21.0, .r01 = 0.25, .r10 = 1.0};
+  EXPECT_NEAR(m.phase1_probability(), 0.2, 1e-12);
+  EXPECT_NEAR(m.mean_rate(), 0.8 * 1.0 + 0.2 * 21.0, 1e-12);
+  EXPECT_GT(m.burstiness_index(), 1.0);
+  // A Poisson-in-disguise MMPP has IDC exactly 1.
+  models::MmppParams flat{.lambda0 = 5.0, .lambda1 = 5.0, .r01 = 0.3, .r10 = 0.7};
+  EXPECT_NEAR(flat.burstiness_index(), 1.0, 1e-12);
+}
+
+TEST(TagsMmpp, EncodeDecodeAndStructure) {
+  models::TagsMmppParams p;
+  p.n = 3;
+  p.k1 = p.k2 = 3;
+  const models::TagsMmppModel m(p);
+  models::TagsParams base;
+  base.n = 3;
+  base.k1 = base.k2 = 3;
+  EXPECT_EQ(m.n_states(), 2 * models::TagsModel::state_count(base));
+  for (ctmc::index_t i = 0; i < m.n_states(); ++i) {
+    const auto s = m.decode(i);
+    EXPECT_EQ(m.encode(s), i);
+  }
+  EXPECT_TRUE(m.chain().is_valid_generator());
+  EXPECT_TRUE(ctmc::is_irreducible(m.chain()));
+}
+
+TEST(TagsMmpp, DegenerateModulationMatchesTagsModel) {
+  models::TagsMmppParams p;
+  p.arrivals = {.lambda0 = 5.0, .lambda1 = 5.0, .r01 = 0.3, .r10 = 0.7};
+  p.t = 40.0;
+  p.n = 3;
+  p.k1 = p.k2 = 4;
+  const auto mmpp_metrics = models::TagsMmppModel(p).metrics();
+
+  models::TagsParams base;
+  base.lambda = 5.0;
+  base.mu = p.mu;
+  base.t = p.t;
+  base.n = p.n;
+  base.k1 = base.k2 = 4;
+  const auto plain = models::TagsModel(base).metrics();
+
+  EXPECT_NEAR(mmpp_metrics.mean_q1, plain.mean_q1, 1e-8);
+  EXPECT_NEAR(mmpp_metrics.mean_q2, plain.mean_q2, 1e-8);
+  EXPECT_NEAR(mmpp_metrics.throughput, plain.throughput, 1e-8);
+  EXPECT_NEAR(mmpp_metrics.loss_rate, plain.loss_rate, 1e-8);
+}
+
+TEST(TagsMmpp, FlowBalanceAgainstMeanRate) {
+  models::TagsMmppParams p;
+  p.arrivals = {.lambda0 = 1.0, .lambda1 = 21.0, .r01 = 0.25, .r10 = 1.0};
+  p.t = 50.0;
+  p.n = 3;
+  p.k1 = p.k2 = 4;
+  const auto m = models::TagsMmppModel(p).metrics();
+  EXPECT_NEAR(m.flow_balance_gap(p.arrivals.mean_rate()), 0.0, 1e-6);
+}
+
+TEST(TagsMmpp, BurstinessDegradesTags) {
+  // Same mean rate, increasing burstiness: queue lengths and losses grow.
+  const double mean_rate = 5.0;
+  double prev_en = 0.0, prev_loss = -1.0;
+  for (double l1 : {5.0, 10.0, 20.0, 40.0}) {
+    // Keep the mean: p1*l1 + (1-p1)*l0 = 5 with p1 = 0.2, l0 adjusted.
+    const double l0 = (mean_rate - 0.2 * l1) / 0.8;
+    if (l0 < 0.0) break;
+    models::TagsMmppParams p;
+    p.arrivals = {.lambda0 = l0, .lambda1 = l1, .r01 = 0.25, .r10 = 1.0};
+    p.t = 50.0;
+    p.n = 4;
+    p.k1 = p.k2 = 8;
+    ASSERT_NEAR(p.arrivals.mean_rate(), mean_rate, 1e-9);
+    const auto m = models::TagsMmppModel(p).metrics();
+    EXPECT_GT(m.mean_total, prev_en) << "lambda1=" << l1;
+    EXPECT_GT(m.loss_rate, prev_loss) << "lambda1=" << l1;
+    prev_en = m.mean_total;
+    prev_loss = m.loss_rate;
+  }
+}
+
+TEST(TagsMmpp, AgreesWithSimulator) {
+  models::TagsMmppParams p;
+  p.arrivals = {.lambda0 = 1.0, .lambda1 = 21.0, .r01 = 0.25, .r10 = 1.0};
+  p.t = 50.0;
+  p.n = 6;
+  p.k1 = p.k2 = 10;
+  const auto exact = models::TagsMmppModel(p).metrics();
+
+  sim::TagsSimParams sp;
+  sp.mmpp = sim::MmppArrivals{p.arrivals.lambda0, p.arrivals.lambda1, p.arrivals.r01,
+                              p.arrivals.r10};
+  sp.service = sim::Exponential{p.mu};
+  sp.timeouts = {sim::Erlang{p.n + 1, p.t}};
+  sp.buffers = {p.k1, p.k2};
+  sp.horizon = 3e5;
+  sp.seed = 101;
+  const auto sim_r = sim::simulate_tags(sp);
+  EXPECT_NEAR(sim_r.mean_total_queue, exact.mean_total,
+              0.1 * exact.mean_total + 0.05);
+  EXPECT_NEAR(sim_r.throughput, exact.throughput, 0.03 * exact.throughput);
+}
+
+}  // namespace

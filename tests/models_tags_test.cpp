@@ -1,0 +1,228 @@
+// The TAGS CTMC models: encoding bijections, conservation laws, limiting
+// behaviour, and the qualitative claims of the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/reachability.hpp"
+#include "models/mm1k.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+#include "models/tags_nnode.hpp"
+
+namespace {
+
+using namespace tags;
+using models::TagsModel;
+using models::TagsH2Model;
+
+TEST(TagsModel, EncodeDecodeBijection) {
+  models::TagsParams p;
+  p.n = 4;
+  p.k1 = 3;
+  p.k2 = 5;
+  const TagsModel m(p);
+  for (ctmc::index_t i = 0; i < m.n_states(); ++i) {
+    const auto s = m.decode(i);
+    EXPECT_EQ(m.encode(s), i);
+    EXPECT_LE(s.q1, p.k1);
+    EXPECT_LE(s.q2, p.k2);
+    EXPECT_LE(s.j1, p.n);
+    EXPECT_LE(s.phase2, p.n + 1);
+    if (s.q1 == 0) {
+      EXPECT_EQ(s.j1, p.n);
+    }
+    if (s.q2 == 0) {
+      EXPECT_EQ(s.phase2, p.n);
+    }
+  }
+}
+
+TEST(TagsH2Model, EncodeDecodeBijection) {
+  auto p = models::TagsH2Params::from_ratio(5.0, 0.9, 10.0, 0.1, 30.0, 3, 3, 4);
+  const TagsH2Model m(p);
+  EXPECT_EQ(m.n_states(), TagsH2Model::state_count(p));
+  for (ctmc::index_t i = 0; i < m.n_states(); ++i) {
+    const auto s = m.decode(i);
+    EXPECT_EQ(m.encode(s), i);
+    if (s.q1 == 0) {
+      EXPECT_EQ(s.c1, TagsH2Model::kShort);
+      EXPECT_EQ(s.j1, p.n);
+    }
+  }
+}
+
+class TagsConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(TagsConservation, FlowBalanceAndBounds) {
+  models::TagsParams p;
+  p.lambda = GetParam();
+  p.mu = 10.0;
+  p.t = 50.0;
+  p.n = 4;
+  p.k1 = p.k2 = 6;
+  const TagsModel m(p);
+  EXPECT_TRUE(m.chain().is_valid_generator());
+  EXPECT_TRUE(ctmc::is_irreducible(m.chain()));
+  const auto metrics = m.metrics();
+  // Arrivals = throughput + losses.
+  EXPECT_NEAR(metrics.flow_balance_gap(p.lambda), 0.0, 1e-6);
+  EXPECT_GE(metrics.throughput, 0.0);
+  EXPECT_LE(metrics.throughput, p.lambda + 1e-9);
+  EXPECT_GE(metrics.mean_q1, 0.0);
+  EXPECT_LE(metrics.mean_q1, p.k1);
+  EXPECT_LE(metrics.mean_q2, p.k2);
+  EXPECT_GE(metrics.utilisation1, 0.0);
+  EXPECT_LE(metrics.utilisation1, 1.0);
+  EXPECT_GT(metrics.response_time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, TagsConservation,
+                         ::testing::Values(1.0, 5.0, 9.0, 12.0, 18.0));
+
+TEST(TagsModel, LossIncreasesWithLoad) {
+  models::TagsParams p;
+  p.t = 50.0;
+  p.n = 4;
+  p.k1 = p.k2 = 5;
+  double prev_loss = -1.0;
+  for (double lambda : {2.0, 6.0, 10.0, 14.0, 18.0}) {
+    p.lambda = lambda;
+    const auto m = TagsModel(p).metrics();
+    EXPECT_GT(m.loss_rate, prev_loss);
+    prev_loss = m.loss_rate;
+  }
+}
+
+TEST(TagsModel, HugeTimeoutBehavesLikeSingleMm1k) {
+  // A tiny timer *rate* means an enormous timeout period: the timeout
+  // almost never fires, node 1 is an M/M/1/K1 and node 2 stays empty.
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = 1e-3;
+  p.n = 4;
+  p.k1 = p.k2 = 8;
+  const auto m = TagsModel(p).metrics();
+  const auto ref = models::mm1k_analytic({p.lambda, p.mu, p.k1});
+  EXPECT_NEAR(m.mean_q1, ref.mean_jobs, 1e-2);
+  EXPECT_LT(m.mean_q2, 1e-2);
+  EXPECT_NEAR(m.throughput, ref.throughput, 1e-2);
+}
+
+TEST(TagsModel, TinyTimeoutPushesEverythingToNode2) {
+  models::TagsParams p;
+  p.lambda = 2.0;
+  p.mu = 10.0;
+  p.t = 1e5;  // huge rate => timeout period ~ 0 => everything times out
+  p.n = 0;    // single phase to make the period truly tiny
+  p.k1 = p.k2 = 8;
+  const auto m = TagsModel(p).metrics();
+  // Almost all service happens at node 2.
+  EXPECT_LT(m.utilisation1, 0.05);
+  EXPECT_GT(m.utilisation2, 0.15);
+  EXPECT_NEAR(m.flow_balance_gap(p.lambda), 0.0, 1e-6);
+}
+
+TEST(TagsModel, WorkWastedOnNode2LossesReducesThroughput) {
+  // With a tiny node-2 buffer and short timeout, many timed-out jobs are
+  // dropped after consuming node-1 service (the paper's key finite-buffer
+  // observation).
+  models::TagsParams p;
+  p.lambda = 9.0;
+  p.mu = 10.0;
+  p.t = 30.0;
+  p.n = 4;
+  p.k1 = 8;
+  p.k2 = 1;
+  const auto m = TagsModel(p).metrics();
+  EXPECT_GT(m.loss2_rate, 0.1);  // real loss at node 2
+}
+
+TEST(TagsH2Model, AlphaPrimeIsUsedConsistently) {
+  auto p = models::TagsH2Params::from_ratio(11.0, 0.99, 100.0, 0.1, 50.0, 3, 4, 4);
+  EXPECT_NEAR(p.mean_demand(), 0.1, 1e-12);
+  const double ap = p.alpha_prime();
+  EXPECT_GT(ap, 0.0);
+  EXPECT_LT(ap, p.alpha);
+  const auto m = TagsH2Model(p).metrics();
+  EXPECT_NEAR(m.flow_balance_gap(p.lambda), 0.0, 1e-5);
+}
+
+TEST(TagsH2Model, NearExponentialLimitMatchesExpModel) {
+  // mu1 == mu2 makes the H2 an exponential; the H2 model must then agree
+  // with the exponential TAGS model.
+  models::TagsH2Params hp;
+  hp.lambda = 5.0;
+  hp.alpha = 0.5;
+  hp.mu1 = 10.0;
+  hp.mu2 = 10.0;
+  hp.t = 40.0;
+  hp.n = 3;
+  hp.k1 = hp.k2 = 4;
+  const auto h2 = TagsH2Model(hp).metrics();
+
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = 40.0;
+  p.n = 3;
+  p.k1 = p.k2 = 4;
+  const auto ex = TagsModel(p).metrics();
+
+  EXPECT_NEAR(h2.mean_q1, ex.mean_q1, 1e-8);
+  EXPECT_NEAR(h2.mean_q2, ex.mean_q2, 1e-8);
+  EXPECT_NEAR(h2.throughput, ex.throughput, 1e-8);
+  EXPECT_NEAR(h2.loss_rate, ex.loss_rate, 1e-8);
+}
+
+TEST(TagsNNode, TwoNodeReducesToTagsModel) {
+  models::TagsNNodeParams np;
+  np.lambda = 5.0;
+  np.mu = 10.0;
+  np.n = 3;
+  np.timeout_rates = {40.0};
+  np.buffers = {4, 4};
+  const models::TagsNNodeModel nn(np);
+
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = 40.0;
+  p.n = 3;
+  p.k1 = p.k2 = 4;
+  const TagsModel direct(p);
+
+  EXPECT_EQ(nn.n_states(), direct.n_states());
+  const auto mn = nn.metrics();
+  const auto md = direct.metrics();
+  EXPECT_NEAR(mn.mean_q[0], md.mean_q1, 1e-7);
+  EXPECT_NEAR(mn.mean_q[1], md.mean_q2, 1e-7);
+  EXPECT_NEAR(mn.throughput, md.throughput, 1e-7);
+  EXPECT_NEAR(mn.total_loss, md.loss_rate, 1e-7);
+}
+
+TEST(TagsNNode, ThreeNodeChainIsWellFormed) {
+  models::TagsNNodeParams np;
+  np.lambda = 6.0;
+  np.mu = 10.0;
+  np.n = 2;
+  np.timeout_rates = {30.0, 15.0};  // increasing timeout durations downstream
+  np.buffers = {3, 3, 3};
+  const models::TagsNNodeModel nn(np);
+  EXPECT_TRUE(nn.chain().is_valid_generator());
+  EXPECT_TRUE(ctmc::is_irreducible(nn.chain()));
+  const auto m = nn.metrics();
+  const double total_flow = m.throughput + m.total_loss;
+  EXPECT_NEAR(total_flow, np.lambda, 1e-6);
+  EXPECT_EQ(m.mean_q.size(), 3u);
+}
+
+TEST(TagsNNode, RejectsBadConfiguration) {
+  models::TagsNNodeParams np;
+  np.buffers = {4};
+  np.timeout_rates = {};
+  EXPECT_THROW(models::TagsNNodeModel{np}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// PEPA lexer and parser tests: token streams, grammar, precedence, error
+// reporting, and printer round-trips.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pepa/lexer.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/printer.hpp"
+
+namespace {
+
+using namespace tags::pepa;
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = lex("P = (a, 1.5).Q;");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "P");
+  EXPECT_EQ(toks[1].kind, TokenKind::kEquals);
+  EXPECT_EQ(toks[2].kind, TokenKind::kLParen);
+  EXPECT_EQ(toks[4].kind, TokenKind::kComma);
+  EXPECT_EQ(toks[5].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[5].number, 1.5);
+  EXPECT_EQ(toks.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto toks = lex("% PEPA style\n# hash\n// slashes\n/* block\n */ P");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "P");
+}
+
+TEST(Lexer, InftyKeywordAndT) {
+  const auto toks = lex("infty T");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInfty);
+  EXPECT_EQ(toks[1].kind, TokenKind::kInfty);
+}
+
+TEST(Lexer, ScientificNumbers) {
+  const auto toks = lex("1e3 2.5E-2 .5");
+  EXPECT_DOUBLE_EQ(toks[0].number, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 0.025);
+  EXPECT_DOUBLE_EQ(toks[2].number, 0.5);
+}
+
+TEST(Lexer, PrimedIdentifiers) {
+  const auto toks = lex("Q1' Q2''");
+  EXPECT_EQ(toks[0].text, "Q1'");
+  EXPECT_EQ(toks[1].text, "Q2''");
+}
+
+TEST(Lexer, ParallelOperator) {
+  const auto toks = lex("P || Q");
+  EXPECT_EQ(toks[1].kind, TokenKind::kParallel);
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  try {
+    (void)lex("P = $;");
+    FAIL() << "expected LexError";
+  } catch (const LexError& e) {
+    EXPECT_NE(std::string(e.what()).find("1:"), std::string::npos);
+  }
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  EXPECT_THROW((void)lex("/* never closed"), LexError);
+}
+
+TEST(Parser, SimpleDefinition) {
+  const Model m = parse_model("P = (a, 1).P;");
+  ASSERT_EQ(m.definitions.size(), 1u);
+  EXPECT_EQ(m.definitions[0].name, "P");
+  EXPECT_EQ(m.definitions[0].body->kind, Process::Kind::kPrefix);
+}
+
+TEST(Parser, ParameterVsProcessByCase) {
+  const Model m = parse_model("rate = 2 * 3;\nP = (a, rate).P;");
+  ASSERT_EQ(m.params.size(), 1u);
+  ASSERT_EQ(m.definitions.size(), 1u);
+  EXPECT_EQ(m.params[0].name, "rate");
+}
+
+TEST(Parser, ChoiceAndPrecedence) {
+  const ProcPtr p = parse_process("(a, 1).P + (b, 2).Q");
+  ASSERT_EQ(p->kind, Process::Kind::kChoice);
+  EXPECT_EQ(p->left->kind, Process::Kind::kPrefix);
+  EXPECT_EQ(p->right->kind, Process::Kind::kPrefix);
+}
+
+TEST(Parser, CooperationBindsLooserThanChoice) {
+  const ProcPtr p = parse_process("P + Q <a> R");
+  ASSERT_EQ(p->kind, Process::Kind::kCoop);
+  EXPECT_EQ(p->left->kind, Process::Kind::kChoice);
+  ASSERT_EQ(p->action_set.size(), 1u);
+  EXPECT_EQ(p->action_set[0], "a");
+}
+
+TEST(Parser, EmptyCoopAndParallelShorthand) {
+  const ProcPtr p1 = parse_process("P <> Q");
+  const ProcPtr p2 = parse_process("P || Q");
+  EXPECT_TRUE(p1->action_set.empty());
+  EXPECT_TRUE(p2->action_set.empty());
+  EXPECT_EQ(p1->kind, Process::Kind::kCoop);
+  EXPECT_EQ(p2->kind, Process::Kind::kCoop);
+}
+
+TEST(Parser, CooperationLeftAssociative) {
+  const ProcPtr p = parse_process("P <a> Q <b> R");
+  ASSERT_EQ(p->kind, Process::Kind::kCoop);
+  EXPECT_EQ(p->action_set[0], "b");
+  EXPECT_EQ(p->left->kind, Process::Kind::kCoop);
+}
+
+TEST(Parser, HidingPostfix) {
+  const ProcPtr p = parse_process("P / {a, b}");
+  ASSERT_EQ(p->kind, Process::Kind::kHide);
+  EXPECT_EQ(p->action_set.size(), 2u);
+}
+
+TEST(Parser, ParenthesisedProcessVsActivity) {
+  // "(P <a> Q)" must parse as a group, "(a, r).P" as a prefix.
+  const ProcPtr group = parse_process("(P <a> Q) <b> R");
+  EXPECT_EQ(group->kind, Process::Kind::kCoop);
+  EXPECT_EQ(group->left->kind, Process::Kind::kCoop);
+  const ProcPtr prefix = parse_process("(act, 3).P");
+  EXPECT_EQ(prefix->kind, Process::Kind::kPrefix);
+}
+
+TEST(Parser, RateArithmetic) {
+  const Model m = parse_model("a = 1 + 2 * 3;\nb = (1 + 2) * 3;\nc = -a / 2;\nP = (x, a).P;");
+  ASSERT_EQ(m.params.size(), 3u);
+}
+
+TEST(Parser, WeightedPassiveRates) {
+  const ProcPtr p = parse_process("(a, 2 * infty).P");
+  EXPECT_EQ(p->kind, Process::Kind::kPrefix);
+}
+
+TEST(Parser, RejectsUppercaseAction) {
+  EXPECT_THROW((void)parse_process("(Action, 1).P"), ParseError);
+}
+
+TEST(Parser, RejectsLowercaseConstant) {
+  EXPECT_THROW((void)parse_process("(a, 1).lower"), ParseError);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  EXPECT_THROW((void)parse_model("P = (a, 1).P"), ParseError);
+}
+
+TEST(Parser, RejectsGarbageAfterProcess) {
+  EXPECT_THROW((void)parse_process("P Q"), ParseError);
+}
+
+TEST(Printer, RoundTripSimple) {
+  const char* src = "lambda = 5;\n\nP = (a, lambda).Q + (b, 2 * infty).P;\nQ = P <a, b> P;\n";
+  const Model m = parse_model(src);
+  const std::string printed = to_source(m);
+  const Model m2 = parse_model(printed);
+  EXPECT_EQ(to_source(m2), printed);  // printing is a fixed point
+}
+
+TEST(Printer, FormatsRates) {
+  EXPECT_EQ(format_rate(5.0), "5");
+  EXPECT_EQ(format_rate(0.5), "0.5");
+}
+
+TEST(Printer, HidingAndCoopRendering) {
+  const ProcPtr p = parse_process("(P <a> Q) / {a}");
+  const std::string s = to_string(*p);
+  EXPECT_NE(s.find("<a>"), std::string::npos);
+  EXPECT_NE(s.find("/ {a}"), std::string::npos);
+  // Re-parse what we printed.
+  EXPECT_NO_THROW((void)parse_process(s));
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzzTest, RandomInputNeverCrashes) {
+  // Random soups of PEPA tokens must either parse or throw LexError /
+  // ParseError — never crash or hang.
+  std::mt19937 gen(GetParam());
+  const std::vector<std::string> atoms{
+      "P",  "Q",   "rate", "a",  "b",  "infty", "1",  "2.5", "=", ";",
+      "(",  ")",   ",",    ".",  "+",  "-",     "*",  "/",   "<", ">",
+      "{",  "}",   "||",   " ",  "\n", "%c\n",  "Q1'"};
+  std::uniform_int_distribution<std::size_t> pick(0, atoms.size() - 1);
+  std::uniform_int_distribution<int> len(1, 60);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string src;
+    const int n = len(gen);
+    for (int i = 0; i < n; ++i) src += atoms[pick(gen)];
+    try {
+      (void)parse_model(src);
+    } catch (const LexError&) {
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0u, 8u));
+
+TEST(Model, FindHelpers) {
+  const Model m = parse_model("r = 1;\nP = (a, r).P;");
+  EXPECT_NE(m.find_definition("P"), nullptr);
+  EXPECT_EQ(m.find_definition("Q"), nullptr);
+  EXPECT_NE(m.find_param("r"), nullptr);
+  EXPECT_EQ(m.find_param("s"), nullptr);
+}
+
+}  // namespace

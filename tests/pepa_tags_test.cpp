@@ -1,0 +1,153 @@
+// The paper's models expressed in PEPA, derived through the engine and
+// checked against the direct CTMC builders — state counts (including the
+// published 4331) and steady-state measures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/reachability.hpp"
+#include "models/pepa_sources.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/to_ctmc.hpp"
+#include "pepa/validate.hpp"
+
+namespace {
+
+using namespace tags;
+
+TEST(PaperStateCounts, QuotedCountIsFormulaAtN5) {
+  // Section 5 quotes "a model of 4331 states" for n = 6, K = 10, but
+  // (K1(n+1)+1)(K2(n+2)+1) gives 4331 = 61 * 71 exactly at n = 5 — see
+  // DESIGN.md. Both counts must be produced by both constructions.
+  models::TagsParams p;
+  p.n = 5;
+  EXPECT_EQ(models::TagsModel::state_count(p), 4331);
+  EXPECT_EQ(models::TagsModel(p).n_states(), 4331);
+  p.n = 6;
+  EXPECT_EQ(models::TagsModel::state_count(p), 5751);
+  EXPECT_EQ(models::TagsModel(p).n_states(), 5751);
+}
+
+TEST(PaperStateCounts, PepaDerivationAgrees) {
+  for (unsigned n : {5u, 6u}) {
+    models::TagsParams p;
+    p.n = n;
+    const auto dm = pepa::derive(pepa::parse_model(models::tags_pepa_source(p)), "System");
+    EXPECT_EQ(dm.chain.n_states(), models::TagsModel::state_count(p)) << "n=" << n;
+    EXPECT_TRUE(ctmc::is_irreducible(dm.chain));
+  }
+}
+
+class TagsPepaAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(TagsPepaAgreement, MetricsMatchDirectBuilder) {
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = GetParam();
+  p.n = 3;  // smaller for speed; structure identical
+  p.k1 = p.k2 = 4;
+
+  const models::TagsModel direct(p);
+  const auto direct_metrics = direct.metrics();
+
+  auto solved = pepa::solve_source(models::tags_pepa_source(p), "System");
+  ASSERT_EQ(solved.model.chain.n_states(), direct.n_states());
+
+  const double pepa_thr = solved.action_throughput("service1") +
+                          solved.action_throughput("service2");
+  EXPECT_NEAR(pepa_thr, direct_metrics.throughput, 1e-7);
+
+  // Mean queue lengths via population rewards over the queue derivatives.
+  double q1 = 0.0, q2 = 0.0;
+  for (unsigned i = 1; i <= p.k1; ++i) {
+    q1 += i * solved.state_probability([&](const std::vector<pepa::seq_id>& st) {
+      return solved.model.seq->name(st[0]) == "Q1_" + std::to_string(i);
+    });
+  }
+  for (unsigned i = 1; i <= p.k2; ++i) {
+    q2 += i * solved.state_probability([&](const std::vector<pepa::seq_id>& st) {
+      const std::string name = solved.model.seq->name(st[2]);
+      return name == "Q2_" + std::to_string(i) || name == "Q2p_" + std::to_string(i);
+    });
+  }
+  EXPECT_NEAR(q1, direct_metrics.mean_q1, 1e-7);
+  EXPECT_NEAR(q2, direct_metrics.mean_q2, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeoutRates, TagsPepaAgreement,
+                         ::testing::Values(5.0, 20.0, 50.0, 120.0));
+
+TEST(TagsPepa, ModelValidates) {
+  models::TagsParams p;
+  p.n = 3;
+  p.k1 = p.k2 = 3;
+  const auto model = pepa::parse_model(models::tags_pepa_source(p));
+  const auto report = pepa::check_model(model);
+  EXPECT_TRUE(report.ok) << (report.problems.empty() ? "" : report.problems[0]);
+  const auto derived_report = pepa::check_derived(pepa::derive(model, "System"));
+  EXPECT_TRUE(derived_report.ok);
+}
+
+TEST(TagsH2Pepa, StateCountAndMetricsMatchDirect) {
+  auto p = models::TagsH2Params::from_ratio(5.0, 0.9, 10.0, 0.1, 30.0,
+                                            /*n=*/2, /*k1=*/3, /*k2=*/3);
+  const models::TagsH2Model direct(p);
+  EXPECT_EQ(direct.n_states(), models::TagsH2Model::state_count(p));
+
+  auto solved = pepa::solve_source(models::tags_h2_pepa_source(p), "System");
+  EXPECT_EQ(solved.model.chain.n_states(), direct.n_states());
+
+  const auto direct_metrics = direct.metrics();
+  const double pepa_thr = solved.action_throughput("service1") +
+                          solved.action_throughput("service2");
+  EXPECT_NEAR(pepa_thr, direct_metrics.throughput, 1e-7);
+  EXPECT_NEAR(solved.action_throughput("timeout"),
+              ctmc::throughput(direct.chain(),
+                               direct.solve().pi, "timeout") +
+                  ctmc::throughput(direct.chain(), direct.solve().pi, "timeout_lost"),
+              1e-6);
+}
+
+TEST(RandomPepa, MatchesClosedForm) {
+  models::RandomAllocParams p{.lambda = 6.0, .mu = 10.0, .k = 5, .p1 = 0.5};
+  auto solved = pepa::solve_source(models::random_pepa_source(p), "System");
+  const auto analytic = models::random_alloc_exp(p);
+  const double thr = solved.action_throughput("service1") +
+                     solved.action_throughput("service2");
+  EXPECT_NEAR(thr, analytic.throughput, 1e-8);
+  EXPECT_EQ(solved.model.chain.n_states(),
+            static_cast<ctmc::index_t>((p.k + 1) * (p.k + 1)));
+}
+
+TEST(ShortestQueuePepa, MatchesDirectModel) {
+  models::ShortestQueueParams p{.lambda = 8.0, .mu = 10.0, .k = 4};
+  auto solved = pepa::solve_source(models::shortest_queue_pepa_source(p), "System");
+  const auto direct = models::ShortestQueueModel(p).metrics();
+  const double thr = solved.action_throughput("serv1") +
+                     solved.action_throughput("serv2");
+  EXPECT_NEAR(thr, direct.throughput, 1e-7);
+  // Joint reachable states: (q1, q2) pairs (the S component's difference is
+  // determined by them).
+  EXPECT_EQ(solved.model.chain.n_states(),
+            static_cast<ctmc::index_t>((p.k + 1) * (p.k + 1)));
+}
+
+TEST(TagsPepa, EmptyTimerStatesArePinned) {
+  // With an empty queue 1 the timer must be frozen at n: no reachable state
+  // pairs (Q1_0, T1_j) with j != n.
+  models::TagsParams p;
+  p.n = 3;
+  p.k1 = p.k2 = 2;
+  const auto dm = pepa::derive(pepa::parse_model(models::tags_pepa_source(p)), "System");
+  for (std::size_t s = 0; s < dm.states.size(); ++s) {
+    if (dm.local_name(s, 0) == "Q1_0") {
+      EXPECT_EQ(dm.local_name(s, 1), "T1_" + std::to_string(p.n));
+    }
+    if (dm.local_name(s, 2) == "Q2_0") {
+      EXPECT_EQ(dm.local_name(s, 3), "T2_" + std::to_string(p.n));
+    }
+  }
+}
+
+}  // namespace

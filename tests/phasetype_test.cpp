@@ -1,0 +1,203 @@
+// Phase-type distribution tests against closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phasetype/fitting.hpp"
+#include "phasetype/ph.hpp"
+#include "phasetype/residual.hpp"
+
+namespace {
+
+using namespace tags::ph;
+
+TEST(PhaseType, ExponentialMoments) {
+  const PhaseType e = exponential(4.0);
+  EXPECT_NEAR(e.mean(), 0.25, 1e-12);
+  EXPECT_NEAR(e.moment(2), 2.0 / 16.0, 1e-12);
+  EXPECT_NEAR(e.scv(), 1.0, 1e-12);
+}
+
+class ErlangMomentTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ErlangMomentTest, MomentsMatchClosedForm) {
+  const unsigned k = GetParam();
+  const double rate = 3.0;
+  const PhaseType e = erlang(k, rate);
+  EXPECT_NEAR(e.mean(), k / rate, 1e-10);
+  EXPECT_NEAR(e.variance(), k / (rate * rate), 1e-9);
+  EXPECT_NEAR(e.scv(), 1.0 / k, 1e-9);
+  // Third raw moment of Erlang: k(k+1)(k+2)/rate^3.
+  EXPECT_NEAR(e.moment(3), k * (k + 1.0) * (k + 2.0) / std::pow(rate, 3.0), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ErlangMomentTest, ::testing::Values(1u, 2u, 3u, 7u, 20u));
+
+TEST(PhaseType, H2Moments) {
+  const double p = 0.99, mu1 = 19.9, mu2 = 0.199;  // the paper's Fig 9 setup
+  const PhaseType h = hyperexp2(p, mu1, mu2);
+  EXPECT_NEAR(h.mean(), p / mu1 + (1 - p) / mu2, 1e-12);
+  EXPECT_NEAR(h.moment(2), 2 * p / (mu1 * mu1) + 2 * (1 - p) / (mu2 * mu2), 1e-10);
+  EXPECT_GT(h.scv(), 1.0);  // hyper-exponential always has scv >= 1
+}
+
+TEST(PhaseType, CdfSurvivalPdfClosedForms) {
+  const PhaseType e = exponential(2.0);
+  for (double x : {0.0, 0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(e.survival(x), std::exp(-2.0 * x), 1e-10);
+    EXPECT_NEAR(e.pdf(x), 2.0 * std::exp(-2.0 * x), 1e-9);
+  }
+  const PhaseType h = hyperexp2(0.3, 1.0, 5.0);
+  for (double x : {0.2, 1.0, 2.0}) {
+    EXPECT_NEAR(h.survival(x), 0.3 * std::exp(-x) + 0.7 * std::exp(-5.0 * x), 1e-9);
+  }
+  // Erlang(2, r) survival: e^{-rx}(1 + rx).
+  const PhaseType er = erlang(2, 3.0);
+  for (double x : {0.1, 0.5, 1.5}) {
+    EXPECT_NEAR(er.survival(x), std::exp(-3.0 * x) * (1.0 + 3.0 * x), 1e-9);
+  }
+}
+
+TEST(PhaseType, LaplaceTransform) {
+  const PhaseType e = exponential(3.0);
+  for (double s : {0.0, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(e.laplace(s), 3.0 / (3.0 + s), 1e-10);
+  }
+  const PhaseType er = erlang(3, 2.0);
+  EXPECT_NEAR(er.laplace(1.0), std::pow(2.0 / 3.0, 3.0), 1e-10);
+}
+
+TEST(PhaseType, SurvivalAgainstErlangClosedForm) {
+  // For S ~ Exp(mu): P(S > Erlang(k, t)) = (t/(t+mu))^k.
+  const double mu = 10.0, t = 50.0;
+  const PhaseType e = exponential(mu);
+  for (unsigned k : {1u, 3u, 7u}) {
+    EXPECT_NEAR(e.survival_against_erlang(k, t),
+                std::pow(t / (t + mu), static_cast<double>(k)), 1e-12);
+  }
+}
+
+TEST(PhaseType, ResidualAfterErlangMatchesAlphaPrime) {
+  // The general matrix computation must reproduce the paper's closed-form
+  // alpha' for H2 demands.
+  const double alpha = 0.99, mu1 = 19.9, mu2 = 0.199, t = 50.0;
+  const unsigned k = 7;  // n = 6 ticks + timeout phase
+  const PhaseType h = hyperexp2(alpha, mu1, mu2);
+  const PhaseType residual = h.residual_after_erlang(k, t);
+  const double expected = h2_alpha_prime(alpha, mu1, mu2, k, t);
+  EXPECT_NEAR(residual.alpha()[0], expected, 1e-12);
+  EXPECT_NEAR(residual.alpha()[1], 1.0 - expected, 1e-12);
+}
+
+TEST(Residual, AlphaPrimeProperties) {
+  const double alpha = 0.99, mu1 = 19.9, mu2 = 0.199;
+  // Long jobs survive the timeout more often, so alpha' < alpha.
+  for (double t : {5.0, 20.0, 50.0, 200.0}) {
+    const double ap = h2_alpha_prime(alpha, mu1, mu2, 7, t);
+    EXPECT_LT(ap, alpha);
+    EXPECT_GT(ap, 0.0);
+  }
+  // As t -> infinity the timeout barely bites: alpha' -> alpha.
+  EXPECT_NEAR(h2_alpha_prime(alpha, mu1, mu2, 7, 1e7), alpha, 1e-3);
+  // Timeout probability is between the two pure-class survival probs.
+  const double p = h2_timeout_probability(alpha, mu1, mu2, 7, 50.0);
+  EXPECT_GT(p, exp_survival_vs_erlang(mu1, 7, 50.0) * alpha);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(PhaseType, ConvolutionMeansAdd) {
+  const PhaseType a = erlang(2, 3.0);
+  const PhaseType b = exponential(5.0);
+  const PhaseType c = convolve(a, b);
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1e-10);
+  EXPECT_NEAR(c.variance(), a.variance() + b.variance(), 1e-9);
+}
+
+TEST(PhaseType, MixtureMeansCombine) {
+  const PhaseType a = exponential(1.0);
+  const PhaseType b = exponential(10.0);
+  const PhaseType m = mixture(0.25, a, b);
+  EXPECT_NEAR(m.mean(), 0.25 * 1.0 + 0.75 * 0.1, 1e-12);
+}
+
+TEST(PhaseType, MinimumOfExponentialsIsExponential) {
+  const PhaseType a = exponential(2.0);
+  const PhaseType b = exponential(3.0);
+  const PhaseType mn = minimum(a, b);
+  EXPECT_NEAR(mn.mean(), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(mn.survival(0.7), std::exp(-5.0 * 0.7), 1e-9);
+}
+
+TEST(PhaseType, MinimumErlangVsExp) {
+  // E[min(S, T)] with S~Exp(mu), T~Erlang(k,t) has the closed form used by
+  // the Section 4 approximation: (1 - (t/(t+mu))^k)/mu.
+  const double mu = 10.0, t = 50.0;
+  const unsigned k = 7;
+  const PhaseType mn = minimum(exponential(mu), erlang(k, t));
+  const double expected = (1.0 - std::pow(t / (t + mu), static_cast<double>(k))) / mu;
+  EXPECT_NEAR(mn.mean(), expected, 1e-10);
+}
+
+TEST(PhaseType, CoxianConstruction) {
+  // Coxian with continuation prob 1 everywhere == Erlang.
+  const PhaseType cox = coxian({2.0, 2.0, 2.0}, {1.0, 1.0});
+  const PhaseType er = erlang(3, 2.0);
+  EXPECT_NEAR(cox.mean(), er.mean(), 1e-12);
+  EXPECT_NEAR(cox.moment(2), er.moment(2), 1e-10);
+  // Continuation prob 0 == single exponential.
+  const PhaseType cox1 = coxian({2.0, 7.0}, {0.0});
+  EXPECT_NEAR(cox1.mean(), 0.5, 1e-12);
+}
+
+TEST(Fitting, ErlangFit) {
+  const PhaseType f = fit_erlang(2.0, 0.25);
+  EXPECT_NEAR(f.mean(), 2.0, 1e-10);
+  EXPECT_NEAR(f.scv(), 0.25, 1e-10);
+}
+
+TEST(Fitting, H2BalancedMeansFit) {
+  for (double scv : {1.5, 4.0, 20.0}) {
+    const PhaseType f = fit_h2(0.1, scv);
+    EXPECT_NEAR(f.mean(), 0.1, 1e-10);
+    EXPECT_NEAR(f.scv(), scv, 1e-8);
+  }
+}
+
+TEST(Fitting, TwoMomentDispatch) {
+  EXPECT_NEAR(fit_two_moment(1.0, 0.5).scv(), 0.5, 1e-9);
+  EXPECT_NEAR(fit_two_moment(1.0, 1.0).scv(), 1.0, 1e-9);
+  EXPECT_NEAR(fit_two_moment(1.0, 3.0).scv(), 3.0, 1e-8);
+}
+
+TEST(Fitting, H2WithRatioMatchesPaperParameters) {
+  // Fig 9: alpha = 0.99, mu1 = 100 mu2, mean 0.1 -> mu1 = 19.9, mu2 = 0.199.
+  const PhaseType h = h2_with_ratio(0.99, 100.0, 0.1);
+  EXPECT_NEAR(h.mean(), 0.1, 1e-12);
+  EXPECT_NEAR(-h.T()(0, 0), 19.9, 1e-9);
+  EXPECT_NEAR(-h.T()(1, 1), 0.199, 1e-12);
+}
+
+TEST(PhaseType, ValidationRejectsBadInput) {
+  using tags::linalg::DenseMatrix;
+  DenseMatrix bad(1, 1);
+  bad(0, 0) = 1.0;  // positive diagonal
+  EXPECT_THROW(PhaseType({1.0}, bad), std::invalid_argument);
+  DenseMatrix ok(1, 1);
+  ok(0, 0) = -1.0;
+  EXPECT_THROW(PhaseType({1.5}, ok), std::invalid_argument);   // alpha > 1
+  EXPECT_THROW(PhaseType({-0.5}, ok), std::invalid_argument);  // alpha < 0
+  EXPECT_THROW(exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(coxian({1.0}, {0.5}), std::invalid_argument);
+}
+
+TEST(PhaseType, AtomAtZeroHandled) {
+  // Deficient alpha: with prob 0.5 the demand is 0.
+  tags::linalg::DenseMatrix t(1, 1);
+  t(0, 0) = -2.0;
+  const PhaseType p({0.5}, t);
+  EXPECT_NEAR(p.mean(), 0.25, 1e-12);
+  EXPECT_NEAR(p.laplace(1.0), 0.5 * 2.0 / 3.0 + 0.5, 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Writes the paper's PEPA models (Figures 3 and 5, Appendices A and B) as
+// .pepa files, ready for the pepa CLI:
+//
+//   ./tools/export_models [output_dir]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "models/pepa_sources.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tags::models;
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "pepa_models";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  const auto write = [&](const std::string& name, const std::string& text) {
+    const auto path = dir / name;
+    std::ofstream f(path);
+    f << text;
+    std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), text.size());
+  };
+
+  TagsParams tags_p;  // paper defaults
+  tags_p.t = 51.0;
+  write("tags_fig3.pepa", tags_pepa_source(tags_p));
+
+  const auto h2_p = TagsH2Params::from_ratio(11.0, 0.99, 100.0, 0.1, 12.0);
+  write("tags_h2_fig5.pepa", tags_h2_pepa_source(h2_p));
+
+  write("random_appendix_a.pepa",
+        random_pepa_source({.lambda = 5.0, .mu = 10.0, .k = 10, .p1 = 0.5}));
+  write("shortest_queue_appendix_b.pepa",
+        shortest_queue_pepa_source({.lambda = 5.0, .mu = 10.0, .k = 10}));
+  return 0;
+}
