@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_approximation"
+  "../bench/abl_approximation.pdb"
+  "CMakeFiles/abl_approximation.dir/abl_approximation.cpp.o"
+  "CMakeFiles/abl_approximation.dir/abl_approximation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

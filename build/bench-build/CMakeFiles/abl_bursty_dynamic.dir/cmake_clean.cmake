@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bursty_dynamic"
+  "../bench/abl_bursty_dynamic.pdb"
+  "CMakeFiles/abl_bursty_dynamic.dir/abl_bursty_dynamic.cpp.o"
+  "CMakeFiles/abl_bursty_dynamic.dir/abl_bursty_dynamic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bursty_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_erlang_order"
+  "../bench/abl_erlang_order.pdb"
+  "CMakeFiles/abl_erlang_order.dir/abl_erlang_order.cpp.o"
+  "CMakeFiles/abl_erlang_order.dir/abl_erlang_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_erlang_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fairness"
+  "../bench/abl_fairness.pdb"
+  "CMakeFiles/abl_fairness.dir/abl_fairness.cpp.o"
+  "CMakeFiles/abl_fairness.dir/abl_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

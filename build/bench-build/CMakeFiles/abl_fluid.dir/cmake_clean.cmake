@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fluid"
+  "../bench/abl_fluid.pdb"
+  "CMakeFiles/abl_fluid.dir/abl_fluid.cpp.o"
+  "CMakeFiles/abl_fluid.dir/abl_fluid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

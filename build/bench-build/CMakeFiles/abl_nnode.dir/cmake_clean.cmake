@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_nnode"
+  "../bench/abl_nnode.pdb"
+  "CMakeFiles/abl_nnode.dir/abl_nnode.cpp.o"
+  "CMakeFiles/abl_nnode.dir/abl_nnode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

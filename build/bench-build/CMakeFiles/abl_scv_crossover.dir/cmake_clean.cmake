@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_scv_crossover"
+  "../bench/abl_scv_crossover.pdb"
+  "CMakeFiles/abl_scv_crossover.dir/abl_scv_crossover.cpp.o"
+  "CMakeFiles/abl_scv_crossover.dir/abl_scv_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scv_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sim_validation"
+  "../bench/abl_sim_validation.pdb"
+  "CMakeFiles/abl_sim_validation.dir/abl_sim_validation.cpp.o"
+  "CMakeFiles/abl_sim_validation.dir/abl_sim_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

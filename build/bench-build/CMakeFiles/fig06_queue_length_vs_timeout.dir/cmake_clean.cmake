@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_queue_length_vs_timeout"
+  "../bench/fig06_queue_length_vs_timeout.pdb"
+  "CMakeFiles/fig06_queue_length_vs_timeout.dir/fig06_queue_length_vs_timeout.cpp.o"
+  "CMakeFiles/fig06_queue_length_vs_timeout.dir/fig06_queue_length_vs_timeout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_queue_length_vs_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

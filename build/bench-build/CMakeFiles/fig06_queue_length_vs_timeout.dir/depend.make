@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_queue_length_vs_timeout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_response_time_vs_timeout"
+  "../bench/fig07_response_time_vs_timeout.pdb"
+  "CMakeFiles/fig07_response_time_vs_timeout.dir/fig07_response_time_vs_timeout.cpp.o"
+  "CMakeFiles/fig07_response_time_vs_timeout.dir/fig07_response_time_vs_timeout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_response_time_vs_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

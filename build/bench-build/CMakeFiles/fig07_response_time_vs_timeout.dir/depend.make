@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_response_time_vs_timeout.
+# This may be replaced when dependencies are built.

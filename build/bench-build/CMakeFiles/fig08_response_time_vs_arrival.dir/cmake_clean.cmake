@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_response_time_vs_arrival"
+  "../bench/fig08_response_time_vs_arrival.pdb"
+  "CMakeFiles/fig08_response_time_vs_arrival.dir/fig08_response_time_vs_arrival.cpp.o"
+  "CMakeFiles/fig08_response_time_vs_arrival.dir/fig08_response_time_vs_arrival.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_response_time_vs_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_response_time_vs_arrival.
+# This may be replaced when dependencies are built.

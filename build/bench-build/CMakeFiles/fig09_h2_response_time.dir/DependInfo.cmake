@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_h2_response_time.cpp" "bench-build/CMakeFiles/fig09_h2_response_time.dir/fig09_h2_response_time.cpp.o" "gcc" "bench-build/CMakeFiles/fig09_h2_response_time.dir/fig09_h2_response_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_phasetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

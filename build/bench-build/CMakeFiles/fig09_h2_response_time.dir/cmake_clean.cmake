@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_h2_response_time"
+  "../bench/fig09_h2_response_time.pdb"
+  "CMakeFiles/fig09_h2_response_time.dir/fig09_h2_response_time.cpp.o"
+  "CMakeFiles/fig09_h2_response_time.dir/fig09_h2_response_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_h2_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

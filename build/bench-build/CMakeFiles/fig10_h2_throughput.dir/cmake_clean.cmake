@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_h2_throughput"
+  "../bench/fig10_h2_throughput.pdb"
+  "CMakeFiles/fig10_h2_throughput.dir/fig10_h2_throughput.cpp.o"
+  "CMakeFiles/fig10_h2_throughput.dir/fig10_h2_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_h2_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_response_vs_alpha"
+  "../bench/fig11_response_vs_alpha.pdb"
+  "CMakeFiles/fig11_response_vs_alpha.dir/fig11_response_vs_alpha.cpp.o"
+  "CMakeFiles/fig11_response_vs_alpha.dir/fig11_response_vs_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_response_vs_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_response_vs_alpha.
+# This may be replaced when dependencies are built.

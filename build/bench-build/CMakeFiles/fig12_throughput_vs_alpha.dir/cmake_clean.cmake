@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_throughput_vs_alpha"
+  "../bench/fig12_throughput_vs_alpha.pdb"
+  "CMakeFiles/fig12_throughput_vs_alpha.dir/fig12_throughput_vs_alpha.cpp.o"
+  "CMakeFiles/fig12_throughput_vs_alpha.dir/fig12_throughput_vs_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput_vs_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

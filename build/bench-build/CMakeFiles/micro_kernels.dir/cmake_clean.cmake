@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_kernels"
+  "../bench/micro_kernels.pdb"
+  "CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o"
+  "CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_solvers"
+  "../bench/micro_solvers.pdb"
+  "CMakeFiles/micro_solvers.dir/micro_solvers.cpp.o"
+  "CMakeFiles/micro_solvers.dir/micro_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_statespace"
+  "../bench/micro_statespace.pdb"
+  "CMakeFiles/micro_statespace.dir/micro_statespace.cpp.o"
+  "CMakeFiles/micro_statespace.dir/micro_statespace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pepa_explorer"
+  "../examples/pepa_explorer.pdb"
+  "CMakeFiles/pepa_explorer.dir/pepa_explorer.cpp.o"
+  "CMakeFiles/pepa_explorer.dir/pepa_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pepa_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

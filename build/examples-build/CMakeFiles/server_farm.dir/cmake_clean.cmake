@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/server_farm"
+  "../examples/server_farm.pdb"
+  "CMakeFiles/server_farm.dir/server_farm.cpp.o"
+  "CMakeFiles/server_farm.dir/server_farm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for server_farm.
+# This may be replaced when dependencies are built.

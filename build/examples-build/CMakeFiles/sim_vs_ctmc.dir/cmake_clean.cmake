@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sim_vs_ctmc"
+  "../examples/sim_vs_ctmc.pdb"
+  "CMakeFiles/sim_vs_ctmc.dir/sim_vs_ctmc.cpp.o"
+  "CMakeFiles/sim_vs_ctmc.dir/sim_vs_ctmc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vs_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

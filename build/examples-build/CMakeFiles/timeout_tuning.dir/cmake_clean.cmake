@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/timeout_tuning"
+  "../examples/timeout_tuning.pdb"
+  "CMakeFiles/timeout_tuning.dir/timeout_tuning.cpp.o"
+  "CMakeFiles/timeout_tuning.dir/timeout_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

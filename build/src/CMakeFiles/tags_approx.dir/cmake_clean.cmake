@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_approx.dir/approx/balance.cpp.o"
+  "CMakeFiles/tags_approx.dir/approx/balance.cpp.o.d"
+  "CMakeFiles/tags_approx.dir/approx/mm1k_composition.cpp.o"
+  "CMakeFiles/tags_approx.dir/approx/mm1k_composition.cpp.o.d"
+  "CMakeFiles/tags_approx.dir/approx/optimizer.cpp.o"
+  "CMakeFiles/tags_approx.dir/approx/optimizer.cpp.o.d"
+  "CMakeFiles/tags_approx.dir/approx/roots.cpp.o"
+  "CMakeFiles/tags_approx.dir/approx/roots.cpp.o.d"
+  "libtags_approx.a"
+  "libtags_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/tags_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/tags_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/tags_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/tags_core.dir/core/sweep.cpp.o"
+  "CMakeFiles/tags_core.dir/core/sweep.cpp.o.d"
+  "CMakeFiles/tags_core.dir/core/table.cpp.o"
+  "CMakeFiles/tags_core.dir/core/table.cpp.o.d"
+  "libtags_core.a"
+  "libtags_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/builder.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/builder.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/builder.cpp.o.d"
+  "/root/repo/src/ctmc/ctmc.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/ctmc.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/first_passage.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/first_passage.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/first_passage.cpp.o.d"
+  "/root/repo/src/ctmc/measures.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/measures.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/measures.cpp.o.d"
+  "/root/repo/src/ctmc/reachability.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/reachability.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/reachability.cpp.o.d"
+  "/root/repo/src/ctmc/steady_state.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/steady_state.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/steady_state.cpp.o.d"
+  "/root/repo/src/ctmc/uniformization.cpp" "src/CMakeFiles/tags_ctmc.dir/ctmc/uniformization.cpp.o" "gcc" "src/CMakeFiles/tags_ctmc.dir/ctmc/uniformization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

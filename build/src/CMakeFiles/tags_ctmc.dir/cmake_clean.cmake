@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_ctmc.dir/ctmc/builder.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/builder.cpp.o.d"
+  "CMakeFiles/tags_ctmc.dir/ctmc/ctmc.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/ctmc.cpp.o.d"
+  "CMakeFiles/tags_ctmc.dir/ctmc/first_passage.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/first_passage.cpp.o.d"
+  "CMakeFiles/tags_ctmc.dir/ctmc/measures.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/measures.cpp.o.d"
+  "CMakeFiles/tags_ctmc.dir/ctmc/reachability.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/reachability.cpp.o.d"
+  "CMakeFiles/tags_ctmc.dir/ctmc/steady_state.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/steady_state.cpp.o.d"
+  "CMakeFiles/tags_ctmc.dir/ctmc/uniformization.cpp.o"
+  "CMakeFiles/tags_ctmc.dir/ctmc/uniformization.cpp.o.d"
+  "libtags_ctmc.a"
+  "libtags_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_fluid.dir/fluid/fluid_tags.cpp.o"
+  "CMakeFiles/tags_fluid.dir/fluid/fluid_tags.cpp.o.d"
+  "libtags_fluid.a"
+  "libtags_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

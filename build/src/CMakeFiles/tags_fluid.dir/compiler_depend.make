@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tags_fluid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/bicgstab.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/bicgstab.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/bicgstab.cpp.o.d"
+  "/root/repo/src/linalg/coo.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/coo.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/coo.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/gauss_seidel.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/gauss_seidel.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/gauss_seidel.cpp.o.d"
+  "/root/repo/src/linalg/gmres.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/gmres.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/gmres.cpp.o.d"
+  "/root/repo/src/linalg/jacobi.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/jacobi.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/jacobi.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/solver.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/solver.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/solver.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/tags_linalg.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/tags_linalg.dir/linalg/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

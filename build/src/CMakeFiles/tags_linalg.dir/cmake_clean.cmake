@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_linalg.dir/linalg/bicgstab.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/bicgstab.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/coo.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/coo.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/csr.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/csr.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/dense.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/dense.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/gauss_seidel.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/gauss_seidel.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/gmres.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/gmres.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/jacobi.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/jacobi.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/solver.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/solver.cpp.o.d"
+  "CMakeFiles/tags_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/tags_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "libtags_linalg.a"
+  "libtags_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

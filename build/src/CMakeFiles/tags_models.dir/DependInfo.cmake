@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/batch_example.cpp" "src/CMakeFiles/tags_models.dir/models/batch_example.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/batch_example.cpp.o.d"
+  "/root/repo/src/models/metrics.cpp" "src/CMakeFiles/tags_models.dir/models/metrics.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/metrics.cpp.o.d"
+  "/root/repo/src/models/mm1k.cpp" "src/CMakeFiles/tags_models.dir/models/mm1k.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/mm1k.cpp.o.d"
+  "/root/repo/src/models/pepa_sources.cpp" "src/CMakeFiles/tags_models.dir/models/pepa_sources.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/pepa_sources.cpp.o.d"
+  "/root/repo/src/models/random_alloc.cpp" "src/CMakeFiles/tags_models.dir/models/random_alloc.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/random_alloc.cpp.o.d"
+  "/root/repo/src/models/round_robin.cpp" "src/CMakeFiles/tags_models.dir/models/round_robin.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/round_robin.cpp.o.d"
+  "/root/repo/src/models/shortest_queue.cpp" "src/CMakeFiles/tags_models.dir/models/shortest_queue.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/shortest_queue.cpp.o.d"
+  "/root/repo/src/models/tags.cpp" "src/CMakeFiles/tags_models.dir/models/tags.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/tags.cpp.o.d"
+  "/root/repo/src/models/tags_h2.cpp" "src/CMakeFiles/tags_models.dir/models/tags_h2.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/tags_h2.cpp.o.d"
+  "/root/repo/src/models/tags_mmpp.cpp" "src/CMakeFiles/tags_models.dir/models/tags_mmpp.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/tags_mmpp.cpp.o.d"
+  "/root/repo/src/models/tags_nnode.cpp" "src/CMakeFiles/tags_models.dir/models/tags_nnode.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/tags_nnode.cpp.o.d"
+  "/root/repo/src/models/tags_ph.cpp" "src/CMakeFiles/tags_models.dir/models/tags_ph.cpp.o" "gcc" "src/CMakeFiles/tags_models.dir/models/tags_ph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_phasetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_models.dir/models/batch_example.cpp.o"
+  "CMakeFiles/tags_models.dir/models/batch_example.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/metrics.cpp.o"
+  "CMakeFiles/tags_models.dir/models/metrics.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/mm1k.cpp.o"
+  "CMakeFiles/tags_models.dir/models/mm1k.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/pepa_sources.cpp.o"
+  "CMakeFiles/tags_models.dir/models/pepa_sources.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/random_alloc.cpp.o"
+  "CMakeFiles/tags_models.dir/models/random_alloc.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/round_robin.cpp.o"
+  "CMakeFiles/tags_models.dir/models/round_robin.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/shortest_queue.cpp.o"
+  "CMakeFiles/tags_models.dir/models/shortest_queue.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/tags.cpp.o"
+  "CMakeFiles/tags_models.dir/models/tags.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/tags_h2.cpp.o"
+  "CMakeFiles/tags_models.dir/models/tags_h2.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/tags_mmpp.cpp.o"
+  "CMakeFiles/tags_models.dir/models/tags_mmpp.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/tags_nnode.cpp.o"
+  "CMakeFiles/tags_models.dir/models/tags_nnode.cpp.o.d"
+  "CMakeFiles/tags_models.dir/models/tags_ph.cpp.o"
+  "CMakeFiles/tags_models.dir/models/tags_ph.cpp.o.d"
+  "libtags_models.a"
+  "libtags_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluid/ode.cpp" "src/CMakeFiles/tags_ode.dir/fluid/ode.cpp.o" "gcc" "src/CMakeFiles/tags_ode.dir/fluid/ode.cpp.o.d"
+  "/root/repo/src/fluid/rk4.cpp" "src/CMakeFiles/tags_ode.dir/fluid/rk4.cpp.o" "gcc" "src/CMakeFiles/tags_ode.dir/fluid/rk4.cpp.o.d"
+  "/root/repo/src/fluid/rkf45.cpp" "src/CMakeFiles/tags_ode.dir/fluid/rkf45.cpp.o" "gcc" "src/CMakeFiles/tags_ode.dir/fluid/rkf45.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

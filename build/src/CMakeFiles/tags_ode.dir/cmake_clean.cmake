@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_ode.dir/fluid/ode.cpp.o"
+  "CMakeFiles/tags_ode.dir/fluid/ode.cpp.o.d"
+  "CMakeFiles/tags_ode.dir/fluid/rk4.cpp.o"
+  "CMakeFiles/tags_ode.dir/fluid/rk4.cpp.o.d"
+  "CMakeFiles/tags_ode.dir/fluid/rkf45.cpp.o"
+  "CMakeFiles/tags_ode.dir/fluid/rkf45.cpp.o.d"
+  "libtags_ode.a"
+  "libtags_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tags_ode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tags_ode.
+# This may be replaced when dependencies are built.

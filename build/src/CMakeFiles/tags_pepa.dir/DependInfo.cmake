@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pepa/ast.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/ast.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/ast.cpp.o.d"
+  "/root/repo/src/pepa/derivation.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/derivation.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/derivation.cpp.o.d"
+  "/root/repo/src/pepa/env.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/env.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/env.cpp.o.d"
+  "/root/repo/src/pepa/fluid.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/fluid.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/fluid.cpp.o.d"
+  "/root/repo/src/pepa/lexer.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/lexer.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/lexer.cpp.o.d"
+  "/root/repo/src/pepa/parser.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/parser.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/parser.cpp.o.d"
+  "/root/repo/src/pepa/printer.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/printer.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/printer.cpp.o.d"
+  "/root/repo/src/pepa/to_ctmc.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/to_ctmc.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/to_ctmc.cpp.o.d"
+  "/root/repo/src/pepa/validate.cpp" "src/CMakeFiles/tags_pepa.dir/pepa/validate.cpp.o" "gcc" "src/CMakeFiles/tags_pepa.dir/pepa/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_pepa.dir/pepa/ast.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/ast.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/derivation.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/derivation.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/env.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/env.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/fluid.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/fluid.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/lexer.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/lexer.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/parser.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/parser.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/printer.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/printer.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/to_ctmc.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/to_ctmc.cpp.o.d"
+  "CMakeFiles/tags_pepa.dir/pepa/validate.cpp.o"
+  "CMakeFiles/tags_pepa.dir/pepa/validate.cpp.o.d"
+  "libtags_pepa.a"
+  "libtags_pepa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_pepa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phasetype/fitting.cpp" "src/CMakeFiles/tags_phasetype.dir/phasetype/fitting.cpp.o" "gcc" "src/CMakeFiles/tags_phasetype.dir/phasetype/fitting.cpp.o.d"
+  "/root/repo/src/phasetype/ph.cpp" "src/CMakeFiles/tags_phasetype.dir/phasetype/ph.cpp.o" "gcc" "src/CMakeFiles/tags_phasetype.dir/phasetype/ph.cpp.o.d"
+  "/root/repo/src/phasetype/residual.cpp" "src/CMakeFiles/tags_phasetype.dir/phasetype/residual.cpp.o" "gcc" "src/CMakeFiles/tags_phasetype.dir/phasetype/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_phasetype.dir/phasetype/fitting.cpp.o"
+  "CMakeFiles/tags_phasetype.dir/phasetype/fitting.cpp.o.d"
+  "CMakeFiles/tags_phasetype.dir/phasetype/ph.cpp.o"
+  "CMakeFiles/tags_phasetype.dir/phasetype/ph.cpp.o.d"
+  "CMakeFiles/tags_phasetype.dir/phasetype/residual.cpp.o"
+  "CMakeFiles/tags_phasetype.dir/phasetype/residual.cpp.o.d"
+  "libtags_phasetype.a"
+  "libtags_phasetype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_phasetype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distributions.cpp" "src/CMakeFiles/tags_sim.dir/sim/distributions.cpp.o" "gcc" "src/CMakeFiles/tags_sim.dir/sim/distributions.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/tags_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/tags_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/policies.cpp" "src/CMakeFiles/tags_sim.dir/sim/policies.cpp.o" "gcc" "src/CMakeFiles/tags_sim.dir/sim/policies.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/tags_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/tags_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/tags_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/tags_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/tags_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/tags_sim.dir/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_phasetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

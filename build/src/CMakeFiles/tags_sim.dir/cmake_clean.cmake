@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_sim.dir/sim/distributions.cpp.o"
+  "CMakeFiles/tags_sim.dir/sim/distributions.cpp.o.d"
+  "CMakeFiles/tags_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/tags_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/tags_sim.dir/sim/policies.cpp.o"
+  "CMakeFiles/tags_sim.dir/sim/policies.cpp.o.d"
+  "CMakeFiles/tags_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/tags_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/tags_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/tags_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/tags_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/tags_sim.dir/sim/stats.cpp.o.d"
+  "libtags_sim.a"
+  "libtags_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/approx_test.cpp" "tests/CMakeFiles/tags_tests.dir/approx_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/approx_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/tags_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/ctmc_random_chain_test.cpp" "tests/CMakeFiles/tags_tests.dir/ctmc_random_chain_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/ctmc_random_chain_test.cpp.o.d"
+  "/root/repo/tests/ctmc_test.cpp" "tests/CMakeFiles/tags_tests.dir/ctmc_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/ctmc_test.cpp.o.d"
+  "/root/repo/tests/ctmc_transient_test.cpp" "tests/CMakeFiles/tags_tests.dir/ctmc_transient_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/ctmc_transient_test.cpp.o.d"
+  "/root/repo/tests/fluid_test.cpp" "tests/CMakeFiles/tags_tests.dir/fluid_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/fluid_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tags_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/linalg_dense_lu_test.cpp" "tests/CMakeFiles/tags_tests.dir/linalg_dense_lu_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/linalg_dense_lu_test.cpp.o.d"
+  "/root/repo/tests/linalg_solvers_test.cpp" "tests/CMakeFiles/tags_tests.dir/linalg_solvers_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/linalg_solvers_test.cpp.o.d"
+  "/root/repo/tests/linalg_sparse_test.cpp" "tests/CMakeFiles/tags_tests.dir/linalg_sparse_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/linalg_sparse_test.cpp.o.d"
+  "/root/repo/tests/linalg_vector_test.cpp" "tests/CMakeFiles/tags_tests.dir/linalg_vector_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/linalg_vector_test.cpp.o.d"
+  "/root/repo/tests/models_baselines_test.cpp" "tests/CMakeFiles/tags_tests.dir/models_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/models_baselines_test.cpp.o.d"
+  "/root/repo/tests/models_batch_test.cpp" "tests/CMakeFiles/tags_tests.dir/models_batch_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/models_batch_test.cpp.o.d"
+  "/root/repo/tests/models_extensions_test.cpp" "tests/CMakeFiles/tags_tests.dir/models_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/models_extensions_test.cpp.o.d"
+  "/root/repo/tests/models_mmpp_test.cpp" "tests/CMakeFiles/tags_tests.dir/models_mmpp_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/models_mmpp_test.cpp.o.d"
+  "/root/repo/tests/models_tags_test.cpp" "tests/CMakeFiles/tags_tests.dir/models_tags_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/models_tags_test.cpp.o.d"
+  "/root/repo/tests/pepa_fluid_test.cpp" "tests/CMakeFiles/tags_tests.dir/pepa_fluid_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/pepa_fluid_test.cpp.o.d"
+  "/root/repo/tests/pepa_lexer_parser_test.cpp" "tests/CMakeFiles/tags_tests.dir/pepa_lexer_parser_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/pepa_lexer_parser_test.cpp.o.d"
+  "/root/repo/tests/pepa_semantics_test.cpp" "tests/CMakeFiles/tags_tests.dir/pepa_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/pepa_semantics_test.cpp.o.d"
+  "/root/repo/tests/pepa_tags_test.cpp" "tests/CMakeFiles/tags_tests.dir/pepa_tags_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/pepa_tags_test.cpp.o.d"
+  "/root/repo/tests/phasetype_test.cpp" "tests/CMakeFiles/tags_tests.dir/phasetype_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/phasetype_test.cpp.o.d"
+  "/root/repo/tests/sim_bursty_test.cpp" "tests/CMakeFiles/tags_tests.dir/sim_bursty_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/sim_bursty_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/tags_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/tags_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tags_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_pepa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_phasetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tags_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

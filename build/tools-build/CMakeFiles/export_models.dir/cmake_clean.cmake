@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/export_models"
+  "../tools/export_models.pdb"
+  "CMakeFiles/export_models.dir/export_models.cpp.o"
+  "CMakeFiles/export_models.dir/export_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

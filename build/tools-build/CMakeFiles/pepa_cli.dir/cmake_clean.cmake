@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/pepa"
+  "../tools/pepa.pdb"
+  "CMakeFiles/pepa_cli.dir/pepa_cli.cpp.o"
+  "CMakeFiles/pepa_cli.dir/pepa_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pepa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
