@@ -2,16 +2,33 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/table.hpp"
+#include "obs/obs.hpp"
 
 namespace tags::bench {
 
-/// Print the standard header for a figure reproduction.
+/// Print the standard header for a figure reproduction. Also installs a
+/// JSONL trace sink when TAGS_OBS_TRACE_FILE names a path (pair with
+/// TAGS_OBS_LEVEL=2 to capture per-iteration solver residuals).
 inline void figure_header(const std::string& id, const std::string& description,
                           const std::string& params) {
+#if TAGS_OBS_ENABLED
+  if (const char* trace_file = std::getenv("TAGS_OBS_TRACE_FILE")) {
+    auto sink = std::make_shared<obs::JsonlSink>(trace_file);
+    if (sink->ok()) {
+      obs::install_trace_sink(std::move(sink));
+      std::printf("[trace events -> %s]\n", trace_file);
+    } else {
+      std::fprintf(stderr, "[cannot open trace file %s; tracing disabled]\n",
+                   trace_file);
+    }
+  }
+#endif
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), description.c_str());
   std::printf("paper: Thomas, 'Modelling job allocation where service\n");
@@ -19,14 +36,30 @@ inline void figure_header(const std::string& id, const std::string& description,
   std::printf("==============================================================\n");
 }
 
-/// Print a table and (best effort) save the CSV next to the binary.
+/// Write the bench telemetry JSON (timers, counters, solve log) for the
+/// bench identified by `id` into results/<id>_telemetry.json. Schema:
+/// tools/check_bench_json.py; documented in README "Observability".
+inline void emit_telemetry(const std::string& id) {
+  const std::string path = "results/" + id + "_telemetry.json";
+  if (obs::write_telemetry_json(path, id)) {
+    std::printf("[telemetry written: %s]\n", path.c_str());
+  } else {
+    std::printf("[telemetry not written]\n");
+  }
+}
+
+/// Print a table, (best effort) save the CSV next to the binary, and emit
+/// the per-bench telemetry JSON under results/.
 inline void emit(core::Table& table, const std::string& csv_name) {
   table.print(std::cout);
   if (table.save_csv(csv_name)) {
-    std::printf("[csv written: %s]\n\n", csv_name.c_str());
+    std::printf("[csv written: %s]\n", csv_name.c_str());
   } else {
-    std::printf("[csv not written]\n\n");
+    std::printf("[csv not written]\n");
   }
+  const std::string stem = csv_name.substr(0, csv_name.rfind('.'));
+  emit_telemetry(stem);
+  std::printf("\n");
 }
 
 }  // namespace tags::bench

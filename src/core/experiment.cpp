@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "core/sweep.hpp"
+#include "obs/obs.hpp"
 
 namespace tags::core {
 
@@ -31,14 +32,23 @@ PolicyComparison compare_policies_h2(const models::TagsH2Params& p) {
 
 std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
                                           const std::vector<double>& t_values) {
+  const obs::ScopedTimer sweep_timer("core/tags_t_sweep");
   std::vector<models::Metrics> out;
   out.reserve(t_values.size());
   ctmc::SteadyStateOptions opts;
   for (double t : t_values) {
     models::TagsParams p = base;
     p.t = t;
-    const models::TagsModel model(p);
-    const auto solved = model.solve(opts);
+    const auto model = [&] {
+      const obs::ScopedTimer build_timer("build");
+      return models::TagsModel(p);
+    }();
+    obs::gauge_set("core.tags_t_sweep.last_states",
+                   static_cast<double>(model.n_states()));
+    const auto solved = [&] {
+      const obs::ScopedTimer solve_timer("solve");
+      return model.solve(opts);
+    }();
     if (solved.converged) opts.initial_guess = solved.pi;
     out.push_back(model.metrics_from(solved.pi));
   }
@@ -47,14 +57,23 @@ std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
 
 std::vector<models::Metrics> tags_h2_t_sweep(const models::TagsH2Params& base,
                                              const std::vector<double>& t_values) {
+  const obs::ScopedTimer sweep_timer("core/tags_h2_t_sweep");
   std::vector<models::Metrics> out;
   out.reserve(t_values.size());
   ctmc::SteadyStateOptions opts;
   for (double t : t_values) {
     models::TagsH2Params p = base;
     p.t = t;
-    const models::TagsH2Model model(p);
-    const auto solved = model.solve(opts);
+    const auto model = [&] {
+      const obs::ScopedTimer build_timer("build");
+      return models::TagsH2Model(p);
+    }();
+    obs::gauge_set("core.tags_h2_t_sweep.last_states",
+                   static_cast<double>(model.n_states()));
+    const auto solved = [&] {
+      const obs::ScopedTimer solve_timer("solve");
+      return model.solve(opts);
+    }();
     if (solved.converged) opts.initial_guess = solved.pi;
     out.push_back(model.metrics_from(solved.pi));
   }

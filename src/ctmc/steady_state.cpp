@@ -4,10 +4,40 @@
 #include <cmath>
 
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 
 namespace tags::ctmc {
 
+std::string_view to_string(SteadyStateMethod m) noexcept {
+  switch (m) {
+    case SteadyStateMethod::kAuto: return "auto";
+    case SteadyStateMethod::kDenseLu: return "dense-lu";
+    case SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
+    case SteadyStateMethod::kPower: return "power";
+    case SteadyStateMethod::kGmres: return "gmres";
+  }
+  return "unknown";
+}
+
 namespace {
+
+/// Record the just-finished solve as this result's own attempt entry.
+void note_attempt(SteadyStateResult& res) {
+  res.attempts.push_back(
+      {res.method_used, res.iterations, res.residual, res.converged});
+}
+
+/// Trace a kAuto transition from a failed method to the next one.
+void trace_fallback(SteadyStateMethod from, SteadyStateMethod to, double residual) {
+  obs::count("ctmc.steady_state.fallbacks");
+  if (!obs::tracing_on()) return;
+  obs::TraceEvent ev;
+  ev.name = "steady_state.fallback";
+  ev.str.emplace_back("from", std::string(to_string(from)));
+  ev.str.emplace_back("to", std::string(to_string(to)));
+  ev.num.emplace_back("residual", residual);
+  obs::emit(std::move(ev));
+}
 
 using linalg::CooMatrix;
 using linalg::CsrMatrix;
@@ -31,6 +61,7 @@ Vec initial_vector(const Ctmc& chain, const SteadyStateOptions& opts) {
 }
 
 SteadyStateResult solve_dense_lu(const Ctmc& chain) {
+  const obs::ScopedTimer timer("dense-lu");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kDenseLu;
   const std::size_t n = static_cast<std::size_t>(chain.n_states());
@@ -48,7 +79,10 @@ SteadyStateResult solve_dense_lu(const Ctmc& chain) {
   Vec b(n, 0.0);
   b[n - 1] = 1.0;
   const linalg::LuFactorization f = linalg::lu_factor(std::move(a));
-  if (f.singular()) return res;
+  if (f.singular()) {
+    note_attempt(res);
+    return res;
+  }
   res.pi = f.solve(b);
   for (double& v : res.pi) v = std::max(v, 0.0);
   linalg::normalize_l1(res.pi);
@@ -57,10 +91,12 @@ SteadyStateResult solve_dense_lu(const Ctmc& chain) {
   res.converged = std::isfinite(res.residual) &&
                   res.residual <= 1e-6 * std::max(1.0, chain.max_exit_rate());
   res.iterations = 1;
+  note_attempt(res);
   return res;
 }
 
 SteadyStateResult solve_gauss_seidel(const Ctmc& chain, const SteadyStateOptions& opts) {
+  const obs::ScopedTimer timer("gauss-seidel");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGaussSeidel;
   const std::size_t n = static_cast<std::size_t>(chain.n_states());
@@ -88,6 +124,7 @@ SteadyStateResult solve_gauss_seidel(const Ctmc& chain, const SteadyStateOptions
     linalg::normalize_l1(pi);
     if ((res.iterations & 15) == 15 || res.iterations + 1 == opts.max_iter) {
       res.residual = balance_residual(qt, pi, scratch);
+      obs::trace_iteration("steady.gauss-seidel", res.iterations, res.residual);
       if (res.residual <= tol) {
         res.converged = true;
         ++res.iterations;
@@ -98,10 +135,12 @@ SteadyStateResult solve_gauss_seidel(const Ctmc& chain, const SteadyStateOptions
   res.residual = balance_residual(qt, pi, scratch);
   res.converged = res.residual <= tol;
   res.pi = std::move(pi);
+  note_attempt(res);
   return res;
 }
 
 SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts) {
+  const obs::ScopedTimer timer("power");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kPower;
   const std::size_t n = static_cast<std::size_t>(chain.n_states());
@@ -130,6 +169,7 @@ SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts)
     pi.swap(next);
     if ((res.iterations & 15) == 15 || res.iterations + 1 == opts.max_iter) {
       res.residual = balance_residual(qt, pi, scratch);
+      obs::trace_iteration("steady.power", res.iterations, res.residual);
       if (res.residual <= tol) {
         res.converged = true;
         ++res.iterations;
@@ -140,10 +180,12 @@ SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts)
   res.residual = balance_residual(qt, pi, scratch);
   res.converged = res.residual <= tol;
   res.pi = std::move(pi);
+  note_attempt(res);
   return res;
 }
 
 SteadyStateResult solve_gmres(const Ctmc& chain, const SteadyStateOptions& opts) {
+  const obs::ScopedTimer timer("gmres");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGmres;
   const std::size_t n = static_cast<std::size_t>(chain.n_states());
@@ -181,13 +223,11 @@ SteadyStateResult solve_gmres(const Ctmc& chain, const SteadyStateOptions& opts)
   res.residual = balance_residual(q.transposed(), x, scratch);
   res.converged = res.residual <= tol * 10.0;  // allow slack vs linear tol
   res.pi = std::move(x);
+  note_attempt(res);
   return res;
 }
 
-}  // namespace
-
-SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts) {
-  assert(chain.n_states() > 0);
+SteadyStateResult steady_state_impl(const Ctmc& chain, const SteadyStateOptions& opts) {
   switch (opts.method) {
     case SteadyStateMethod::kDenseLu: return solve_dense_lu(chain);
     case SteadyStateMethod::kGaussSeidel: return solve_gauss_seidel(chain, opts);
@@ -195,22 +235,74 @@ SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts
     case SteadyStateMethod::kGmres: return solve_gmres(chain, opts);
     case SteadyStateMethod::kAuto: break;
   }
+  std::vector<SteadyStateAttempt> chain_attempts;
+  const auto finish = [&](SteadyStateResult r) {
+    chain_attempts.insert(chain_attempts.end(), r.attempts.begin(), r.attempts.end());
+    r.attempts = std::move(chain_attempts);
+    return r;
+  };
   if (chain.n_states() <= 1200) {
     SteadyStateResult res = solve_dense_lu(chain);
-    if (res.converged) return res;
+    if (res.converged) return finish(std::move(res));
+    trace_fallback(SteadyStateMethod::kDenseLu, SteadyStateMethod::kGaussSeidel,
+                   res.residual);
+    chain_attempts.insert(chain_attempts.end(), res.attempts.begin(),
+                          res.attempts.end());
   }
   SteadyStateResult res = solve_gauss_seidel(chain, opts);
-  if (res.converged) return res;
+  if (res.converged) return finish(std::move(res));
+  trace_fallback(SteadyStateMethod::kGaussSeidel, SteadyStateMethod::kGmres,
+                 res.residual);
+  chain_attempts.insert(chain_attempts.end(), res.attempts.begin(), res.attempts.end());
   SteadyStateOptions warm = opts;
   warm.initial_guess = res.pi;  // reuse partial progress
   SteadyStateResult res2 = solve_gmres(chain, warm);
-  if (res2.converged) return res2;
+  if (res2.converged) return finish(std::move(res2));
+  trace_fallback(SteadyStateMethod::kGmres, SteadyStateMethod::kPower, res2.residual);
+  chain_attempts.insert(chain_attempts.end(), res2.attempts.begin(),
+                        res2.attempts.end());
   warm.initial_guess = res2.residual < res.residual ? res2.pi : res.pi;
   SteadyStateResult res3 = solve_power(chain, warm);
-  if (res3.converged) return res3;
+  chain_attempts.insert(chain_attempts.end(), res3.attempts.begin(),
+                        res3.attempts.end());
+  const auto with_chain = [&](SteadyStateResult r) {
+    r.attempts = chain_attempts;
+    return r;
+  };
+  if (res3.converged) return with_chain(std::move(res3));
   // Return the best attempt so callers can inspect the residual.
-  if (res.residual <= res2.residual && res.residual <= res3.residual) return res;
-  return res2.residual <= res3.residual ? res2 : res3;
+  if (res.residual <= res2.residual && res.residual <= res3.residual) {
+    return with_chain(std::move(res));
+  }
+  return with_chain(std::move(res2.residual <= res3.residual ? res2 : res3));
+}
+
+}  // namespace
+
+SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts) {
+  assert(chain.n_states() > 0);
+  const obs::ScopedTimer timer("ctmc/steady_state");
+  const std::uint64_t start_ns = obs::now_ns();
+  SteadyStateResult res = steady_state_impl(chain, opts);
+  if (obs::metrics_on()) {
+    obs::count("ctmc.steady_state.solves");
+    obs::SolveRecord rec;
+    rec.context = "steady_state";
+    rec.method = to_string(res.method_used);
+    rec.n = chain.n_states();
+    rec.iterations = res.iterations;
+    rec.residual = res.residual;
+    rec.relative_residual = res.residual / std::max(1.0, chain.max_exit_rate());
+    rec.converged = res.converged;
+    rec.diverged = !std::isfinite(res.residual);
+    rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
+    for (const SteadyStateAttempt& a : res.attempts) {
+      if (!rec.attempts.empty()) rec.attempts += ',';
+      rec.attempts += to_string(a.method);
+    }
+    obs::record_solve(std::move(rec));
+  }
+  return res;
 }
 
 }  // namespace tags::ctmc

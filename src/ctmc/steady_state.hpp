@@ -15,6 +15,8 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
+#include <vector>
 
 #include "ctmc/ctmc.hpp"
 #include "linalg/solver.hpp"
@@ -22,6 +24,8 @@
 namespace tags::ctmc {
 
 enum class SteadyStateMethod { kAuto, kDenseLu, kGaussSeidel, kPower, kGmres };
+
+[[nodiscard]] std::string_view to_string(SteadyStateMethod m) noexcept;
 
 struct SteadyStateOptions {
   SteadyStateMethod method = SteadyStateMethod::kAuto;
@@ -32,12 +36,24 @@ struct SteadyStateOptions {
   std::optional<linalg::Vec> initial_guess;
 };
 
+/// One method tried by steady_state (kAuto runs several in sequence).
+struct SteadyStateAttempt {
+  SteadyStateMethod method = SteadyStateMethod::kAuto;
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
 struct SteadyStateResult {
   linalg::Vec pi;           ///< stationary distribution (empty on failure)
   bool converged = false;
   int iterations = 0;
   double residual = 0.0;    ///< final ||pi Q||_inf
   SteadyStateMethod method_used = SteadyStateMethod::kAuto;
+  /// Every method attempted, in order; the last entry is method_used.
+  /// A single-method request yields one entry; kAuto records its whole
+  /// fallback chain (LU, Gauss-Seidel, GMRES, power iteration).
+  std::vector<SteadyStateAttempt> attempts;
 };
 
 [[nodiscard]] SteadyStateResult steady_state(const Ctmc& chain,

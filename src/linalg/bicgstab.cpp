@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/solver.hpp"
+#include "linalg/solver_internal.hpp"
 
 namespace tags::linalg {
 
@@ -11,6 +12,7 @@ SolveResult bicgstab(const CsrMatrix& a, std::span<const double> b, Vec& x,
   assert(a.rows() == a.cols());
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
+  const std::uint64_t start_ns = obs::now_ns();
 
   Vec inv_diag;
   if (opts.precond != Preconditioner::kNone) {  // Jacobi (GS falls back to it)
@@ -35,10 +37,12 @@ SolveResult bicgstab(const CsrMatrix& a, std::span<const double> b, Vec& x,
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   copy(r, r0);
+  const double initial_residual = nrm_inf(r);
 
   double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
   SolveResult res;
   for (res.iterations = 1; res.iterations <= opts.max_iter; ++res.iterations) {
+    if (obs::tracing_on()) obs::trace_iteration("bicgstab", res.iterations, nrm_inf(r));
     const double rho = dot(r0, r);
     if (rho == 0.0) break;  // breakdown
     if (res.iterations == 1) {
@@ -73,6 +77,9 @@ SolveResult bicgstab(const CsrMatrix& a, std::span<const double> b, Vec& x,
 
   res.residual = a.residual_inf(x, b, scratch);
   res.converged = res.residual <= opts.tol;
+  detail::finalize_solve(res, "bicgstab", a.rows(), nrm_inf(b), initial_residual,
+                         start_ns,
+                         inv_diag.empty() ? "precond=none" : "precond=jacobi");
   return res;
 }
 

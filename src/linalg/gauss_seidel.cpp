@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "linalg/solver.hpp"
+#include "linalg/solver_internal.hpp"
 
 namespace tags::linalg {
 
@@ -10,10 +11,13 @@ SolveResult gauss_seidel(const CsrMatrix& a, std::span<const double> b, Vec& x,
   assert(a.rows() == a.cols());
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
+  const std::uint64_t start_ns = obs::now_ns();
 
   const Vec diag = a.diagonal();
   const double omega = opts.omega;
   Vec scratch(n);
+  const double initial_residual = a.residual_inf(x, b, scratch);
+  const double b_norm = nrm_inf(b);
   SolveResult res;
 
   for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
@@ -36,15 +40,20 @@ SolveResult gauss_seidel(const CsrMatrix& a, std::span<const double> b, Vec& x,
     const bool check_now = max_update <= opts.tol || (res.iterations & 31) == 31;
     if (check_now) {
       res.residual = a.residual_inf(x, b, scratch);
+      obs::trace_iteration("gauss-seidel", res.iterations, res.residual);
       if (res.residual <= opts.tol) {
         res.converged = true;
         ++res.iterations;
+        detail::finalize_solve(res, "gauss-seidel", a.rows(), b_norm,
+                               initial_residual, start_ns);
         return res;
       }
     }
   }
   res.residual = a.residual_inf(x, b, scratch);
   res.converged = res.residual <= opts.tol;
+  detail::finalize_solve(res, "gauss-seidel", a.rows(), b_norm, initial_residual,
+                         start_ns);
   return res;
 }
 

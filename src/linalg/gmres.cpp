@@ -3,9 +3,11 @@
 // Saad, "Iterative Methods for Sparse Linear Systems", 2nd ed., Alg. 6.9.
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "linalg/dense.hpp"
 #include "linalg/solver.hpp"
+#include "linalg/solver_internal.hpp"
 
 namespace tags::linalg {
 
@@ -66,9 +68,17 @@ SolveResult gmres(const CsrMatrix& a, std::span<const double> b, Vec& x,
   assert(a.rows() == a.cols());
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
+  const std::uint64_t start_ns = obs::now_ns();
   const int m = std::max(1, opts.restart);
 
   const LeftPrecond precond(a, opts.precond);
+  const char* precond_name = "none";
+  if (precond.kind() == Preconditioner::kJacobi) precond_name = "jacobi";
+  if (precond.kind() == Preconditioner::kGaussSeidel) precond_name = "gauss-seidel";
+  const std::string note =
+      std::string("precond=") + precond_name + ",restart=" + std::to_string(m);
+  double initial_residual = std::numeric_limits<double>::quiet_NaN();
+  int restarts = 0;
 
   // Preconditioned right-hand side M^{-1} b.
   Vec pb(n);
@@ -96,9 +106,22 @@ SolveResult gmres(const CsrMatrix& a, std::span<const double> b, Vec& x,
     const double beta = nrm2(r);
     // True (unpreconditioned) residual decides convergence.
     res.residual = a.residual_inf(x, b, scratch);
+    if (std::isnan(initial_residual)) initial_residual = res.residual;
+    obs::trace_iteration("gmres", total_matvecs, res.residual);
+    if (restarts > 0 && obs::tracing_on()) {
+      obs::TraceEvent ev;
+      ev.name = "gmres.restart";
+      ev.num.emplace_back("restart", static_cast<double>(restarts));
+      ev.num.emplace_back("matvecs", static_cast<double>(total_matvecs));
+      ev.num.emplace_back("residual", res.residual);
+      obs::emit(std::move(ev));
+    }
+    ++restarts;
     if (res.residual <= opts.tol) {
       res.converged = true;
       res.iterations = total_matvecs;
+      detail::finalize_solve(res, "gmres", a.rows(), nrm_inf(b), initial_residual,
+                             start_ns, note);
       return res;
     }
     if (beta == 0.0) break;  // preconditioned residual exactly zero but true
@@ -174,6 +197,8 @@ SolveResult gmres(const CsrMatrix& a, std::span<const double> b, Vec& x,
   res.residual = a.residual_inf(x, b, scratch);
   res.converged = res.residual <= opts.tol;
   res.iterations = total_matvecs;
+  detail::finalize_solve(res, "gmres", a.rows(), nrm_inf(b), initial_residual,
+                         start_ns, note);
   return res;
 }
 

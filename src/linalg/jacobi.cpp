@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "linalg/solver.hpp"
+#include "linalg/solver_internal.hpp"
 
 namespace tags::linalg {
 
@@ -10,9 +11,12 @@ SolveResult jacobi(const CsrMatrix& a, std::span<const double> b, Vec& x,
   assert(a.rows() == a.cols());
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
+  const std::uint64_t start_ns = obs::now_ns();
 
   const Vec diag = a.diagonal();
   Vec x_next(n, 0.0);
+  Vec scratch(n);
+  const double initial_residual = a.residual_inf(x, b, scratch);
   SolveResult res;
 
   for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
@@ -33,6 +37,7 @@ SolveResult jacobi(const CsrMatrix& a, std::span<const double> b, Vec& x,
     }
     x.swap(x_next);
     res.residual = max_resid;
+    obs::trace_iteration("jacobi", res.iterations, max_resid);
     if (max_resid <= opts.tol) {
       res.converged = true;
       ++res.iterations;
@@ -40,9 +45,10 @@ SolveResult jacobi(const CsrMatrix& a, std::span<const double> b, Vec& x,
     }
   }
   // Report the true residual of the final iterate.
-  Vec scratch(n);
   res.residual = a.residual_inf(x, b, scratch);
   res.converged = res.residual <= opts.tol;
+  detail::finalize_solve(res, "jacobi", a.rows(), nrm_inf(b), initial_residual,
+                         start_ns);
   return res;
 }
 

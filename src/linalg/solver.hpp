@@ -41,6 +41,11 @@ struct SolveResult {
   bool converged = false;
   int iterations = 0;       ///< sweeps or matrix-vector products performed
   double residual = 0.0;    ///< final ||b - A x||_inf
+  /// residual / ||b||_inf (equals `residual` when b = 0).
+  double final_relative_residual = 0.0;
+  /// True when the residual blew up (non-finite, or grew well past the
+  /// initial residual), as opposed to mere stagnation short of tol.
+  bool diverged = false;
 };
 
 [[nodiscard]] SolveResult jacobi(const CsrMatrix& a, std::span<const double> b,

@@ -1,0 +1,47 @@
+// Shared epilogue for the iterative solvers: classify the outcome
+// (relative residual, divergence vs stagnation) and feed the observability
+// layer. Internal to src/linalg.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "linalg/solver.hpp"
+#include "obs/obs.hpp"
+
+namespace tags::linalg::detail {
+
+/// `initial_residual` is ||b - A x0||_inf for the entering guess; pass NaN
+/// when unknown (divergence then only triggers on a non-finite residual).
+inline void finalize_solve(SolveResult& res, const char* method, index_t n,
+                           double b_norm_inf, double initial_residual,
+                           std::uint64_t start_ns, const std::string& note = {}) {
+  res.final_relative_residual =
+      b_norm_inf > 0.0 ? res.residual / b_norm_inf : res.residual;
+  res.diverged =
+      !res.converged &&
+      (!std::isfinite(res.residual) ||
+       (std::isfinite(initial_residual) && res.residual > 10.0 * initial_residual &&
+        res.residual > b_norm_inf));
+  if (obs::metrics_on()) {
+    const std::string prefix = "linalg." + std::string(method);
+    obs::count((prefix + ".solves").c_str());
+    obs::count((prefix + ".iterations").c_str(),
+               static_cast<std::uint64_t>(res.iterations < 0 ? 0 : res.iterations));
+    obs::SolveRecord rec;
+    rec.context = "linear";
+    rec.method = method;
+    rec.n = n;
+    rec.iterations = res.iterations;
+    rec.residual = res.residual;
+    rec.relative_residual = res.final_relative_residual;
+    rec.converged = res.converged;
+    rec.diverged = res.diverged;
+    rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
+    rec.note = note;
+    obs::record_solve(std::move(rec));
+  }
+}
+
+}  // namespace tags::linalg::detail

@@ -1,0 +1,129 @@
+// Minimal streaming JSON writer used by the telemetry exports. Handles
+// nesting commas and string escaping; callers are responsible for balanced
+// begin/end calls. Non-finite doubles are emitted as null (JSON has no inf
+// or nan literals).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tags::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { os_.precision(15); }
+
+  void begin_object() {
+    comma();
+    os_ << '{';
+    first_.push_back(true);
+  }
+  void end_object() {
+    first_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    comma();
+    os_ << '[';
+    first_.push_back(true);
+  }
+  void end_array() {
+    first_.pop_back();
+    os_ << ']';
+  }
+
+  void key(const std::string& k) {
+    comma();
+    write_string(k);
+    os_ << ':';
+    pending_value_ = true;
+  }
+
+  void field(const std::string& k, const std::string& v) {
+    key(k);
+    value(v);
+  }
+  void field(const std::string& k, const char* v) {
+    key(k);
+    value(std::string(v));
+  }
+  void field(const std::string& k, double v) {
+    key(k);
+    value(v);
+  }
+  void field(const std::string& k, std::int64_t v) {
+    key(k);
+    value(v);
+  }
+  void field(const std::string& k, bool v) {
+    key(k);
+    value(v);
+  }
+
+  void value(const std::string& v) {
+    comma();
+    write_string(v);
+  }
+  void value(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      os_ << v;
+    } else {
+      os_ << "null";
+    }
+  }
+  void value(std::int64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+  }
+
+  [[nodiscard]] std::string str() && { return std::move(os_).str(); }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // key() already positioned us after ':'
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace tags::obs

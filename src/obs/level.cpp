@@ -1,0 +1,29 @@
+#include "obs/level.hpp"
+
+#if TAGS_OBS_ENABLED
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tags::obs::detail {
+
+int init_level_from_env() noexcept {
+  const char* env = std::getenv("TAGS_OBS_LEVEL");
+  if (env == nullptr || *env == '\0') return static_cast<int>(Level::kMetrics);
+  if (std::strcmp(env, "off") == 0) return static_cast<int>(Level::kOff);
+  if (std::strcmp(env, "metrics") == 0) return static_cast<int>(Level::kMetrics);
+  if (std::strcmp(env, "trace") == 0) return static_cast<int>(Level::kTrace);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(Level::kDebug);
+  // Unrecognised text keeps the default rather than silently disabling
+  // everything (atoi("garbage") would read as 0 = off).
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return static_cast<int>(Level::kMetrics);
+  if (v < static_cast<long>(Level::kOff)) return static_cast<int>(Level::kOff);
+  if (v > static_cast<long>(Level::kDebug)) return static_cast<int>(Level::kDebug);
+  return static_cast<int>(v);
+}
+
+}  // namespace tags::obs::detail
+
+#endif  // TAGS_OBS_ENABLED

@@ -1,0 +1,10 @@
+// Umbrella header for the observability layer: level gating, metrics
+// registry, scoped timers, and trace sinks. Instrumented call sites include
+// this one header; everything compiles to no-ops when the project is built
+// with TAGS_ENABLE_OBS=OFF.
+#pragma once
+
+#include "obs/level.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/timer.hpp"    // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

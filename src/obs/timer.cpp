@@ -1,0 +1,75 @@
+#include "obs/timer.hpp"
+
+#if TAGS_OBS_ENABLED
+
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace tags::obs {
+
+namespace {
+
+struct TimerTable {
+  std::mutex mu;
+  std::map<std::string, TimerStat> stats;
+
+  static TimerTable& get() {
+    static TimerTable* t = new TimerTable;  // leaked: outlives static destructors
+    return *t;
+  }
+};
+
+thread_local ScopedTimer* tl_top = nullptr;
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(const char* label) {
+  if (!metrics_on()) return;
+  active_ = true;
+  parent_ = tl_top;
+  tl_top = this;
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + std::char_traits<char>::length(label));
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += label;
+  } else {
+    path_ = label;
+  }
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  const std::uint64_t total = now_ns() - start_ns_;
+  tl_top = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += total;
+  const std::uint64_t self = total > child_ns_ ? total - child_ns_ : 0;
+  TimerTable& t = TimerTable::get();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  TimerStat& s = t.stats[path_];
+  ++s.count;
+  s.total_ns += total;
+  s.self_ns += self;
+}
+
+std::map<std::string, TimerStat> timer_stats() {
+  TimerTable& t = TimerTable::get();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  return t.stats;
+}
+
+namespace detail {
+
+void reset_timer_stats() {
+  TimerTable& t = TimerTable::get();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  t.stats.clear();
+}
+
+}  // namespace detail
+
+}  // namespace tags::obs
+
+#endif  // TAGS_OBS_ENABLED

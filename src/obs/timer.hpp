@@ -1,0 +1,63 @@
+// RAII scoped wall-clock timers with nesting. Timers stack per thread; a
+// timer's path is its enclosing timers' labels joined with '/'. On scope
+// exit the (count, total, self) statistics are folded into the registry,
+// where self = total minus time spent in enclosed timers.
+//
+// Intended for phase-level attribution (derivation, solves, sweeps), not
+// per-iteration loops: scope exit takes a mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/level.hpp"
+
+namespace tags::obs {
+
+struct TimerStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+#if TAGS_OBS_ENABLED
+
+class ScopedTimer {
+ public:
+  /// `label` must outlive the scope (string literals in practice). Inactive
+  /// (zero-cost destructor) when the level is off at construction.
+  explicit ScopedTimer(const char* label);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string path_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;
+  ScopedTimer* parent_ = nullptr;
+  bool active_ = false;
+};
+
+/// Snapshot of all timer paths (sorted by path, so parents precede children).
+[[nodiscard]] std::map<std::string, TimerStat> timer_stats();
+
+namespace detail {
+void reset_timer_stats();  // called by reset_metrics()
+}
+
+#else  // TAGS_OBS_ENABLED
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char*) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+[[nodiscard]] inline std::map<std::string, TimerStat> timer_stats() { return {}; }
+
+#endif  // TAGS_OBS_ENABLED
+
+}  // namespace tags::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#if TAGS_OBS_ENABLED
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace tags::obs {
+
+namespace {
+
+struct SinkSlot {
+  std::mutex mu;
+  std::shared_ptr<TraceSink> sink;
+  std::atomic<int> sample_every{16};
+
+  static SinkSlot& get() {
+    static SinkSlot* s = new SinkSlot;  // leaked: outlives static destructors
+    return *s;
+  }
+};
+
+int env_sample_every() {
+  if (const char* env = std::getenv("TAGS_OBS_SAMPLE")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 16;
+}
+
+std::uint64_t process_start_ns() {
+  static const std::uint64_t start = now_ns();
+  return start;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+void MemorySink::on_event(const TraceEvent& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> MemorySink::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void MemorySink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+struct JsonlSink::Impl {
+  std::mutex mu;
+  std::ofstream out;
+};
+
+JsonlSink::JsonlSink(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path);
+}
+
+JsonlSink::~JsonlSink() = default;
+
+bool JsonlSink::ok() const noexcept { return static_cast<bool>(impl_->out); }
+
+void JsonlSink::on_event(const TraceEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", ev.name);
+  w.field("t", ev.t_seconds);
+  for (const auto& [k, v] : ev.num) w.field(k, v);
+  for (const auto& [k, v] : ev.str) w.field(k, v);
+  w.end_object();
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  // Flush per event: the installed sink lives in a leaked singleton, so the
+  // stream destructor (and its implicit flush) never runs at process exit.
+  impl_->out << std::move(w).str() << '\n' << std::flush;
+}
+
+// ---------------------------------------------------------------------------
+// Global sink management and emission
+// ---------------------------------------------------------------------------
+
+void install_trace_sink(std::shared_ptr<TraceSink> sink, int sample_every) {
+  SinkSlot& slot = SinkSlot::get();
+  bool has_sink = false;
+  {
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    slot.sink = std::move(sink);
+    slot.sample_every.store(sample_every >= 1 ? sample_every : env_sample_every(),
+                            std::memory_order_relaxed);
+    has_sink = slot.sink != nullptr;
+  }
+  detail::sink_installed().store(has_sink, std::memory_order_relaxed);
+  if (has_sink && level() < Level::kTrace) set_level(Level::kTrace);
+  process_start_ns();  // pin t=0 no later than sink installation
+}
+
+void clear_trace_sink() {
+  SinkSlot& slot = SinkSlot::get();
+  const std::lock_guard<std::mutex> lock(slot.mu);
+  slot.sink.reset();
+  detail::sink_installed().store(false, std::memory_order_relaxed);
+}
+
+int trace_sample_every() noexcept {
+  if (level() >= Level::kDebug) return 1;
+  return SinkSlot::get().sample_every.load(std::memory_order_relaxed);
+}
+
+void emit(TraceEvent ev) {
+  if (!tracing_on()) return;
+  ev.t_seconds =
+      static_cast<double>(now_ns() - process_start_ns()) / 1e9;
+  std::shared_ptr<TraceSink> sink;
+  {
+    SinkSlot& slot = SinkSlot::get();
+    const std::lock_guard<std::mutex> lock(slot.mu);
+    sink = slot.sink;
+  }
+  if (sink) sink->on_event(ev);
+}
+
+void trace_iteration(const char* solver, int iteration, double residual) {
+  if (!tracing_on()) return;
+  const int every = trace_sample_every();
+  if (every > 1) {
+    // Sample by call count, not by iteration value: solvers that only check
+    // residuals every k-th sweep pass iteration numbers that may never be
+    // divisible by the sampling interval.
+    static thread_local std::uint64_t call_seq = 0;
+    if (call_seq++ % static_cast<std::uint64_t>(every) != 0) return;
+  }
+  TraceEvent ev;
+  ev.name = "solver.iteration";
+  ev.num.emplace_back("iteration", static_cast<double>(iteration));
+  ev.num.emplace_back("residual", residual);
+  ev.str.emplace_back("solver", solver);
+  emit(std::move(ev));
+}
+
+}  // namespace tags::obs
+
+#endif  // TAGS_OBS_ENABLED

@@ -1,0 +1,92 @@
+// Event tracing: a pluggable global TraceSink receiving structured events
+// (solver iterations, derivation progress, fallback transitions, ...).
+// Emission is sampled — high-frequency producers call trace_iteration,
+// which forwards every Nth event (TAGS_OBS_SAMPLE, default 16; level debug
+// forces 1) — and gated on tracing_on(), a two-atomic-load check, so the
+// cost with no sink or level < trace is one predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/level.hpp"
+
+namespace tags::obs {
+
+#if TAGS_OBS_ENABLED
+
+struct TraceEvent {
+  std::string name;  ///< e.g. "solver.iteration", "steady_state.fallback"
+  double t_seconds = 0.0;  ///< monotonic time since process start
+  std::vector<std::pair<std::string, double>> num;
+  std::vector<std::pair<std::string, std::string>> str;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+/// Collects events in memory — tests and small runs.
+class MemorySink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& ev) override;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Appends one JSON object per line to a file.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  [[nodiscard]] bool ok() const noexcept;
+  void on_event(const TraceEvent& ev) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Installs the global sink. `sample_every` controls trace_iteration
+/// sampling: 0 reads TAGS_OBS_SAMPLE (default 16), n >= 1 forces every nth
+/// iteration. Installing a sink raises the level to at least kTrace.
+void install_trace_sink(std::shared_ptr<TraceSink> sink, int sample_every = 0);
+void clear_trace_sink();
+[[nodiscard]] int trace_sample_every() noexcept;
+
+/// Forwards unconditionally (callers should check tracing_on() first to
+/// avoid building the event).
+void emit(TraceEvent ev);
+
+/// Sampled per-iteration solver telemetry: emits a "solver.iteration" event
+/// on every Nth call (per thread), N = trace_sample_every(). No-op unless
+/// tracing_on().
+void trace_iteration(const char* solver, int iteration, double residual);
+
+#else  // TAGS_OBS_ENABLED
+
+struct TraceEvent {
+  std::string name;
+  double t_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> num;
+  std::vector<std::pair<std::string, std::string>> str;
+};
+
+inline void clear_trace_sink() {}
+[[nodiscard]] inline int trace_sample_every() noexcept { return 0; }
+inline void emit(TraceEvent) {}
+inline void trace_iteration(const char*, int, double) {}
+
+#endif  // TAGS_OBS_ENABLED
+
+}  // namespace tags::obs

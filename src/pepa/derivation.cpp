@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "ctmc/builder.hpp"
+#include "obs/obs.hpp"
 #include "pepa/printer.hpp"
 
 namespace tags::pepa {
@@ -440,6 +441,8 @@ linalg::Vec DerivedModel::state_reward(
 
 DerivedModel derive(const Model& model, std::string_view system_name,
                     const DeriveOptions& opts) {
+  const obs::ScopedTimer obs_timer("pepa/derive");
+  const std::uint64_t obs_start_ns = obs::now_ns();
   if (model.definitions.empty()) {
     throw SemanticError("model has no process definitions");
   }
@@ -491,9 +494,28 @@ DerivedModel derive(const Model& model, std::string_view system_name,
   index_of.emplace(LeafVec{initial}, 0);
   frontier.push(0);
 
+  std::size_t n_transitions = 0;
+  std::size_t dedup_hits = 0;
+  std::size_t explored = 0;
+  // Emit a progress event every 8192 explored states when tracing.
+  constexpr std::size_t kProgressMask = 8191;
+
   while (!frontier.empty()) {
     const ctmc::index_t cur = frontier.front();
     frontier.pop();
+    ++explored;
+    if ((explored & kProgressMask) == 0 && obs::tracing_on()) {
+      const double elapsed_s =
+          static_cast<double>(obs::now_ns() - obs_start_ns) / 1e9;
+      obs::TraceEvent ev;
+      ev.name = "derive.progress";
+      ev.num.emplace_back("states", static_cast<double>(states.size()));
+      ev.num.emplace_back("transitions", static_cast<double>(n_transitions));
+      ev.num.emplace_back("states_per_sec",
+                          elapsed_s > 0.0 ? static_cast<double>(explored) / elapsed_s
+                                          : 0.0);
+      obs::emit(std::move(ev));
+    }
     const std::vector<seq_id> state = states[static_cast<std::size_t>(cur)];
     for (const GlobalMove& mv : deriver.moves(state)) {
       if (mv.rate.passive) {
@@ -513,11 +535,32 @@ DerivedModel derive(const Model& model, std::string_view system_name,
           throw SemanticError("derivation exceeded the state limit (" +
                               std::to_string(opts.max_states) + " states)");
         }
+      } else {
+        ++dedup_hits;
       }
+      ++n_transitions;
       builder.add(cur, it->second, mv.rate.value, label_for(mv.action));
     }
   }
   builder.ensure_states(static_cast<ctmc::index_t>(states.size()));
+
+  if (obs::metrics_on()) {
+    obs::count("pepa.derive.runs");
+    obs::count("pepa.derive.states", states.size());
+    obs::count("pepa.derive.transitions", n_transitions);
+    obs::count("pepa.derive.dedup_hits", dedup_hits);
+    obs::gauge_set("pepa.derive.last_states", static_cast<double>(states.size()));
+    obs::gauge_set("pepa.derive.last_transitions", static_cast<double>(n_transitions));
+    obs::gauge_set(
+        "pepa.derive.last_dedup_hit_rate",
+        n_transitions > 0 ? static_cast<double>(dedup_hits) /
+                                static_cast<double>(n_transitions)
+                          : 0.0);
+    const double elapsed_s = static_cast<double>(obs::now_ns() - obs_start_ns) / 1e9;
+    obs::gauge_set("pepa.derive.last_states_per_sec",
+                   elapsed_s > 0.0 ? static_cast<double>(states.size()) / elapsed_s
+                                   : 0.0);
+  }
 
   DerivedModel out;
   out.chain = builder.build();

@@ -1,5 +1,6 @@
 #include "pepa/to_ctmc.hpp"
 
+#include "obs/obs.hpp"
 #include "pepa/parser.hpp"
 #include "pepa/validate.hpp"
 
@@ -24,11 +25,15 @@ double SolvedModel::state_probability(
 }
 
 SolvedModel solve(DerivedModel dm, const ctmc::SteadyStateOptions& opts) {
-  const ValidationReport report = check_derived(dm);
-  if (!report.ok) {
-    std::string msg = "model failed validation:";
-    for (const std::string& p : report.problems) msg += "\n  - " + p;
-    throw SemanticError(msg);
+  const obs::ScopedTimer obs_timer("pepa/solve");
+  {
+    const obs::ScopedTimer validate_timer("validate");
+    const ValidationReport report = check_derived(dm);
+    if (!report.ok) {
+      std::string msg = "model failed validation:";
+      for (const std::string& p : report.problems) msg += "\n  - " + p;
+      throw SemanticError(msg);
+    }
   }
   SolvedModel out;
   out.solve_info = ctmc::steady_state(dm.chain, opts);
@@ -44,7 +49,10 @@ SolvedModel solve(DerivedModel dm, const ctmc::SteadyStateOptions& opts) {
 SolvedModel solve_source(std::string_view source, std::string_view system_name,
                          const DeriveOptions& dopts,
                          const ctmc::SteadyStateOptions& sopts) {
-  const Model model = parse_model(source);
+  const Model model = [&] {
+    const obs::ScopedTimer parse_timer("pepa/parse");
+    return parse_model(source);
+  }();
   return solve(derive(model, system_name, dopts), sopts);
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 
 namespace tags::sim {
@@ -191,12 +192,32 @@ SimResults simulate_tags(const TagsSimParams& p) {
     if (!busy[node]) start_head(node);
   };
 
+  const obs::ScopedTimer obs_timer("sim/tags");
+  const std::uint64_t obs_start_ns = obs::now_ns();
+  std::uint64_t n_events = 0;
+  static obs::Histogram depth_hist("sim.tags.queue_depth",
+                                   obs::Histogram::linear_bounds(0.0, 64.0, 32));
+
   ArrivalProcess arrivals(p.lambda, p.mmpp);
   calendar.schedule(arrivals.next_gap(rng), {true, {}});
   while (!calendar.empty() && calendar.top().time <= p.horizon) {
     const auto ev = calendar.pop();
     now = ev.time;
     col.maybe_start(now, lengths);
+    ++n_events;
+    if ((n_events & 1023) == 0 && obs::metrics_on()) {
+      unsigned total = 0;
+      for (const unsigned l : lengths) total += l;
+      depth_hist.observe(static_cast<double>(total));
+      if (obs::tracing_on() && (n_events & 65535) == 0) {
+        obs::TraceEvent tev;
+        tev.name = "sim.progress";
+        tev.num.emplace_back("events", static_cast<double>(n_events));
+        tev.num.emplace_back("sim_time", now);
+        tev.num.emplace_back("total_queue", static_cast<double>(total));
+        obs::emit(std::move(tev));
+      }
+    }
     if (ev.payload.is_arrival) {
       if (col.recording) ++col.arrivals;
       push_job(0, Job{sample(p.service, rng), now});
@@ -215,6 +236,13 @@ SimResults simulate_tags(const TagsSimParams& p) {
       }
       if (!queue[node].empty()) start_head(node);
     }
+  }
+  if (obs::metrics_on()) {
+    obs::count("sim.tags.runs");
+    obs::count("sim.tags.events", n_events);
+    const double wall_s = static_cast<double>(obs::now_ns() - obs_start_ns) / 1e9;
+    obs::gauge_set("sim.tags.last_events_per_sec",
+                   wall_s > 0.0 ? static_cast<double>(n_events) / wall_s : 0.0);
   }
   return col.finish(std::min(now, p.horizon));
 }
@@ -243,12 +271,24 @@ SimResults simulate_dispatch(const DispatchSimParams& p) {
     calendar.schedule(now + queue[qi].front().demand, {false, qi});
   };
 
+  const obs::ScopedTimer obs_timer("sim/dispatch");
+  const std::uint64_t obs_start_ns = obs::now_ns();
+  std::uint64_t n_events = 0;
+  static obs::Histogram depth_hist("sim.dispatch.queue_depth",
+                                   obs::Histogram::linear_bounds(0.0, 64.0, 32));
+
   ArrivalProcess arrivals(p.lambda, p.mmpp);
   calendar.schedule(arrivals.next_gap(rng), {true, 0});
   while (!calendar.empty() && calendar.top().time <= p.horizon) {
     const auto ev = calendar.pop();
     now = ev.time;
     col.maybe_start(now, lengths);
+    ++n_events;
+    if ((n_events & 1023) == 0 && obs::metrics_on()) {
+      unsigned total = 0;
+      for (const unsigned l : lengths) total += l;
+      depth_hist.observe(static_cast<double>(total));
+    }
     if (ev.payload.is_arrival) {
       if (col.recording) ++col.arrivals;
       const Job job{sample(p.service, rng), now};
@@ -279,6 +319,13 @@ SimResults simulate_dispatch(const DispatchSimParams& p) {
       col.on_completion(now, job);
       if (!queue[qi].empty()) start_head(qi);
     }
+  }
+  if (obs::metrics_on()) {
+    obs::count("sim.dispatch.runs");
+    obs::count("sim.dispatch.events", n_events);
+    const double wall_s = static_cast<double>(obs::now_ns() - obs_start_ns) / 1e9;
+    obs::gauge_set("sim.dispatch.last_events_per_sec",
+                   wall_s > 0.0 ? static_cast<double>(n_events) / wall_s : 0.0);
   }
   return col.finish(std::min(now, p.horizon));
 }

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a bench telemetry JSON file against the v1 schema.
+
+Usage: check_bench_json.py <telemetry.json> [...]
+
+Stdlib only. Exit 0 when every file conforms, 1 otherwise with one line per
+problem. The schema (see README "Observability"):
+
+  {
+    "id": str,
+    "schema_version": 1,
+    "obs_level": int,            # -1 when compiled out, else 0..3
+    "timers": {path: {"count": int, "total_ms": num, "self_ms": num}},
+    "counters": {name: int},
+    "gauges": {name: num},
+    "histograms": {name: {"count": int, "sum": num, "p50": num,
+                          "p90": num, "p99": num}},
+    "solves": [{"context": str, "method": str, "n": int, "iterations": int,
+                "residual": num, "relative_residual": num, "converged": bool,
+                "diverged": bool, "wall_ms": num, ...}],
+    "solves_dropped": int,
+  }
+
+An empty document (all collections empty) is valid — that is what a build
+with TAGS_ENABLE_OBS=OFF or TAGS_OBS_LEVEL=0 produces.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+
+def check(path):
+    problems = []
+
+    def err(msg):
+        problems.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+
+    def field(name, types):
+        if name not in doc:
+            err(f"missing required field '{name}'")
+            return None
+        if not isinstance(doc[name], types) or isinstance(doc[name], bool):
+            err(f"field '{name}' has wrong type {type(doc[name]).__name__}")
+            return None
+        return doc[name]
+
+    field("id", str)
+    if field("schema_version", int) not in (None, 1):
+        err(f"unsupported schema_version {doc['schema_version']}")
+    field("obs_level", int)
+    field("solves_dropped", int)
+
+    timers = field("timers", dict)
+    for tpath, stat in (timers or {}).items():
+        if not isinstance(stat, dict):
+            err(f"timer '{tpath}' must be an object")
+            continue
+        for key, types in (("count", int), ("total_ms", NUMBER), ("self_ms", NUMBER)):
+            if not isinstance(stat.get(key), types) or isinstance(stat.get(key), bool):
+                err(f"timer '{tpath}' field '{key}' missing or wrong type")
+
+    counters = field("counters", dict)
+    for name, v in (counters or {}).items():
+        if not isinstance(v, int) or isinstance(v, bool):
+            err(f"counter '{name}' must be an integer")
+
+    gauges = field("gauges", dict)
+    for name, v in (gauges or {}).items():
+        if not isinstance(v, NUMBER) or isinstance(v, bool):
+            err(f"gauge '{name}' must be a number")
+
+    hists = field("histograms", dict)
+    for name, h in (hists or {}).items():
+        if not isinstance(h, dict):
+            err(f"histogram '{name}' must be an object")
+            continue
+        for key in ("count", "sum", "p50", "p90", "p99"):
+            v = h.get(key)
+            # percentiles may be null if the writer saw non-finite values
+            if v is not None and (not isinstance(v, NUMBER) or isinstance(v, bool)):
+                err(f"histogram '{name}' field '{key}' missing or wrong type")
+
+    solves = field("solves", list)
+    required = (
+        ("context", str),
+        ("method", str),
+        ("n", int),
+        ("iterations", int),
+        ("residual", (NUMBER, type(None))),
+        ("relative_residual", (NUMBER, type(None))),
+        ("converged", bool),
+        ("diverged", bool),
+        ("wall_ms", NUMBER),
+    )
+    for i, rec in enumerate(solves or []):
+        if not isinstance(rec, dict):
+            err(f"solves[{i}] must be an object")
+            continue
+        for key, types in required:
+            if key not in rec:
+                err(f"solves[{i}] missing field '{key}'")
+            elif types is not bool and isinstance(rec[key], bool):
+                err(f"solves[{i}] field '{key}' wrong type")
+            elif not isinstance(rec[key], types):
+                err(f"solves[{i}] field '{key}' wrong type")
+
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    all_problems = []
+    for path in argv[1:]:
+        all_problems += check(path)
+    for p in all_problems:
+        print(p, file=sys.stderr)
+    if not all_problems:
+        print(f"ok: {len(argv) - 1} file(s) conform to telemetry schema v1")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,15 +2,79 @@
 // .pepa files, ready for the pepa CLI:
 //
 //   ./tools/export_models [output_dir]
+//
+// Observability flags:
+//   --trace <file.jsonl>   stream trace events as JSON lines
+//   --metrics-out <file>   write the metrics/telemetry JSON on exit
+//   --obs-level <0..3>     override TAGS_OBS_LEVEL for this run
+//
+// When either telemetry flag is given, each exported model is additionally
+// parsed and derived so that the emitted metrics cover the real state-space
+// construction (states, transitions, dedup hit rate, per-phase timers).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "models/pepa_sources.hpp"
+#include "obs/obs.hpp"
+#include "pepa/parser.hpp"
+#include "pepa/to_ctmc.hpp"
 
 int main(int argc, char** argv) {
+  using namespace tags;
   using namespace tags::models;
-  const std::filesystem::path dir = argc > 1 ? argv[1] : "pepa_models";
+
+  std::vector<std::string> pos;
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = value("--trace");
+    } else if (arg == "--metrics-out") {
+      metrics_path = value("--metrics-out");
+    } else if (arg == "--obs-level") {
+#if TAGS_OBS_ENABLED
+      obs::set_level(static_cast<obs::Level>(
+          std::clamp(std::atoi(value("--obs-level")), 0, 3)));
+#else
+      (void)value("--obs-level");
+#endif
+    } else {
+      pos.push_back(arg);
+    }
+  }
+#if TAGS_OBS_ENABLED
+  if (!trace_path.empty()) {
+    auto sink = std::make_shared<obs::JsonlSink>(trace_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "error: cannot open trace file %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::install_trace_sink(std::move(sink));
+  }
+#else
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "warning: built with TAGS_ENABLE_OBS=OFF; telemetry output "
+                 "will be empty\n");
+  }
+#endif
+  const bool derive_exports = !trace_path.empty() || !metrics_path.empty();
+
+  const std::filesystem::path dir = !pos.empty() ? pos[0] : "pepa_models";
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
 
@@ -19,6 +83,12 @@ int main(int argc, char** argv) {
     std::ofstream f(path);
     f << text;
     std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), text.size());
+    if (derive_exports) {
+      const auto dm = pepa::derive(pepa::parse_model(text));
+      std::printf("  derived: %lld states, %zu transitions\n",
+                  static_cast<long long>(dm.chain.n_states()),
+                  dm.chain.transitions().size());
+    }
   };
 
   TagsParams tags_p;  // paper defaults
@@ -32,5 +102,11 @@ int main(int argc, char** argv) {
         random_pepa_source({.lambda = 5.0, .mu = 10.0, .k = 10, .p1 = 0.5}));
   write("shortest_queue_appendix_b.pepa",
         shortest_queue_pepa_source({.lambda = 5.0, .mu = 10.0, .k = 10}));
+
+  if (!metrics_path.empty() &&
+      !obs::write_telemetry_json(metrics_path, "export_models")) {
+    std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                 metrics_path.c_str());
+  }
   return 0;
 }

@@ -6,15 +6,25 @@
 //   pepa check   <model.pepa>            static validation only
 //   pepa print   <model.pepa>            parse and pretty-print (round trip)
 //
+// Observability flags (anywhere on the command line):
+//   --trace <file.jsonl>   stream trace events (solver iterations, derivation
+//                          progress, fallbacks) as JSON lines
+//   --metrics-out <file>   write the metrics/telemetry JSON on exit
+//   --obs-level <0..3>     override TAGS_OBS_LEVEL for this run
+//
 // Exit code 0 on success, 1 on any error (with a message on stderr).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "ctmc/measures.hpp"
+#include "obs/obs.hpp"
 #include "pepa/fluid.hpp"
 #include "pepa/parser.hpp"
 #include "pepa/printer.hpp"
@@ -27,7 +37,9 @@ using namespace tags;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: pepa <derive|solve|fluid|check|print> <model.pepa> "
+               "usage: pepa [--trace <file.jsonl>] [--metrics-out <file>] "
+               "[--obs-level <0..3>]\n"
+               "            <derive|solve|fluid|check|print> <model.pepa> "
                "[SystemName]\n");
   return 1;
 }
@@ -124,19 +136,70 @@ int cmd_fluid(const pepa::Model& model, const std::string& system) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
-  const std::string system = argc > 3 ? argv[3] : "";
+  std::vector<std::string> pos;
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = value("--trace");
+    } else if (arg == "--metrics-out") {
+      metrics_path = value("--metrics-out");
+    } else if (arg == "--obs-level") {
+#if TAGS_OBS_ENABLED
+      obs::set_level(static_cast<obs::Level>(
+          std::clamp(std::atoi(value("--obs-level")), 0, 3)));
+#else
+      (void)value("--obs-level");
+#endif
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() < 2) return usage();
+#if TAGS_OBS_ENABLED
+  if (!trace_path.empty()) {
+    auto sink = std::make_shared<obs::JsonlSink>(trace_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "error: cannot open trace file %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::install_trace_sink(std::move(sink));
+  }
+#else
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "warning: built with TAGS_ENABLE_OBS=OFF; telemetry output "
+                 "will be empty\n");
+  }
+#endif
+  const std::string cmd = pos[0];
+  const std::string system = pos.size() > 2 ? pos[2] : "";
+  const auto finish = [&](int rc) {
+    if (!metrics_path.empty() &&
+        !obs::write_telemetry_json(metrics_path, "pepa_cli." + cmd)) {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+    return rc;
+  };
   try {
-    const pepa::Model model = pepa::parse_model(slurp(argv[2]));
-    if (cmd == "check") return cmd_check(model);
-    if (cmd == "print") return cmd_print(model);
-    if (cmd == "derive") return cmd_derive(model, system);
-    if (cmd == "solve") return cmd_solve(model, system);
-    if (cmd == "fluid") return cmd_fluid(model, system);
+    const pepa::Model model = pepa::parse_model(slurp(pos[1].c_str()));
+    if (cmd == "check") return finish(cmd_check(model));
+    if (cmd == "print") return finish(cmd_print(model));
+    if (cmd == "derive") return finish(cmd_derive(model, system));
+    if (cmd == "solve") return finish(cmd_solve(model, system));
+    if (cmd == "fluid") return finish(cmd_fluid(model, system));
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return finish(1);
   }
 }
