@@ -39,7 +39,8 @@ int main() {
   const std::vector<double> times{0.1, 0.25, 0.5, 1.0, 2.0, 5.0};
   linalg::Vec pi0(static_cast<std::size_t>(model.n_states()), 0.0);
   pi0[static_cast<std::size_t>(model.encode({0, p.n, 0, p.n}))] = 1.0;
-  const auto exact_traj = ctmc::transient_trajectory(model.chain(), pi0, times);
+  // Uniformization runs on the materialised labelled chain.
+  const auto exact_traj = ctmc::transient_trajectory(model.to_ctmc(), pi0, times);
   const auto fluid_traj = fluid::tags_fluid_transient(p, times);
 
   core::Table ttable({"time", "fluid_q1", "exact_q1", "fluid_q2", "exact_q2"});

@@ -36,7 +36,7 @@ void run_method(benchmark::State& state, ctmc::SteadyStateMethod method,
   bool converged = true;
   double residual = 0.0;
   for (auto _ : state) {
-    const auto r = ctmc::steady_state(model.chain(), opts);
+    const auto r = ctmc::steady_state(model.chain().generator(), opts);
     converged = r.converged;
     residual = r.residual;
     benchmark::DoNotOptimize(r.pi.data());
@@ -65,14 +65,14 @@ BENCHMARK(BM_SteadyDenseLu)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 void BM_WarmStartedResolve(benchmark::State& state) {
   auto p = sized_params(10);
   const models::TagsModel base(p);
-  const auto first = ctmc::steady_state(base.chain());
+  const auto first = base.solve();
   p.t += 1.0;
   const models::TagsModel shifted(p);
   for (auto _ : state) {
     ctmc::SteadyStateOptions opts;
     opts.method = ctmc::SteadyStateMethod::kGaussSeidel;
     opts.initial_guess = first.pi;
-    const auto r = ctmc::steady_state(shifted.chain(), opts);
+    const auto r = shifted.solve(opts);
     benchmark::DoNotOptimize(r.iterations);
   }
 }

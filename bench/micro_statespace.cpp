@@ -1,8 +1,25 @@
 // State-space machinery benchmarks: PEPA parsing + derivation versus the
-// hand-written direct CTMC builders, across model sizes.
+// hand-written direct CTMC builders, across model sizes — plus the
+// rebuild-vs-rebind comparison for parameter sweeps on the generator
+// engine.
+//
+// Unlike the other microbenches this binary has its own main: before the
+// google-benchmark suite it runs a deterministic fig07-style t-sweep both
+// ways (full rebuild per point vs rate rebind on the frozen pattern),
+// records the ratio into gauges, and writes
+// results/micro_statespace_telemetry.json. `--rebind-report-only` skips
+// the google-benchmark suite (used by the ctest telemetry fixture).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/sweep.hpp"
 #include "models/pepa_sources.hpp"
+#include "models/tags.hpp"
 #include "pepa/parser.hpp"
 #include "pepa/derivation.hpp"
 
@@ -29,6 +46,20 @@ void BM_DirectBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectBuild)->Args({4, 3})->Args({10, 6})->Args({16, 8});
 
+void BM_RebindRates(benchmark::State& state) {
+  auto p = sized(static_cast<unsigned>(state.range(0)),
+                 static_cast<unsigned>(state.range(1)));
+  models::TagsModel model(p);
+  double t = p.t;
+  for (auto _ : state) {
+    p.t = (t += 1.0);
+    model.rebind(p);
+    benchmark::DoNotOptimize(model.chain().nnz());
+  }
+  state.counters["states"] = static_cast<double>(model.n_states());
+}
+BENCHMARK(BM_RebindRates)->Args({4, 3})->Args({10, 6})->Args({16, 8});
+
 void BM_PepaParse(benchmark::State& state) {
   const auto p = sized(static_cast<unsigned>(state.range(0)), 6);
   const std::string src = models::tags_pepa_source(p);
@@ -53,4 +84,73 @@ void BM_PepaDerive(benchmark::State& state) {
 }
 BENCHMARK(BM_PepaDerive)->Args({4, 3})->Args({10, 6})->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Rebuild vs rebind over a fig07-style t-sweep (assembly cost only: the
+// solver is shared by both strategies and would dilute the ratio).
+// ---------------------------------------------------------------------------
+
+double run_rebind_report() {
+  using clock = std::chrono::steady_clock;
+  const auto ms_since = [](clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(clock::now() - start).count();
+  };
+
+  const auto t_values = core::linspace(10.0, 100.0, 31);
+  models::TagsParams base;  // paper defaults: lambda=5, mu=10, n=6, K=10
+
+  // Strategy A: rebuild the model (state enumeration + CSR assembly) at
+  // every sweep point.
+  const auto t0 = clock::now();
+  ctmc::index_t states = 0;
+  for (double t : t_values) {
+    models::TagsParams p = base;
+    p.t = t;
+    const models::TagsModel model(p);
+    states = model.n_states();
+    benchmark::DoNotOptimize(model.chain().nnz());
+  }
+  const double rebuild_ms = ms_since(t0);
+
+  // Strategy B: build once, rebind rates onto the frozen pattern.
+  const auto t1 = clock::now();
+  models::TagsModel model(base);
+  for (double t : t_values) {
+    models::TagsParams p = base;
+    p.t = t;
+    model.rebind(p);
+    benchmark::DoNotOptimize(model.chain().nnz());
+  }
+  const double rebind_ms = ms_since(t1);
+
+  const double speedup = rebind_ms > 0.0 ? rebuild_ms / rebind_ms : 0.0;
+  std::printf(
+      "t-sweep over %zu points (%lld states): rebuild %.3f ms, rebind %.3f ms, "
+      "speedup %.2fx\n",
+      t_values.size(), static_cast<long long>(states), rebuild_ms, rebind_ms,
+      speedup);
+
+  obs::gauge_set("bench.micro_statespace.sweep_points",
+                 static_cast<double>(t_values.size()));
+  obs::gauge_set("bench.micro_statespace.states", static_cast<double>(states));
+  obs::gauge_set("bench.micro_statespace.rebuild_ms", rebuild_ms);
+  obs::gauge_set("bench.micro_statespace.rebind_ms", rebind_ms);
+  obs::gauge_set("bench.micro_statespace.rebind_speedup", speedup);
+  tags::bench::emit_telemetry("micro_statespace");
+  return speedup;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool report_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rebind-report-only") == 0) report_only = true;
+  }
+  run_rebind_report();
+  if (report_only) return 0;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
               p.lambda, p.mu, p.t, p.n + 1, p.timeout_mean(), p.k1, p.k2);
 
   const models::TagsModel model(p);
-  std::printf("CTMC: %lld states, %zu transitions\n\n",
+  std::printf("CTMC: %lld states, %lld generator non-zeros\n\n",
               static_cast<long long>(model.n_states()),
-              model.chain().transitions().size());
+              static_cast<long long>(model.chain().nnz()));
 
   const auto comparison = core::compare_policies_exp(p);
   core::Table table({"policy", "E[N]", "W", "throughput", "loss_rate"});

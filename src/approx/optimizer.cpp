@@ -32,19 +32,23 @@ ExactOptimum integer_scan(Params p, Objective obj, unsigned t_lo, unsigned t_hi,
                           unsigned stride = 1) {
   ExactOptimum best;
   double best_score = std::numeric_limits<double>::infinity();
-  std::optional<linalg::Vec> warm;
+  std::optional<Model> model;
+  ctmc::SteadyStateOptions opts;
   for (unsigned t = t_lo; t <= t_hi; t += stride) {
     p.t = static_cast<double>(t);
-    const Model model(p);
-    ctmc::SteadyStateOptions opts;
-    if (warm && warm->size() == static_cast<std::size_t>(model.chain().n_states())) {
-      opts.initial_guess = warm;
+    // Only t varies: rebind rates onto the frozen pattern after the first
+    // construction instead of re-enumerating the state space.
+    if (model) {
+      model->rebind(p);
+    } else {
+      model.emplace(p);
     }
-    const auto solved = model.solve(opts);
+    ctmc::reconcile_warm_start(opts, model->n_states());
+    const auto solved = model->solve(opts);
     ++best.solves;
     if (!solved.converged) continue;
-    warm = solved.pi;
-    const models::Metrics m = model.metrics_from(solved.pi);
+    opts.initial_guess = solved.pi;
+    const models::Metrics m = model->metrics_from(solved.pi);
     const double s = score(m, obj);
     if (s < best_score) {
       best_score = s;
@@ -83,16 +87,25 @@ ExactOptimum optimise_tags_h2_t_coarse(const models::TagsH2Params& p, Objective 
 ExactOptimum optimise_tags_t(models::TagsParams p, Objective obj, double t_lo,
                              double t_hi) {
   ExactOptimum out;
-  const auto objective = [&](double t) {
+  std::optional<models::TagsModel> model;
+  ctmc::SteadyStateOptions opts;
+  const auto evaluate = [&](double t) {
     p.t = t;
-    const models::TagsModel model(p);
+    if (model) {
+      model->rebind(p);
+    } else {
+      model.emplace(p);
+    }
+    ctmc::reconcile_warm_start(opts, model->n_states());
+    const auto solved = model->solve(opts);
     ++out.solves;
-    return score(model.metrics(), obj);
+    if (solved.converged) opts.initial_guess = solved.pi;
+    return model->metrics_from(solved.pi);
   };
+  const auto objective = [&](double t) { return score(evaluate(t), obj); };
   const MinimizeResult r = grid_then_golden(objective, t_lo, t_hi, 24, 1e-3);
   out.t = r.x;
-  p.t = r.x;
-  out.metrics = models::TagsModel(p).metrics();
+  out.metrics = evaluate(r.x);
   return out;
 }
 

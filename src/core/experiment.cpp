@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+
 #include "core/sweep.hpp"
 #include "obs/obs.hpp"
 
@@ -36,21 +38,29 @@ std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
   std::vector<models::Metrics> out;
   out.reserve(t_values.size());
   ctmc::SteadyStateOptions opts;
+  std::optional<models::TagsModel> model;
   for (double t : t_values) {
     models::TagsParams p = base;
     p.t = t;
-    const auto model = [&] {
+    {
+      // Only t moves within the sweep: the sparsity pattern is frozen, so
+      // every point after the first is a rate rebind, not a rebuild.
       const obs::ScopedTimer build_timer("build");
-      return models::TagsModel(p);
-    }();
+      if (model) {
+        model->rebind(p);
+      } else {
+        model.emplace(p);
+      }
+    }
     obs::gauge_set("core.tags_t_sweep.last_states",
-                   static_cast<double>(model.n_states()));
+                   static_cast<double>(model->n_states()));
+    ctmc::reconcile_warm_start(opts, model->n_states());
     const auto solved = [&] {
       const obs::ScopedTimer solve_timer("solve");
-      return model.solve(opts);
+      return model->solve(opts);
     }();
     if (solved.converged) opts.initial_guess = solved.pi;
-    out.push_back(model.metrics_from(solved.pi));
+    out.push_back(model->metrics_from(solved.pi));
   }
   return out;
 }
@@ -61,21 +71,27 @@ std::vector<models::Metrics> tags_h2_t_sweep(const models::TagsH2Params& base,
   std::vector<models::Metrics> out;
   out.reserve(t_values.size());
   ctmc::SteadyStateOptions opts;
+  std::optional<models::TagsH2Model> model;
   for (double t : t_values) {
     models::TagsH2Params p = base;
     p.t = t;
-    const auto model = [&] {
+    {
       const obs::ScopedTimer build_timer("build");
-      return models::TagsH2Model(p);
-    }();
+      if (model) {
+        model->rebind(p);
+      } else {
+        model.emplace(p);
+      }
+    }
     obs::gauge_set("core.tags_h2_t_sweep.last_states",
-                   static_cast<double>(model.n_states()));
+                   static_cast<double>(model->n_states()));
+    ctmc::reconcile_warm_start(opts, model->n_states());
     const auto solved = [&] {
       const obs::ScopedTimer solve_timer("solve");
-      return model.solve(opts);
+      return model->solve(opts);
     }();
     if (solved.converged) opts.initial_guess = solved.pi;
-    out.push_back(model.metrics_from(solved.pi));
+    out.push_back(model->metrics_from(solved.pi));
   }
   return out;
 }

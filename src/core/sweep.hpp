@@ -40,7 +40,14 @@ template <class T, class SolveFn>
   ctmc::SteadyStateOptions opts;
   for (const T& x : inputs) {
     ctmc::SteadyStateResult r = solve_fn(x, opts);
-    if (r.converged) opts.initial_guess = r.pi;
+    if (r.converged) {
+      opts.initial_guess = r.pi;
+    } else if (opts.initial_guess && opts.initial_guess->size() != r.pi.size()) {
+      // The state space changed mid-sweep (a structural parameter moved):
+      // drop the stale guess instead of letting every later solve silently
+      // fall back to the uniform start through the solver's size check.
+      opts.initial_guess.reset();
+    }
     results.push_back(std::move(r));
   }
   return results;

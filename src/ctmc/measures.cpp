@@ -1,5 +1,7 @@
 #include "ctmc/measures.hpp"
 
+#include "ctmc/generator.hpp"
+
 namespace tags::ctmc {
 
 double expected_reward(std::span<const double> pi, std::span<const double> reward) {
@@ -36,6 +38,42 @@ double throughput(const Ctmc& chain, std::span<const double> pi,
   const std::int64_t id = chain.find_label(label_name);
   if (id < 0) return 0.0;
   return throughput(chain, pi, static_cast<label_t>(id));
+}
+
+double throughput(const GeneratorCtmc& chain, std::span<const double> pi,
+                  label_t label) {
+  return chain.throughput(pi, label);
+}
+
+double throughput(const GeneratorCtmc& chain, std::span<const double> pi,
+                  std::string_view label_name) {
+  return chain.throughput(pi, label_name);
+}
+
+BasicMeasures evaluate(const GeneratorCtmc& chain, std::span<const double> pi,
+                       const MeasureSpec& spec) {
+  BasicMeasures m;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const index_t s = static_cast<index_t>(i);
+    const double q1 = spec.queue1 ? spec.queue1(s) : 0.0;
+    m.mean_q1 += pi[i] * q1;
+    if (q1 >= 1.0) m.utilisation1 += pi[i];
+    if (spec.queue2) {
+      const double q2 = spec.queue2(s);
+      m.mean_q2 += pi[i] * q2;
+      if (q2 >= 1.0) m.utilisation2 += pi[i];
+    }
+  }
+  for (const std::string& l : spec.service_labels) {
+    m.throughput += chain.throughput(pi, l);
+  }
+  for (const std::string& l : spec.loss1_labels) {
+    m.loss1_rate += chain.throughput(pi, l);
+  }
+  for (const std::string& l : spec.loss2_labels) {
+    m.loss2_rate += chain.throughput(pi, l);
+  }
+  return m;
 }
 
 }  // namespace tags::ctmc

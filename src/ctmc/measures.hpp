@@ -3,12 +3,16 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "ctmc/ctmc.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace tags::ctmc {
+
+class GeneratorCtmc;
 
 /// E[r] = sum_i pi_i * reward_i.
 [[nodiscard]] double expected_reward(std::span<const double> pi,
@@ -31,5 +35,44 @@ namespace tags::ctmc {
 /// Convenience overload by label name; returns 0 if the chain never uses it.
 [[nodiscard]] double throughput(const Ctmc& chain, std::span<const double> pi,
                                 std::string_view label_name);
+
+/// Throughput over a generator-model engine's per-label reward vectors;
+/// same semantics (self-loops count) without a transition list.
+[[nodiscard]] double throughput(const GeneratorCtmc& chain, std::span<const double> pi,
+                                label_t label);
+[[nodiscard]] double throughput(const GeneratorCtmc& chain, std::span<const double> pi,
+                                std::string_view label_name);
+
+/// Declarative description of the standard queueing measures, evaluated in
+/// one pass by evaluate(). This replaces the near-identical metrics
+/// extraction loops the model classes used to carry: a model states *what*
+/// its queues and event labels are, the ctmc layer does the arithmetic.
+struct MeasureSpec {
+  /// Queue-1 length of a state. Required.
+  std::function<double(index_t)> queue1;
+  /// Queue-2 length; leave empty for single-queue models.
+  std::function<double(index_t)> queue2;
+  /// Labels whose combined throughput is the system throughput.
+  std::vector<std::string> service_labels;
+  /// Labels counted as queue-1 / queue-2 loss events.
+  std::vector<std::string> loss1_labels;
+  std::vector<std::string> loss2_labels;
+};
+
+/// Raw measures produced from a spec; models map these into their Metrics
+/// structs (adding derived quantities via Metrics::finalize).
+struct BasicMeasures {
+  double mean_q1 = 0.0;
+  double mean_q2 = 0.0;
+  double utilisation1 = 0.0;  ///< P(queue1 >= 1)
+  double utilisation2 = 0.0;  ///< P(queue2 >= 1)
+  double throughput = 0.0;
+  double loss1_rate = 0.0;
+  double loss2_rate = 0.0;
+};
+
+[[nodiscard]] BasicMeasures evaluate(const GeneratorCtmc& chain,
+                                     std::span<const double> pi,
+                                     const MeasureSpec& spec);
 
 }  // namespace tags::ctmc

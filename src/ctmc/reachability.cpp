@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "ctmc/generator.hpp"
+
 namespace tags::ctmc {
 
 namespace {
@@ -34,12 +36,21 @@ bool bfs_covers_all(const linalg::CsrMatrix& adj, index_t start) {
 
 }  // namespace
 
-bool is_irreducible(const Ctmc& chain) {
-  if (chain.n_states() == 0) return false;
-  const linalg::CsrMatrix& q = chain.generator();
+bool is_irreducible(const linalg::CsrMatrix& q) {
+  if (q.rows() == 0) return false;
   // Strong connectivity == BFS from state 0 covers all states in both the
   // forward and the reverse graph.
   return bfs_covers_all(q, 0) && bfs_covers_all(q.transposed(), 0);
+}
+
+bool is_irreducible(const Ctmc& chain) {
+  if (chain.n_states() == 0) return false;
+  return is_irreducible(chain.generator());
+}
+
+bool is_irreducible(const GeneratorCtmc& chain) {
+  if (chain.n_states() == 0) return false;
+  return is_irreducible(chain.generator());
 }
 
 std::vector<index_t> absorbing_states(const Ctmc& chain) {

@@ -78,6 +78,13 @@ template <class State, class SuccFn>
 /// connected transition graph). Steady-state solvers require this.
 [[nodiscard]] bool is_irreducible(const Ctmc& chain);
 
+/// Same check on a bare CSR generator (off-diagonal positive entries are
+/// the edges); shared by Ctmc and GeneratorCtmc callers.
+[[nodiscard]] bool is_irreducible(const linalg::CsrMatrix& q);
+
+class GeneratorCtmc;
+[[nodiscard]] bool is_irreducible(const GeneratorCtmc& chain);
+
 /// States with no outgoing transitions (exit rate zero).
 [[nodiscard]] std::vector<index_t> absorbing_states(const Ctmc& chain);
 

@@ -44,14 +44,32 @@ using linalg::CsrMatrix;
 using linalg::index_t;
 using linalg::Vec;
 
+/// Everything the solvers need: the CSR generator plus exit-rate data
+/// cached off its diagonal. Built once per public steady_state call, so
+/// any representation that yields a CSR generator (classic Ctmc,
+/// GeneratorCtmc, a raw matrix) solves through the same path.
+struct System {
+  const CsrMatrix& q;
+  Vec exit;         // -diagonal
+  double max_exit;  // largest exit rate
+
+  explicit System(const CsrMatrix& gen) : q(gen), exit(gen.diagonal()), max_exit(0.0) {
+    for (double& v : exit) {
+      v = -v;
+      max_exit = std::max(max_exit, v);
+    }
+  }
+  [[nodiscard]] index_t n() const noexcept { return q.rows(); }
+};
+
 /// ||pi Q||_inf via y = Q^T pi.
 double balance_residual(const CsrMatrix& qt, std::span<const double> pi, Vec& scratch) {
   qt.multiply(pi, scratch);
   return linalg::nrm_inf(scratch);
 }
 
-Vec initial_vector(const Ctmc& chain, const SteadyStateOptions& opts) {
-  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+Vec initial_vector(const System& sys, const SteadyStateOptions& opts) {
+  const std::size_t n = static_cast<std::size_t>(sys.n());
   if (opts.initial_guess && opts.initial_guess->size() == n) {
     Vec pi = *opts.initial_guess;
     for (double& v : pi) v = std::max(v, 0.0);
@@ -60,14 +78,14 @@ Vec initial_vector(const Ctmc& chain, const SteadyStateOptions& opts) {
   return Vec(n, 1.0 / static_cast<double>(n));
 }
 
-SteadyStateResult solve_dense_lu(const Ctmc& chain) {
+SteadyStateResult solve_dense_lu(const System& sys) {
   const obs::ScopedTimer timer("dense-lu");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kDenseLu;
-  const std::size_t n = static_cast<std::size_t>(chain.n_states());
+  const std::size_t n = static_cast<std::size_t>(sys.n());
   // A = Q^T with the last balance equation replaced by sum(pi) = 1.
   linalg::DenseMatrix a(n, n);
-  const CsrMatrix& q = chain.generator();
+  const CsrMatrix& q = sys.q;
   for (index_t i = 0; i < q.rows(); ++i) {
     const auto cs = q.row_cols(i);
     const auto vs = q.row_vals(i);
@@ -89,24 +107,24 @@ SteadyStateResult solve_dense_lu(const Ctmc& chain) {
   Vec scratch(n);
   res.residual = balance_residual(q.transposed(), res.pi, scratch);
   res.converged = std::isfinite(res.residual) &&
-                  res.residual <= 1e-6 * std::max(1.0, chain.max_exit_rate());
+                  res.residual <= 1e-6 * std::max(1.0, sys.max_exit);
   res.iterations = 1;
   note_attempt(res);
   return res;
 }
 
-SteadyStateResult solve_gauss_seidel(const Ctmc& chain, const SteadyStateOptions& opts) {
+SteadyStateResult solve_gauss_seidel(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("gauss-seidel");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGaussSeidel;
-  const std::size_t n = static_cast<std::size_t>(chain.n_states());
-  const CsrMatrix qt = chain.generator().transposed();
-  const Vec exit = chain.exit_rates();
+  const std::size_t n = static_cast<std::size_t>(sys.n());
+  const CsrMatrix qt = sys.q.transposed();
+  const Vec& exit = sys.exit;
   // Residuals of pi*Q scale with the transition rates; make the tolerance
   // relative so stiff chains (huge timer rates) converge sensibly.
-  const double tol = opts.tol * std::max(1.0, chain.max_exit_rate());
+  const double tol = opts.tol * std::max(1.0, sys.max_exit);
 
-  Vec pi = initial_vector(chain, opts);
+  Vec pi = initial_vector(sys, opts);
   Vec scratch(n);
   for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
     // One sweep of pi_j = sum_{i != j} pi_i q_ij / exit_j.
@@ -139,16 +157,16 @@ SteadyStateResult solve_gauss_seidel(const Ctmc& chain, const SteadyStateOptions
   return res;
 }
 
-SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts) {
+SteadyStateResult solve_power(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("power");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kPower;
-  const std::size_t n = static_cast<std::size_t>(chain.n_states());
-  const CsrMatrix& q = chain.generator();
+  const std::size_t n = static_cast<std::size_t>(sys.n());
+  const CsrMatrix& q = sys.q;
   const CsrMatrix qt = q.transposed();
   // Strictly greater than the max exit rate so the DTMC is aperiodic.
-  const double lambda = chain.max_exit_rate() * 1.05 + 1e-12;
-  const double tol = opts.tol * std::max(1.0, chain.max_exit_rate());
+  const double lambda = sys.max_exit * 1.05 + 1e-12;
+  const double tol = opts.tol * std::max(1.0, sys.max_exit);
 
   // Pt = (I + Q/lambda)^T assembled directly from Q^T.
   CooMatrix coo(qt.rows(), qt.cols());
@@ -160,7 +178,7 @@ SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts)
   }
   const CsrMatrix pt = CsrMatrix::from_coo(coo);
 
-  Vec pi = initial_vector(chain, opts);
+  Vec pi = initial_vector(sys, opts);
   Vec next(n);
   Vec scratch(n);
   for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
@@ -184,12 +202,12 @@ SteadyStateResult solve_power(const Ctmc& chain, const SteadyStateOptions& opts)
   return res;
 }
 
-SteadyStateResult solve_gmres(const Ctmc& chain, const SteadyStateOptions& opts) {
+SteadyStateResult solve_gmres(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("gmres");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGmres;
-  const std::size_t n = static_cast<std::size_t>(chain.n_states());
-  const CsrMatrix& q = chain.generator();
+  const std::size_t n = static_cast<std::size_t>(sys.n());
+  const CsrMatrix& q = sys.q;
   // M = Q^T with the last row replaced by ones; M x = e_{n-1}.
   CooMatrix coo(static_cast<index_t>(n), static_cast<index_t>(n));
   for (index_t i = 0; i < q.rows(); ++i) {
@@ -206,8 +224,8 @@ SteadyStateResult solve_gmres(const Ctmc& chain, const SteadyStateOptions& opts)
 
   Vec b(n, 0.0);
   b[n - 1] = 1.0;
-  Vec x = initial_vector(chain, opts);
-  const double tol = opts.tol * std::max(1.0, chain.max_exit_rate());
+  Vec x = initial_vector(sys, opts);
+  const double tol = opts.tol * std::max(1.0, sys.max_exit);
   linalg::SolveOptions sopts;
   sopts.tol = tol;  // relative target, consistent with the balance check
   sopts.max_iter = opts.max_iter;
@@ -227,12 +245,12 @@ SteadyStateResult solve_gmres(const Ctmc& chain, const SteadyStateOptions& opts)
   return res;
 }
 
-SteadyStateResult steady_state_impl(const Ctmc& chain, const SteadyStateOptions& opts) {
+SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions& opts) {
   switch (opts.method) {
-    case SteadyStateMethod::kDenseLu: return solve_dense_lu(chain);
-    case SteadyStateMethod::kGaussSeidel: return solve_gauss_seidel(chain, opts);
-    case SteadyStateMethod::kPower: return solve_power(chain, opts);
-    case SteadyStateMethod::kGmres: return solve_gmres(chain, opts);
+    case SteadyStateMethod::kDenseLu: return solve_dense_lu(sys);
+    case SteadyStateMethod::kGaussSeidel: return solve_gauss_seidel(sys, opts);
+    case SteadyStateMethod::kPower: return solve_power(sys, opts);
+    case SteadyStateMethod::kGmres: return solve_gmres(sys, opts);
     case SteadyStateMethod::kAuto: break;
   }
   std::vector<SteadyStateAttempt> chain_attempts;
@@ -241,28 +259,28 @@ SteadyStateResult steady_state_impl(const Ctmc& chain, const SteadyStateOptions&
     r.attempts = std::move(chain_attempts);
     return r;
   };
-  if (chain.n_states() <= 1200) {
-    SteadyStateResult res = solve_dense_lu(chain);
+  if (sys.n() <= 1200) {
+    SteadyStateResult res = solve_dense_lu(sys);
     if (res.converged) return finish(std::move(res));
     trace_fallback(SteadyStateMethod::kDenseLu, SteadyStateMethod::kGaussSeidel,
                    res.residual);
     chain_attempts.insert(chain_attempts.end(), res.attempts.begin(),
                           res.attempts.end());
   }
-  SteadyStateResult res = solve_gauss_seidel(chain, opts);
+  SteadyStateResult res = solve_gauss_seidel(sys, opts);
   if (res.converged) return finish(std::move(res));
   trace_fallback(SteadyStateMethod::kGaussSeidel, SteadyStateMethod::kGmres,
                  res.residual);
   chain_attempts.insert(chain_attempts.end(), res.attempts.begin(), res.attempts.end());
   SteadyStateOptions warm = opts;
   warm.initial_guess = res.pi;  // reuse partial progress
-  SteadyStateResult res2 = solve_gmres(chain, warm);
+  SteadyStateResult res2 = solve_gmres(sys, warm);
   if (res2.converged) return finish(std::move(res2));
   trace_fallback(SteadyStateMethod::kGmres, SteadyStateMethod::kPower, res2.residual);
   chain_attempts.insert(chain_attempts.end(), res2.attempts.begin(),
                         res2.attempts.end());
   warm.initial_guess = res2.residual < res.residual ? res2.pi : res.pi;
-  SteadyStateResult res3 = solve_power(chain, warm);
+  SteadyStateResult res3 = solve_power(sys, warm);
   chain_attempts.insert(chain_attempts.end(), res3.attempts.begin(),
                         res3.attempts.end());
   const auto with_chain = [&](SteadyStateResult r) {
@@ -279,20 +297,26 @@ SteadyStateResult steady_state_impl(const Ctmc& chain, const SteadyStateOptions&
 
 }  // namespace
 
-SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts) {
-  assert(chain.n_states() > 0);
+SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOptions& opts) {
+  assert(q.rows() > 0 && q.rows() == q.cols());
   const obs::ScopedTimer timer("ctmc/steady_state");
   const std::uint64_t start_ns = obs::now_ns();
-  SteadyStateResult res = steady_state_impl(chain, opts);
+  if (opts.initial_guess) {
+    obs::count(opts.initial_guess->size() == static_cast<std::size_t>(q.rows())
+                   ? "ctmc.steady_state.warm_start.hits"
+                   : "ctmc.steady_state.warm_start.misses");
+  }
+  const System sys(q);
+  SteadyStateResult res = steady_state_impl(sys, opts);
   if (obs::metrics_on()) {
     obs::count("ctmc.steady_state.solves");
     obs::SolveRecord rec;
     rec.context = "steady_state";
     rec.method = to_string(res.method_used);
-    rec.n = chain.n_states();
+    rec.n = q.rows();
     rec.iterations = res.iterations;
     rec.residual = res.residual;
-    rec.relative_residual = res.residual / std::max(1.0, chain.max_exit_rate());
+    rec.relative_residual = res.residual / std::max(1.0, sys.max_exit);
     rec.converged = res.converged;
     rec.diverged = !std::isfinite(res.residual);
     rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
@@ -303,6 +327,19 @@ SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts
     obs::record_solve(std::move(rec));
   }
   return res;
+}
+
+SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts) {
+  assert(chain.n_states() > 0);
+  return steady_state(chain.generator(), opts);
+}
+
+void reconcile_warm_start(SteadyStateOptions& opts, index_t n_states) {
+  if (!opts.initial_guess) return;
+  if (opts.initial_guess->size() != static_cast<std::size_t>(n_states)) {
+    opts.initial_guess.reset();
+    obs::count("ctmc.steady_state.warm_start.cleared");
+  }
 }
 
 }  // namespace tags::ctmc

@@ -56,7 +56,19 @@ struct SteadyStateResult {
   std::vector<SteadyStateAttempt> attempts;
 };
 
+/// Solve pi Q = 0 for an arbitrary CSR generator (rows = columns = states).
+/// This is the primitive everything else forwards to; it only needs the
+/// matrix — exit rates are read off the diagonal.
+[[nodiscard]] SteadyStateResult steady_state(const linalg::CsrMatrix& q,
+                                             const SteadyStateOptions& opts = {});
+
 [[nodiscard]] SteadyStateResult steady_state(const Ctmc& chain,
                                              const SteadyStateOptions& opts = {});
+
+/// Drop a warm-start guess whose dimension no longer matches the chain
+/// about to be solved (sweeps that cross a structural-parameter boundary
+/// would otherwise carry a stale guess that steady_state silently
+/// discards). Counts hits/misses under "ctmc.steady_state.warm_start.*".
+void reconcile_warm_start(SteadyStateOptions& opts, index_t n_states);
 
 }  // namespace tags::ctmc

@@ -1,0 +1,46 @@
+// Back door for streaming CSR assembly.
+//
+// CsrMatrix::from_coo materialises a COO buffer first; the generator-model
+// engine (ctmc/generator.cpp) builds rows in final order and does not want
+// the intermediate copy, and rate rebinding needs to overwrite values in
+// place on a frozen sparsity pattern. CsrBuilderAccess is the single,
+// narrow friend through which both happen; everything else keeps going
+// through the public CsrMatrix API.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace tags::linalg {
+
+class CsrBuilderAccess {
+ public:
+  /// Adopt pre-assembled CSR arrays. Invariants the caller must uphold
+  /// (the engine's row-streaming assembly does by construction):
+  /// row_ptr.size() == rows + 1, row_ptr.front() == 0, row_ptr.back() ==
+  /// col.size() == val.size(), and each row's columns sorted ascending
+  /// with no duplicates.
+  [[nodiscard]] static CsrMatrix adopt(index_t rows, index_t cols,
+                                       std::vector<index_t> row_ptr,
+                                       std::vector<index_t> col,
+                                       std::vector<double> val) {
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_ptr_ = std::move(row_ptr);
+    m.col_ = std::move(col);
+    m.val_ = std::move(val);
+    return m;
+  }
+
+  /// Mutable view of the value array, parallel to the (frozen) column
+  /// array. Used by rate rebinding to repopulate numerics without touching
+  /// structure.
+  [[nodiscard]] static std::vector<double>& values(CsrMatrix& m) noexcept {
+    return m.val_;
+  }
+};
+
+}  // namespace tags::linalg

@@ -1,8 +1,11 @@
 #include "models/mm1k.hpp"
 
 #include <cmath>
+#include <string>
+#include <vector>
 
-#include "ctmc/builder.hpp"
+#include "ctmc/generator.hpp"
+#include "ctmc/generator_model.hpp"
 
 namespace tags::models {
 
@@ -31,21 +34,41 @@ Mm1kResult mm1k_analytic(const Mm1kParams& p) {
   return r;
 }
 
-ctmc::Ctmc mm1k_ctmc(const Mm1kParams& p) {
-  ctmc::CtmcBuilder b;
-  const auto arrival = b.label("arrival");
-  const auto service = b.label("service");
-  const auto loss = b.label("loss");
-  for (unsigned i = 0; i <= p.k; ++i) {
-    const auto s = static_cast<ctmc::index_t>(i);
-    if (i < p.k) {
-      b.add(s, s + 1, p.lambda, arrival);
-    } else {
-      b.add(s, s, p.lambda, loss);  // recorded for throughput("loss")
-    }
-    if (i > 0) b.add(s, s - 1, p.mu, service);
+namespace {
+
+/// The birth-death chain as a generator model; mm1k_ctmc materialises it,
+/// and tests exercise it directly as the smallest GeneratorModel.
+class Mm1kGenerator final : public ctmc::GeneratorModel {
+ public:
+  explicit Mm1kGenerator(const Mm1kParams& p) : p_(p) {}
+
+  [[nodiscard]] ctmc::index_t state_space_size() const override {
+    return static_cast<ctmc::index_t>(p_.k) + 1;
   }
-  return b.build();
-}
+
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override {
+    static const std::vector<std::string> kLabels = {"tau", "arrival", "service",
+                                                     "loss"};
+    return kLabels;
+  }
+
+  void for_each_transition(ctmc::index_t s,
+                           const ctmc::TransitionSink& emit) const override {
+    const auto i = static_cast<unsigned>(s);
+    if (i < p_.k) {
+      emit(s + 1, p_.lambda, 1);  // arrival
+    } else {
+      emit(s, p_.lambda, 3);  // loss, recorded for throughput("loss")
+    }
+    if (i > 0) emit(s - 1, p_.mu, 2);  // service
+  }
+
+ private:
+  Mm1kParams p_;
+};
+
+}  // namespace
+
+ctmc::Ctmc mm1k_ctmc(const Mm1kParams& p) { return ctmc::materialize(Mm1kGenerator(p)); }
 
 }  // namespace tags::models

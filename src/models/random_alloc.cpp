@@ -1,9 +1,5 @@
 #include "models/random_alloc.hpp"
 
-#include <cassert>
-
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
 #include "models/mm1k.hpp"
 
 namespace tags::models {
@@ -25,46 +21,37 @@ Metrics random_alloc_exp(const RandomAllocParams& p) {
   return m;
 }
 
+namespace {
+
+enum Label : ctmc::label_t {
+  kArrival = 1,
+  kService,
+  kLoss,
+};
+
+const std::vector<std::string> kLabels = {"tau", "arrival", "service", "loss"};
+
+}  // namespace
+
 Mh21kModel::Mh21kModel(double lambda, double alpha, double mu1, double mu2, unsigned k)
     : lambda_(lambda), alpha_(alpha), mu1_(mu1), mu2_(mu2), k_(k) {
-  ctmc::CtmcBuilder b;
-  const auto l_arrival = b.label("arrival");
-  const auto l_service = b.label("service");
-  const auto l_loss = b.label("loss");
+  assemble();
+}
 
-  const auto for_each_state = [&](auto&& fn) {
-    fn(State{0, 0});
-    for (unsigned q = 1; q <= k_; ++q) {
-      fn(State{q, 0});
-      fn(State{q, 1});
-    }
-  };
+void Mh21kModel::rebind(double lambda, double alpha, double mu1, double mu2) {
+  lambda_ = lambda;
+  alpha_ = alpha;
+  mu1_ = mu1;
+  mu2_ = mu2;
+  rebind_rates();
+}
 
-  for_each_state([&](const State& s) {
-    const ctmc::index_t from = encode(s);
-    if (s.q < k_) {
-      if (s.q == 0) {
-        // Arriving job becomes head: sample its class.
-        b.add(from, encode({1, 0}), lambda_ * alpha_, l_arrival);
-        b.add(from, encode({1, 1}), lambda_ * (1.0 - alpha_), l_arrival);
-      } else {
-        b.add(from, encode({s.q + 1, s.c}), lambda_, l_arrival);
-      }
-    } else {
-      b.add(from, from, lambda_, l_loss);
-    }
-    if (s.q >= 1) {
-      const double mu = s.c == 0 ? mu1_ : mu2_;
-      if (s.q >= 2) {
-        b.add(from, encode({s.q - 1, 0}), mu * alpha_, l_service);
-        b.add(from, encode({s.q - 1, 1}), mu * (1.0 - alpha_), l_service);
-      } else {
-        b.add(from, encode({0, 0}), mu, l_service);
-      }
-    }
-  });
-  b.ensure_states(static_cast<ctmc::index_t>(2 * k_ + 1));
-  chain_ = b.build();
+ctmc::index_t Mh21kModel::state_space_size() const {
+  return static_cast<ctmc::index_t>(2 * k_ + 1);
+}
+
+const std::vector<std::string>& Mh21kModel::transition_labels() const {
+  return kLabels;
 }
 
 ctmc::index_t Mh21kModel::encode(const State& s) const noexcept {
@@ -77,30 +64,48 @@ Mh21kModel::State Mh21kModel::decode(ctmc::index_t idx) const noexcept {
   return {1 + rest / 2, rest % 2};
 }
 
-Metrics Mh21kModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = ctmc::steady_state(chain_, opts);
-  assert(result.converged);
-  const linalg::Vec& pi = result.pi;
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q;
-    if (s.q >= 1) m.utilisation1 += pi[i];
+void Mh21kModel::for_each_transition(ctmc::index_t state,
+                                     const TransitionSink& emit) const {
+  const State s = decode(state);
+  if (s.q < k_) {
+    if (s.q == 0) {
+      // Arriving job becomes head: sample its class.
+      emit(encode({1, 0}), lambda_ * alpha_, kArrival);
+      emit(encode({1, 1}), lambda_ * (1.0 - alpha_), kArrival);
+    } else {
+      emit(encode({s.q + 1, s.c}), lambda_, kArrival);
+    }
+  } else {
+    emit(state, lambda_, kLoss);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "service");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss");
-  finalize(m);
-  return m;
+  if (s.q >= 1) {
+    const double mu = s.c == 0 ? mu1_ : mu2_;
+    if (s.q >= 2) {
+      emit(encode({s.q - 1, 0}), mu * alpha_, kService);
+      emit(encode({s.q - 1, 1}), mu * (1.0 - alpha_), kService);
+    } else {
+      emit(encode({0, 0}), mu, kService);
+    }
+  }
+}
+
+ctmc::MeasureSpec Mh21kModel::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q); };
+  spec.service_labels = {"service"};
+  spec.loss1_labels = {"loss"};
+  return spec;
 }
 
 Metrics random_alloc_h2(const RandomAllocH2Params& p,
                         const ctmc::SteadyStateOptions& opts) {
-  const Mh21kModel q1(p.lambda * p.p1, p.alpha, p.mu1, p.mu2, p.k);
-  const Metrics m1 = q1.metrics(opts);
+  Mh21kModel q(p.lambda * p.p1, p.alpha, p.mu1, p.mu2, p.k);
+  const Metrics m1 = q.metrics(opts);
   Metrics m2 = m1;
   if (p.p1 != 0.5) {
-    const Mh21kModel q2(p.lambda * (1.0 - p.p1), p.alpha, p.mu1, p.mu2, p.k);
-    m2 = q2.metrics(opts);
+    // Same buffer, different arrival rate: rebind instead of rebuilding.
+    q.rebind(p.lambda * (1.0 - p.p1), p.alpha, p.mu1, p.mu2);
+    m2 = q.metrics(opts);
   }
   Metrics m;
   m.mean_q1 = m1.mean_q1;

@@ -4,9 +4,7 @@
 // service each queue is an M/H2/1/K CTMC tracking the head job's class.
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 
 namespace tags::models {
 
@@ -31,7 +29,7 @@ struct RandomAllocH2Params {
 
 /// A single M/H2/1/K queue (head-of-line class tracked). Exposed because
 /// it is also a useful model on its own and in tests.
-class Mh21kModel {
+class Mh21kModel : public SolvableModel {
  public:
   /// lambda here is the arrival rate INTO THIS QUEUE.
   Mh21kModel(double lambda, double alpha, double mu1, double mu2, unsigned k);
@@ -41,17 +39,27 @@ class Mh21kModel {
     unsigned c;  ///< head class, 0 short / 1 long (0 when empty)
   };
 
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
 
+  /// Repopulate rates for a new arrival/service parameterisation on the
+  /// same buffer k. alpha in {0, 1} degenerates the branching structure
+  /// and surfaces as the engine's pattern-mismatch std::logic_error.
+  void rebind(double lambda, double alpha, double mu1, double mu2);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
   /// Single-queue measures, reported in the node-1 slots of Metrics.
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   double lambda_, alpha_, mu1_, mu2_;
   unsigned k_;
-  ctmc::Ctmc chain_;
 };
 
 /// Two independent M/H2/1/K queues with the split-arrival streams.

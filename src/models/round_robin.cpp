@@ -1,39 +1,43 @@
 #include "models/round_robin.hpp"
 
-#include <cassert>
-
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
+#include <stdexcept>
 
 namespace tags::models {
 
-RoundRobinModel::RoundRobinModel(const RoundRobinParams& params) : params_(params) {
-  const unsigned k = params_.k;
-  ctmc::CtmcBuilder b;
-  const auto l_arr = b.label("arrival");
-  const auto l_serv1 = b.label("serv1");
-  const auto l_serv2 = b.label("serv2");
-  const auto l_loss = b.label("loss");
+namespace {
 
-  for (unsigned q1 = 0; q1 <= k; ++q1) {
-    for (unsigned q2 = 0; q2 <= k; ++q2) {
-      for (unsigned next = 0; next <= 1; ++next) {
-        const ctmc::index_t from = encode({q1, q2, next});
-        // Arrival: route to `next`; the cursor advances whether or not the
-        // job fits (the dispatcher is blind to occupancy).
-        const unsigned target_len = next == 0 ? q1 : q2;
-        if (target_len < k) {
-          const State to{next == 0 ? q1 + 1 : q1, next == 1 ? q2 + 1 : q2, 1 - next};
-          b.add(from, encode(to), params_.lambda, l_arr);
-        } else {
-          b.add(from, encode({q1, q2, 1 - next}), params_.lambda, l_loss);
-        }
-        if (q1 >= 1) b.add(from, encode({q1 - 1, q2, next}), params_.mu, l_serv1);
-        if (q2 >= 1) b.add(from, encode({q1, q2 - 1, next}), params_.mu, l_serv2);
-      }
-    }
+enum Label : ctmc::label_t {
+  kArrival = 1,
+  kServ1,
+  kServ2,
+  kLoss,
+};
+
+const std::vector<std::string> kLabels = {"tau", "arrival", "serv1", "serv2",
+                                          "loss"};
+
+}  // namespace
+
+RoundRobinModel::RoundRobinModel(const RoundRobinParams& params) : params_(params) {
+  assemble();
+}
+
+void RoundRobinModel::rebind(const RoundRobinParams& params) {
+  if (params.k != params_.k) {
+    throw std::invalid_argument(
+        "RoundRobinModel::rebind: k is structural; construct a new model");
   }
-  chain_ = b.build();
+  params_ = params;
+  rebind_rates();
+}
+
+ctmc::index_t RoundRobinModel::state_space_size() const {
+  const auto side = static_cast<ctmc::index_t>(params_.k) + 1;
+  return side * side * 2;
+}
+
+const std::vector<std::string>& RoundRobinModel::transition_labels() const {
+  return kLabels;
 }
 
 ctmc::index_t RoundRobinModel::encode(const State& s) const noexcept {
@@ -48,23 +52,31 @@ RoundRobinModel::State RoundRobinModel::decode(ctmc::index_t idx) const noexcept
   return {rest / stride, rest % stride, next};
 }
 
-Metrics RoundRobinModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = ctmc::steady_state(chain_, opts);
-  assert(result.converged);
-  const linalg::Vec& pi = result.pi;
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q1;
-    m.mean_q2 += pi[i] * s.q2;
-    if (s.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.q2 >= 1) m.utilisation2 += pi[i];
+void RoundRobinModel::for_each_transition(ctmc::index_t state,
+                                          const TransitionSink& emit) const {
+  const unsigned k = params_.k;
+  const State s = decode(state);
+  // Arrival: route to `next`; the cursor advances whether or not the job
+  // fits (the dispatcher is blind to occupancy).
+  const unsigned target_len = s.next == 0 ? s.q1 : s.q2;
+  if (target_len < k) {
+    const State to{s.next == 0 ? s.q1 + 1 : s.q1, s.next == 1 ? s.q2 + 1 : s.q2,
+                   1 - s.next};
+    emit(encode(to), params_.lambda, kArrival);
+  } else {
+    emit(encode({s.q1, s.q2, 1 - s.next}), params_.lambda, kLoss);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "serv1") +
-                 ctmc::throughput(chain_, pi, "serv2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss");
-  finalize(m);
-  return m;
+  if (s.q1 >= 1) emit(encode({s.q1 - 1, s.q2, s.next}), params_.mu, kServ1);
+  if (s.q2 >= 1) emit(encode({s.q1, s.q2 - 1, s.next}), params_.mu, kServ2);
+}
+
+ctmc::MeasureSpec RoundRobinModel::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q1); };
+  spec.queue2 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q2); };
+  spec.service_labels = {"serv1", "serv2"};
+  spec.loss1_labels = {"loss"};
+  return spec;
 }
 
 }  // namespace tags::models

@@ -4,9 +4,7 @@
 // genuine CTMC (unlike random allocation, the queues are coupled).
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 
 namespace tags::models {
 
@@ -16,7 +14,7 @@ struct RoundRobinParams {
   unsigned k = 10;  ///< buffer per queue
 };
 
-class RoundRobinModel {
+class RoundRobinModel : public SolvableModel {
  public:
   explicit RoundRobinModel(const RoundRobinParams& params);
 
@@ -26,14 +24,26 @@ class RoundRobinModel {
     unsigned next;  ///< queue the next arrival is routed to (0 or 1)
   };
 
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] const RoundRobinParams& params() const noexcept { return params_; }
+
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+  /// Repopulate rates for new lambda/mu; throws std::invalid_argument if
+  /// the structural buffer size k changed.
+  void rebind(const RoundRobinParams& params);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   RoundRobinParams params_;
-  ctmc::Ctmc chain_;
 };
 
 }  // namespace tags::models

@@ -1,11 +1,23 @@
 #include "models/shortest_queue.hpp"
 
-#include <cassert>
-
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
+#include <stdexcept>
 
 namespace tags::models {
+
+namespace {
+
+enum Label : ctmc::label_t {
+  kArr1 = 1,
+  kArr2,
+  kServ1,
+  kServ2,
+  kLoss,
+};
+
+const std::vector<std::string> kLabels = {"tau",   "arr1",  "arr2",
+                                          "serv1", "serv2", "loss"};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Exponential variant
@@ -13,33 +25,25 @@ namespace tags::models {
 
 ShortestQueueModel::ShortestQueueModel(const ShortestQueueParams& params)
     : params_(params) {
-  const unsigned k = params_.k;
-  ctmc::CtmcBuilder b;
-  const auto l_arr1 = b.label("arr1");
-  const auto l_arr2 = b.label("arr2");
-  const auto l_serv1 = b.label("serv1");
-  const auto l_serv2 = b.label("serv2");
-  const auto l_loss = b.label("loss");
+  assemble();
+}
 
-  for (unsigned q1 = 0; q1 <= k; ++q1) {
-    for (unsigned q2 = 0; q2 <= k; ++q2) {
-      const ctmc::index_t from = encode({q1, q2});
-      // Routing: strictly shorter queue wins; ties split the stream.
-      if (q1 < q2) {
-        b.add(from, encode({q1 + 1, q2}), params_.lambda, l_arr1);
-      } else if (q2 < q1) {
-        b.add(from, encode({q1, q2 + 1}), params_.lambda, l_arr2);
-      } else if (q1 < k) {  // tie, space available
-        b.add(from, encode({q1 + 1, q2}), params_.lambda / 2.0, l_arr1);
-        b.add(from, encode({q1, q2 + 1}), params_.lambda / 2.0, l_arr2);
-      } else {  // both full
-        b.add(from, from, params_.lambda, l_loss);
-      }
-      if (q1 >= 1) b.add(from, encode({q1 - 1, q2}), params_.mu, l_serv1);
-      if (q2 >= 1) b.add(from, encode({q1, q2 - 1}), params_.mu, l_serv2);
-    }
+void ShortestQueueModel::rebind(const ShortestQueueParams& params) {
+  if (params.k != params_.k) {
+    throw std::invalid_argument(
+        "ShortestQueueModel::rebind: k is structural; construct a new model");
   }
-  chain_ = b.build();
+  params_ = params;
+  rebind_rates();
+}
+
+ctmc::index_t ShortestQueueModel::state_space_size() const {
+  const auto side = static_cast<ctmc::index_t>(params_.k) + 1;
+  return side * side;
+}
+
+const std::vector<std::string>& ShortestQueueModel::transition_labels() const {
+  return kLabels;
 }
 
 ctmc::index_t ShortestQueueModel::encode(const State& s) const noexcept {
@@ -51,23 +55,34 @@ ShortestQueueModel::State ShortestQueueModel::decode(ctmc::index_t idx) const no
   return {static_cast<unsigned>(idx) / k1, static_cast<unsigned>(idx) % k1};
 }
 
-Metrics ShortestQueueModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = ctmc::steady_state(chain_, opts);
-  assert(result.converged);
-  const linalg::Vec& pi = result.pi;
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q1;
-    m.mean_q2 += pi[i] * s.q2;
-    if (s.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.q2 >= 1) m.utilisation2 += pi[i];
+void ShortestQueueModel::for_each_transition(ctmc::index_t state,
+                                             const TransitionSink& emit) const {
+  const unsigned k = params_.k;
+  const State s = decode(state);
+  const unsigned q1 = s.q1;
+  const unsigned q2 = s.q2;
+  // Routing: strictly shorter queue wins; ties split the stream.
+  if (q1 < q2) {
+    emit(encode({q1 + 1, q2}), params_.lambda, kArr1);
+  } else if (q2 < q1) {
+    emit(encode({q1, q2 + 1}), params_.lambda, kArr2);
+  } else if (q1 < k) {  // tie, space available
+    emit(encode({q1 + 1, q2}), params_.lambda / 2.0, kArr1);
+    emit(encode({q1, q2 + 1}), params_.lambda / 2.0, kArr2);
+  } else {  // both full
+    emit(state, params_.lambda, kLoss);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "serv1") +
-                 ctmc::throughput(chain_, pi, "serv2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss");
-  finalize(m);
-  return m;
+  if (q1 >= 1) emit(encode({q1 - 1, q2}), params_.mu, kServ1);
+  if (q2 >= 1) emit(encode({q1, q2 - 1}), params_.mu, kServ2);
+}
+
+ctmc::MeasureSpec ShortestQueueModel::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q1); };
+  spec.queue2 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q2); };
+  spec.service_labels = {"serv1", "serv2"};
+  spec.loss1_labels = {"loss"};
+  return spec;
 }
 
 // ---------------------------------------------------------------------------
@@ -82,79 +97,25 @@ unsigned local_index(unsigned q, unsigned c) { return q == 0 ? 0 : 1 + (q - 1) *
 
 ShortestQueueH2Model::ShortestQueueH2Model(const ShortestQueueH2Params& params)
     : params_(params) {
-  const unsigned k = params_.k;
-  const double alpha = params_.alpha;
-  ctmc::CtmcBuilder b;
-  const auto l_arr1 = b.label("arr1");
-  const auto l_arr2 = b.label("arr2");
-  const auto l_serv1 = b.label("serv1");
-  const auto l_serv2 = b.label("serv2");
-  const auto l_loss = b.label("loss");
+  assemble();
+}
 
-  const auto for_each_local = [&](auto&& fn) {
-    fn(0u, 0u);
-    for (unsigned q = 1; q <= k; ++q) {
-      fn(q, 0u);
-      fn(q, 1u);
-    }
-  };
+void ShortestQueueH2Model::rebind(const ShortestQueueH2Params& params) {
+  if (params.k != params_.k) {
+    throw std::invalid_argument(
+        "ShortestQueueH2Model::rebind: k is structural; construct a new model");
+  }
+  params_ = params;
+  rebind_rates();
+}
 
-  // Arrival into one queue (class sampled when the queue was empty).
-  const auto add_arrival = [&](ctmc::index_t from, const State& s, bool to_q1,
-                               double rate, ctmc::label_t label) {
-    if (to_q1) {
-      if (s.q1 == 0) {
-        b.add(from, encode({1, 0, s.q2, s.c2}), rate * alpha, label);
-        b.add(from, encode({1, 1, s.q2, s.c2}), rate * (1.0 - alpha), label);
-      } else {
-        b.add(from, encode({s.q1 + 1, s.c1, s.q2, s.c2}), rate, label);
-      }
-    } else {
-      if (s.q2 == 0) {
-        b.add(from, encode({s.q1, s.c1, 1, 0}), rate * alpha, label);
-        b.add(from, encode({s.q1, s.c1, 1, 1}), rate * (1.0 - alpha), label);
-      } else {
-        b.add(from, encode({s.q1, s.c1, s.q2 + 1, s.c2}), rate, label);
-      }
-    }
-  };
+ctmc::index_t ShortestQueueH2Model::state_space_size() const {
+  const auto stride = static_cast<ctmc::index_t>(2 * params_.k + 1);
+  return stride * stride;
+}
 
-  for_each_local([&](unsigned q1, unsigned c1) {
-    for_each_local([&](unsigned q2, unsigned c2) {
-      const State s{q1, c1, q2, c2};
-      const ctmc::index_t from = encode(s);
-      if (q1 < q2) {
-        add_arrival(from, s, true, params_.lambda, l_arr1);
-      } else if (q2 < q1) {
-        add_arrival(from, s, false, params_.lambda, l_arr2);
-      } else if (q1 < k) {
-        add_arrival(from, s, true, params_.lambda / 2.0, l_arr1);
-        add_arrival(from, s, false, params_.lambda / 2.0, l_arr2);
-      } else {
-        b.add(from, from, params_.lambda, l_loss);
-      }
-      if (q1 >= 1) {
-        const double mu = c1 == 0 ? params_.mu1 : params_.mu2;
-        if (q1 >= 2) {
-          b.add(from, encode({q1 - 1, 0, q2, c2}), mu * alpha, l_serv1);
-          b.add(from, encode({q1 - 1, 1, q2, c2}), mu * (1.0 - alpha), l_serv1);
-        } else {
-          b.add(from, encode({0, 0, q2, c2}), mu, l_serv1);
-        }
-      }
-      if (q2 >= 1) {
-        const double mu = c2 == 0 ? params_.mu1 : params_.mu2;
-        if (q2 >= 2) {
-          b.add(from, encode({q1, c1, q2 - 1, 0}), mu * alpha, l_serv2);
-          b.add(from, encode({q1, c1, q2 - 1, 1}), mu * (1.0 - alpha), l_serv2);
-        } else {
-          b.add(from, encode({q1, c1, 0, 0}), mu, l_serv2);
-        }
-      }
-    });
-  });
-  b.ensure_states(static_cast<ctmc::index_t>(2 * k + 1) * (2 * k + 1));
-  chain_ = b.build();
+const std::vector<std::string>& ShortestQueueH2Model::transition_labels() const {
+  return kLabels;
 }
 
 ctmc::index_t ShortestQueueH2Model::encode(const State& s) const noexcept {
@@ -180,23 +141,68 @@ ShortestQueueH2Model::State ShortestQueueH2Model::decode(
   return s;
 }
 
-Metrics ShortestQueueH2Model::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = ctmc::steady_state(chain_, opts);
-  assert(result.converged);
-  const linalg::Vec& pi = result.pi;
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q1;
-    m.mean_q2 += pi[i] * s.q2;
-    if (s.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.q2 >= 1) m.utilisation2 += pi[i];
+void ShortestQueueH2Model::for_each_transition(ctmc::index_t state,
+                                               const TransitionSink& emit) const {
+  const unsigned k = params_.k;
+  const double alpha = params_.alpha;
+  const State s = decode(state);
+
+  // Arrival into one queue (class sampled when the queue was empty).
+  const auto add_arrival = [&](bool to_q1, double rate, ctmc::label_t label) {
+    if (to_q1) {
+      if (s.q1 == 0) {
+        emit(encode({1, 0, s.q2, s.c2}), rate * alpha, label);
+        emit(encode({1, 1, s.q2, s.c2}), rate * (1.0 - alpha), label);
+      } else {
+        emit(encode({s.q1 + 1, s.c1, s.q2, s.c2}), rate, label);
+      }
+    } else {
+      if (s.q2 == 0) {
+        emit(encode({s.q1, s.c1, 1, 0}), rate * alpha, label);
+        emit(encode({s.q1, s.c1, 1, 1}), rate * (1.0 - alpha), label);
+      } else {
+        emit(encode({s.q1, s.c1, s.q2 + 1, s.c2}), rate, label);
+      }
+    }
+  };
+
+  if (s.q1 < s.q2) {
+    add_arrival(true, params_.lambda, kArr1);
+  } else if (s.q2 < s.q1) {
+    add_arrival(false, params_.lambda, kArr2);
+  } else if (s.q1 < k) {
+    add_arrival(true, params_.lambda / 2.0, kArr1);
+    add_arrival(false, params_.lambda / 2.0, kArr2);
+  } else {
+    emit(state, params_.lambda, kLoss);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "serv1") +
-                 ctmc::throughput(chain_, pi, "serv2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss");
-  finalize(m);
-  return m;
+  if (s.q1 >= 1) {
+    const double mu = s.c1 == 0 ? params_.mu1 : params_.mu2;
+    if (s.q1 >= 2) {
+      emit(encode({s.q1 - 1, 0, s.q2, s.c2}), mu * alpha, kServ1);
+      emit(encode({s.q1 - 1, 1, s.q2, s.c2}), mu * (1.0 - alpha), kServ1);
+    } else {
+      emit(encode({0, 0, s.q2, s.c2}), mu, kServ1);
+    }
+  }
+  if (s.q2 >= 1) {
+    const double mu = s.c2 == 0 ? params_.mu1 : params_.mu2;
+    if (s.q2 >= 2) {
+      emit(encode({s.q1, s.c1, s.q2 - 1, 0}), mu * alpha, kServ2);
+      emit(encode({s.q1, s.c1, s.q2 - 1, 1}), mu * (1.0 - alpha), kServ2);
+    } else {
+      emit(encode({s.q1, s.c1, 0, 0}), mu, kServ2);
+    }
+  }
+}
+
+ctmc::MeasureSpec ShortestQueueH2Model::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q1); };
+  spec.queue2 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q2); };
+  spec.service_labels = {"serv1", "serv2"};
+  spec.loss1_labels = {"loss"};
+  return spec;
 }
 
 }  // namespace tags::models

@@ -6,9 +6,7 @@
 // see job classes).
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 
 namespace tags::models {
 
@@ -18,7 +16,7 @@ struct ShortestQueueParams {
   unsigned k = 10;  ///< buffer per queue
 };
 
-class ShortestQueueModel {
+class ShortestQueueModel : public SolvableModel {
  public:
   explicit ShortestQueueModel(const ShortestQueueParams& params);
 
@@ -27,14 +25,26 @@ class ShortestQueueModel {
     unsigned q2;
   };
 
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] const ShortestQueueParams& params() const noexcept { return params_; }
+
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+  /// Repopulate rates for new lambda/mu; throws std::invalid_argument if
+  /// the structural buffer size k changed.
+  void rebind(const ShortestQueueParams& params);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   ShortestQueueParams params_;
-  ctmc::Ctmc chain_;
 };
 
 struct ShortestQueueH2Params {
@@ -45,7 +55,7 @@ struct ShortestQueueH2Params {
   unsigned k = 10;
 };
 
-class ShortestQueueH2Model {
+class ShortestQueueH2Model : public SolvableModel {
  public:
   explicit ShortestQueueH2Model(const ShortestQueueH2Params& params);
 
@@ -56,14 +66,30 @@ class ShortestQueueH2Model {
     unsigned c2;
   };
 
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] const ShortestQueueH2Params& params() const noexcept {
+    return params_;
+  }
+
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+
+  /// Repopulate rates for new lambda/alpha/mu1/mu2; throws
+  /// std::invalid_argument if k changed. alpha in {0, 1} degenerates the
+  /// branching structure and surfaces as the engine's pattern-mismatch
+  /// std::logic_error.
+  void rebind(const ShortestQueueH2Params& params);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   ShortestQueueH2Params params_;
-  ctmc::Ctmc chain_;
 };
 
 }  // namespace tags::models

@@ -1,9 +1,6 @@
 #include "models/tags.hpp"
 
-#include <cassert>
-
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
+#include <stdexcept>
 
 namespace tags::models {
 
@@ -18,6 +15,22 @@ unsigned node1_index(unsigned q1, unsigned j1, unsigned n) {
 unsigned node2_index(unsigned q2, unsigned phase2, unsigned n) {
   return q2 == 0 ? 0 : 1 + (q2 - 1) * (n + 2) + phase2;
 }
+
+enum Label : ctmc::label_t {
+  kArrival = 1,
+  kService1,
+  kTick1,
+  kTimeout,
+  kTimeoutLost,
+  kTick2,
+  kRepeat,
+  kService2,
+  kLoss1,
+};
+
+const std::vector<std::string> kLabels = {
+    "tau",          "arrival", "service1",      "tick1",    "timeout",
+    "timeout_lost", "tick2",   "repeatservice", "service2", "loss1"};
 
 }  // namespace
 
@@ -56,113 +69,79 @@ TagsModel::State TagsModel::decode(ctmc::index_t idx) const noexcept {
 }
 
 TagsModel::TagsModel(const TagsParams& params) : params_(params) {
-  const unsigned n = params_.n;
-  const unsigned k1 = params_.k1;
-  const unsigned k2 = params_.k2;
-  node1_states_ = k1 * (n + 1) + 1;
-  node2_states_ = k2 * (n + 2) + 1;
-  const unsigned serving = n + 1;  // phase2 value for the residual service
-
-  ctmc::CtmcBuilder b;
-  const auto l_arrival = b.label("arrival");
-  const auto l_service1 = b.label("service1");
-  const auto l_tick1 = b.label("tick1");
-  const auto l_timeout = b.label("timeout");
-  const auto l_timeout_lost = b.label("timeout_lost");
-  const auto l_tick2 = b.label("tick2");
-  const auto l_repeat = b.label("repeatservice");
-  const auto l_service2 = b.label("service2");
-  const auto l_loss1 = b.label("loss1");
-
-  // Enumerate every reachable state by its (q1, j1, q2, phase2) tuple. Both
-  // "empty" encodings pin the timer to n, so iterating q=0 with a single
-  // (j = n) representative covers the whole space.
-  const auto for_each_state = [&](auto&& fn) {
-    for (unsigned q1 = 0; q1 <= k1; ++q1) {
-      const unsigned j1_lo = q1 == 0 ? n : 0;
-      for (unsigned j1 = j1_lo; j1 <= n; ++j1) {
-        for (unsigned q2 = 0; q2 <= k2; ++q2) {
-          const unsigned p2_lo = q2 == 0 ? n : 0;
-          const unsigned p2_hi = q2 == 0 ? n : serving;
-          for (unsigned p2 = p2_lo; p2 <= p2_hi; ++p2) {
-            fn(State{q1, j1, q2, p2});
-          }
-        }
-      }
-    }
-  };
-
-  for_each_state([&](const State& s) {
-    const ctmc::index_t from = encode(s);
-
-    // --- Node 1 ---
-    if (s.q1 < k1) {
-      b.add(from, encode({s.q1 + 1, s.j1, s.q2, s.phase2}), params_.lambda, l_arrival);
-    } else {
-      b.add(from, from, params_.lambda, l_loss1);
-    }
-    if (s.q1 >= 1) {
-      // Service completes: head departs, timer resets.
-      b.add(from, encode({s.q1 - 1, n, s.q2, s.phase2}), params_.mu, l_service1);
-      if (s.j1 >= 1) {
-        b.add(from, encode({s.q1, s.j1 - 1, s.q2, s.phase2}), params_.t, l_tick1);
-      } else {
-        // Timeout fires: head restarts at node 2 (or is dropped), node-1
-        // timer resets for the next job.
-        if (s.q2 < k2) {
-          // Arriving at an empty node 2, the head starts a fresh repeat
-          // (phase n); otherwise the head's phase is untouched.
-          const unsigned p2 = s.q2 == 0 ? n : s.phase2;
-          b.add(from, encode({s.q1 - 1, n, s.q2 + 1, p2}), params_.t, l_timeout);
-        } else {
-          b.add(from, encode({s.q1 - 1, n, s.q2, s.phase2}), params_.t, l_timeout_lost);
-        }
-      }
-    }
-
-    // --- Node 2 ---
-    if (s.q2 >= 1) {
-      if (s.phase2 == serving) {
-        // Residual service completes; next head starts a fresh repeat.
-        b.add(from, encode({s.q1, s.j1, s.q2 - 1, n}), params_.mu, l_service2);
-      } else if (s.phase2 >= 1) {
-        b.add(from, encode({s.q1, s.j1, s.q2, s.phase2 - 1}), params_.t, l_tick2);
-      } else {
-        // Repeat service period ends; the residual service begins.
-        b.add(from, encode({s.q1, s.j1, s.q2, serving}), params_.t, l_repeat);
-      }
-    }
-  });
-
-  b.ensure_states(static_cast<ctmc::index_t>(node1_states_) * node2_states_);
-  chain_ = b.build();
+  node1_states_ = params_.k1 * (params_.n + 1) + 1;
+  node2_states_ = params_.k2 * (params_.n + 2) + 1;
+  assemble();
 }
 
-ctmc::SteadyStateResult TagsModel::solve(const ctmc::SteadyStateOptions& opts) const {
-  return ctmc::steady_state(chain_, opts);
-}
-
-Metrics TagsModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = solve(opts);
-  assert(result.converged);
-  return metrics_from(result.pi);
-}
-
-Metrics TagsModel::metrics_from(const linalg::Vec& pi) const {
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q1;
-    m.mean_q2 += pi[i] * s.q2;
-    if (s.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.q2 >= 1) m.utilisation2 += pi[i];
+void TagsModel::rebind(const TagsParams& params) {
+  if (params.n != params_.n || params.k1 != params_.k1 || params.k2 != params_.k2) {
+    throw std::invalid_argument(
+        "TagsModel::rebind: n/k1/k2 are structural; construct a new model");
   }
-  m.throughput = ctmc::throughput(chain_, pi, "service1") +
-                 ctmc::throughput(chain_, pi, "service2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss1");
-  m.loss2_rate = ctmc::throughput(chain_, pi, "timeout_lost");
-  finalize(m);
-  return m;
+  params_ = params;
+  rebind_rates();
+}
+
+ctmc::index_t TagsModel::state_space_size() const {
+  return static_cast<ctmc::index_t>(node1_states_) * node2_states_;
+}
+
+const std::vector<std::string>& TagsModel::transition_labels() const { return kLabels; }
+
+void TagsModel::for_each_transition(ctmc::index_t state,
+                                    const TransitionSink& emit) const {
+  const unsigned n = params_.n;
+  const unsigned serving = n + 1;  // phase2 value for the residual service
+  const State s = decode(state);
+
+  // --- Node 1 ---
+  if (s.q1 < params_.k1) {
+    emit(encode({s.q1 + 1, s.j1, s.q2, s.phase2}), params_.lambda, kArrival);
+  } else {
+    emit(state, params_.lambda, kLoss1);
+  }
+  if (s.q1 >= 1) {
+    // Service completes: head departs, timer resets.
+    emit(encode({s.q1 - 1, n, s.q2, s.phase2}), params_.mu, kService1);
+    if (s.j1 >= 1) {
+      emit(encode({s.q1, s.j1 - 1, s.q2, s.phase2}), params_.t, kTick1);
+    } else {
+      // Timeout fires: head restarts at node 2 (or is dropped), node-1
+      // timer resets for the next job.
+      if (s.q2 < params_.k2) {
+        // Arriving at an empty node 2, the head starts a fresh repeat
+        // (phase n); otherwise the head's phase is untouched.
+        const unsigned p2 = s.q2 == 0 ? n : s.phase2;
+        emit(encode({s.q1 - 1, n, s.q2 + 1, p2}), params_.t, kTimeout);
+      } else {
+        emit(encode({s.q1 - 1, n, s.q2, s.phase2}), params_.t, kTimeoutLost);
+      }
+    }
+  }
+
+  // --- Node 2 ---
+  if (s.q2 >= 1) {
+    if (s.phase2 == serving) {
+      // Residual service completes; next head starts a fresh repeat.
+      emit(encode({s.q1, s.j1, s.q2 - 1, n}), params_.mu, kService2);
+    } else if (s.phase2 >= 1) {
+      emit(encode({s.q1, s.j1, s.q2, s.phase2 - 1}), params_.t, kTick2);
+    } else {
+      // Repeat service period ends; the residual service begins.
+      emit(encode({s.q1, s.j1, s.q2, serving}), params_.t, kRepeat);
+    }
+  }
+}
+
+ctmc::MeasureSpec TagsModel::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q1); };
+  spec.queue2 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q2); };
+  spec.service_labels = {"service1", "service2"};
+  spec.loss1_labels = {"loss1"};
+  spec.loss2_labels = {"timeout_lost"};
+  return spec;
 }
 
 }  // namespace tags::models

@@ -21,9 +21,7 @@
 // tick2, repeatservice, service2, loss1 (arrival dropped: queue 1 full).
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 
 namespace tags::models {
 
@@ -39,7 +37,7 @@ struct TagsParams {
   [[nodiscard]] double timeout_mean() const { return (n + 1) / t; }
 };
 
-class TagsModel {
+class TagsModel : public SolvableModel {
  public:
   explicit TagsModel(const TagsParams& params);
 
@@ -57,8 +55,6 @@ class TagsModel {
   }
 
   [[nodiscard]] const TagsParams& params() const noexcept { return params_; }
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
-  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
 
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
@@ -67,19 +63,21 @@ class TagsModel {
   /// formula (K1(n+1)+1)(K2(n+2)+1).
   [[nodiscard]] static ctmc::index_t state_count(const TagsParams& p) noexcept;
 
-  /// Solve for the stationary distribution and extract the paper's metrics.
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
+  /// Repopulate rates for new lambda/mu/t on the frozen state space;
+  /// throws std::invalid_argument if n/k1/k2 changed.
+  void rebind(const TagsParams& params);
 
-  /// Metrics from a pre-computed stationary distribution.
-  [[nodiscard]] Metrics metrics_from(const linalg::Vec& pi) const;
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
 
-  /// Stationary solve only (for warm-started parameter sweeps).
-  [[nodiscard]] ctmc::SteadyStateResult solve(
-      const ctmc::SteadyStateOptions& opts = {}) const;
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   TagsParams params_;
-  ctmc::Ctmc chain_;
   unsigned node1_states_ = 0;
   unsigned node2_states_ = 0;
 };

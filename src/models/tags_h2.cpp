@@ -1,10 +1,7 @@
 #include "models/tags_h2.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
 #include "phasetype/residual.hpp"
 
 namespace tags::models {
@@ -45,6 +42,22 @@ unsigned node1_index(unsigned q1, unsigned c1, unsigned j1, unsigned n) {
 unsigned node2_index(unsigned q2, unsigned phase2, unsigned n) {
   return q2 == 0 ? 0 : 1 + (q2 - 1) * (n + 3) + phase2;
 }
+
+enum Label : ctmc::label_t {
+  kArrival = 1,
+  kService1,
+  kTick1,
+  kTimeout,
+  kTimeoutLost,
+  kTick2,
+  kRepeat,
+  kService2,
+  kLoss1,
+};
+
+const std::vector<std::string> kLabels = {
+    "tau",          "arrival", "service1",      "tick1",    "timeout",
+    "timeout_lost", "tick2",   "repeatservice", "service2", "loss1"};
 
 }  // namespace
 
@@ -87,138 +100,107 @@ TagsH2Model::State TagsH2Model::decode(ctmc::index_t idx) const noexcept {
 }
 
 TagsH2Model::TagsH2Model(const TagsH2Params& params) : params_(params) {
+  node1_states_ = params_.k1 * 2 * (params_.n + 1) + 1;
+  node2_states_ = params_.k2 * (params_.n + 3) + 1;
+  alpha_prime_ = params_.alpha_prime();
+  assemble();
+}
+
+void TagsH2Model::rebind(const TagsH2Params& params) {
+  if (params.n != params_.n || params.k1 != params_.k1 || params.k2 != params_.k2) {
+    throw std::invalid_argument(
+        "TagsH2Model::rebind: n/k1/k2 are structural; construct a new model");
+  }
+  params_ = params;
+  alpha_prime_ = params_.alpha_prime();
+  rebind_rates();
+}
+
+ctmc::index_t TagsH2Model::state_space_size() const {
+  return static_cast<ctmc::index_t>(node1_states_) * node2_states_;
+}
+
+const std::vector<std::string>& TagsH2Model::transition_labels() const {
+  return kLabels;
+}
+
+void TagsH2Model::for_each_transition(ctmc::index_t state,
+                                      const TransitionSink& emit) const {
   const unsigned n = params_.n;
   const unsigned k1 = params_.k1;
   const unsigned k2 = params_.k2;
-  node1_states_ = k1 * 2 * (n + 1) + 1;
-  node2_states_ = k2 * (n + 3) + 1;
   const unsigned serving_short = n + 1;
   const unsigned serving_long = n + 2;
   const double alpha = params_.alpha;
-  const double aprime = params_.alpha_prime();
-
-  ctmc::CtmcBuilder b;
-  const auto l_arrival = b.label("arrival");
-  const auto l_service1 = b.label("service1");
-  const auto l_tick1 = b.label("tick1");
-  const auto l_timeout = b.label("timeout");
-  const auto l_timeout_lost = b.label("timeout_lost");
-  const auto l_tick2 = b.label("tick2");
-  const auto l_repeat = b.label("repeatservice");
-  const auto l_service2 = b.label("service2");
-  const auto l_loss1 = b.label("loss1");
-
-  const auto for_each_state = [&](auto&& fn) {
-    for (unsigned q1 = 0; q1 <= k1; ++q1) {
-      const unsigned c1_hi = q1 == 0 ? 0 : 1;
-      for (unsigned c1 = 0; c1 <= c1_hi; ++c1) {
-        const unsigned j1_lo = q1 == 0 ? n : 0;
-        for (unsigned j1 = j1_lo; j1 <= n; ++j1) {
-          for (unsigned q2 = 0; q2 <= k2; ++q2) {
-            const unsigned p2_lo = q2 == 0 ? n : 0;
-            const unsigned p2_hi = q2 == 0 ? n : serving_long;
-            for (unsigned p2 = p2_lo; p2 <= p2_hi; ++p2) {
-              fn(State{q1, c1, j1, q2, p2});
-            }
-          }
-        }
-      }
-    }
-  };
+  const double aprime = alpha_prime_;
+  const State s = decode(state);
 
   // Head departure at node 1: the next head's class is freshly sampled
   // (branch alpha / 1-alpha); an emptied queue pins (kShort, n).
-  const auto add_node1_departure = [&](const State& s, ctmc::index_t from, double rate,
-                                       unsigned q2_next, unsigned p2_next,
-                                       ctmc::label_t label) {
+  const auto node1_departure = [&](double rate, unsigned q2_next, unsigned p2_next,
+                                   ctmc::label_t label) {
     if (s.q1 >= 2) {
-      b.add(from, encode({s.q1 - 1, kShort, n, q2_next, p2_next}), rate * alpha, label);
-      b.add(from, encode({s.q1 - 1, kLong, n, q2_next, p2_next}), rate * (1.0 - alpha),
-            label);
+      emit(encode({s.q1 - 1, kShort, n, q2_next, p2_next}), rate * alpha, label);
+      emit(encode({s.q1 - 1, kLong, n, q2_next, p2_next}), rate * (1.0 - alpha),
+           label);
     } else {
-      b.add(from, encode({0, kShort, n, q2_next, p2_next}), rate, label);
+      emit(encode({0, kShort, n, q2_next, p2_next}), rate, label);
     }
   };
 
-  for_each_state([&](const State& s) {
-    const ctmc::index_t from = encode(s);
-
-    // --- Node 1 ---
-    if (s.q1 < k1) {
-      if (s.q1 == 0) {
-        // The arriving job becomes the head: sample its class now.
-        b.add(from, encode({1, kShort, n, s.q2, s.phase2}), params_.lambda * alpha,
-              l_arrival);
-        b.add(from, encode({1, kLong, n, s.q2, s.phase2}),
-              params_.lambda * (1.0 - alpha), l_arrival);
-      } else {
-        b.add(from, encode({s.q1 + 1, s.c1, s.j1, s.q2, s.phase2}), params_.lambda,
-              l_arrival);
-      }
+  // --- Node 1 ---
+  if (s.q1 < k1) {
+    if (s.q1 == 0) {
+      // The arriving job becomes the head: sample its class now.
+      emit(encode({1, kShort, n, s.q2, s.phase2}), params_.lambda * alpha, kArrival);
+      emit(encode({1, kLong, n, s.q2, s.phase2}), params_.lambda * (1.0 - alpha),
+           kArrival);
     } else {
-      b.add(from, from, params_.lambda, l_loss1);
+      emit(encode({s.q1 + 1, s.c1, s.j1, s.q2, s.phase2}), params_.lambda, kArrival);
     }
-    if (s.q1 >= 1) {
-      const double mu_head = s.c1 == kShort ? params_.mu1 : params_.mu2;
-      add_node1_departure(s, from, mu_head, s.q2, s.phase2, l_service1);
-      if (s.j1 >= 1) {
-        b.add(from, encode({s.q1, s.c1, s.j1 - 1, s.q2, s.phase2}), params_.t, l_tick1);
-      } else {
-        if (s.q2 < k2) {
-          const unsigned p2 = s.q2 == 0 ? n : s.phase2;
-          add_node1_departure(s, from, params_.t, s.q2 + 1, p2, l_timeout);
-        } else {
-          add_node1_departure(s, from, params_.t, s.q2, s.phase2, l_timeout_lost);
-        }
-      }
-    }
-
-    // --- Node 2 ---
-    if (s.q2 >= 1) {
-      if (s.phase2 == serving_short || s.phase2 == serving_long) {
-        const double mu_head = s.phase2 == serving_short ? params_.mu1 : params_.mu2;
-        b.add(from, encode({s.q1, s.c1, s.j1, s.q2 - 1, n}), mu_head, l_service2);
-      } else if (s.phase2 >= 1) {
-        b.add(from, encode({s.q1, s.c1, s.j1, s.q2, s.phase2 - 1}), params_.t, l_tick2);
-      } else {
-        // Repeat ends: sample the timed-out job's class with alpha'.
-        b.add(from, encode({s.q1, s.c1, s.j1, s.q2, serving_short}), params_.t * aprime,
-              l_repeat);
-        b.add(from, encode({s.q1, s.c1, s.j1, s.q2, serving_long}),
-              params_.t * (1.0 - aprime), l_repeat);
-      }
-    }
-  });
-
-  b.ensure_states(static_cast<ctmc::index_t>(node1_states_) * node2_states_);
-  chain_ = b.build();
-}
-
-ctmc::SteadyStateResult TagsH2Model::solve(const ctmc::SteadyStateOptions& opts) const {
-  return ctmc::steady_state(chain_, opts);
-}
-
-Metrics TagsH2Model::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = solve(opts);
-  assert(result.converged);
-  return metrics_from(result.pi);
-}
-
-Metrics TagsH2Model::metrics_from(const linalg::Vec& pi) const {
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q1;
-    m.mean_q2 += pi[i] * s.q2;
-    if (s.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.q2 >= 1) m.utilisation2 += pi[i];
+  } else {
+    emit(state, params_.lambda, kLoss1);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "service1") +
-                 ctmc::throughput(chain_, pi, "service2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss1");
-  m.loss2_rate = ctmc::throughput(chain_, pi, "timeout_lost");
-  finalize(m);
-  return m;
+  if (s.q1 >= 1) {
+    const double mu_head = s.c1 == kShort ? params_.mu1 : params_.mu2;
+    node1_departure(mu_head, s.q2, s.phase2, kService1);
+    if (s.j1 >= 1) {
+      emit(encode({s.q1, s.c1, s.j1 - 1, s.q2, s.phase2}), params_.t, kTick1);
+    } else {
+      if (s.q2 < k2) {
+        const unsigned p2 = s.q2 == 0 ? n : s.phase2;
+        node1_departure(params_.t, s.q2 + 1, p2, kTimeout);
+      } else {
+        node1_departure(params_.t, s.q2, s.phase2, kTimeoutLost);
+      }
+    }
+  }
+
+  // --- Node 2 ---
+  if (s.q2 >= 1) {
+    if (s.phase2 == serving_short || s.phase2 == serving_long) {
+      const double mu_head = s.phase2 == serving_short ? params_.mu1 : params_.mu2;
+      emit(encode({s.q1, s.c1, s.j1, s.q2 - 1, n}), mu_head, kService2);
+    } else if (s.phase2 >= 1) {
+      emit(encode({s.q1, s.c1, s.j1, s.q2, s.phase2 - 1}), params_.t, kTick2);
+    } else {
+      // Repeat ends: sample the timed-out job's class with alpha'.
+      emit(encode({s.q1, s.c1, s.j1, s.q2, serving_short}), params_.t * aprime,
+           kRepeat);
+      emit(encode({s.q1, s.c1, s.j1, s.q2, serving_long}),
+           params_.t * (1.0 - aprime), kRepeat);
+    }
+  }
+}
+
+ctmc::MeasureSpec TagsH2Model::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q1); };
+  spec.queue2 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q2); };
+  spec.service_labels = {"service1", "service2"};
+  spec.loss1_labels = {"loss1"};
+  spec.loss2_labels = {"timeout_lost"};
+  return spec;
 }
 
 }  // namespace tags::models

@@ -16,9 +16,7 @@
 // Labels as in TagsModel plus service1/service2 covering both classes.
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 
 namespace tags::models {
 
@@ -44,7 +42,7 @@ struct TagsH2Params {
                                  unsigned k1 = 10, unsigned k2 = 10);
 };
 
-class TagsH2Model {
+class TagsH2Model : public SolvableModel {
  public:
   explicit TagsH2Model(const TagsH2Params& params);
 
@@ -59,8 +57,6 @@ class TagsH2Model {
   };
 
   [[nodiscard]] const TagsH2Params& params() const noexcept { return params_; }
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
-  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
 
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
@@ -68,14 +64,22 @@ class TagsH2Model {
   /// (K1*2(n+1)+1) * (K2(n+3)+1).
   [[nodiscard]] static ctmc::index_t state_count(const TagsH2Params& p) noexcept;
 
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
-  [[nodiscard]] Metrics metrics_from(const linalg::Vec& pi) const;
-  [[nodiscard]] ctmc::SteadyStateResult solve(
-      const ctmc::SteadyStateOptions& opts = {}) const;
+  /// Repopulate rates for new lambda/alpha/mu1/mu2/t (alpha' is
+  /// recomputed); throws std::invalid_argument if n/k1/k2 changed.
+  void rebind(const TagsH2Params& params);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   TagsH2Params params_;
-  ctmc::Ctmc chain_;
+  double alpha_prime_ = 0.0;  ///< cached residual-class probability
   unsigned node1_states_ = 0;
   unsigned node2_states_ = 0;
 };

@@ -1,9 +1,6 @@
 #include "models/tags_mmpp.hpp"
 
-#include <cassert>
-
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
+#include <stdexcept>
 
 namespace tags::models {
 
@@ -24,6 +21,24 @@ unsigned node1_index(unsigned q1, unsigned j1, unsigned n) {
 unsigned node2_index(unsigned q2, unsigned phase2, unsigned n) {
   return q2 == 0 ? 0 : 1 + (q2 - 1) * (n + 2) + phase2;
 }
+
+enum Label : ctmc::label_t {
+  kArrival = 1,
+  kService1,
+  kTick1,
+  kTimeout,
+  kTimeoutLost,
+  kTick2,
+  kRepeat,
+  kService2,
+  kLoss1,
+  kSwitch,
+};
+
+const std::vector<std::string> kLabels = {
+    "tau",          "arrival", "service1",      "tick1",    "timeout",
+    "timeout_lost", "tick2",   "repeatservice", "service2", "loss1",
+    "modulate"};
 
 }  // namespace
 
@@ -58,119 +73,87 @@ TagsMmppModel::State TagsMmppModel::decode(ctmc::index_t idx) const noexcept {
 }
 
 TagsMmppModel::TagsMmppModel(const TagsMmppParams& params) : params_(params) {
+  node1_states_ = params_.k1 * (params_.n + 1) + 1;
+  node2_states_ = params_.k2 * (params_.n + 2) + 1;
+  assemble();
+}
+
+void TagsMmppModel::rebind(const TagsMmppParams& params) {
+  if (params.n != params_.n || params.k1 != params_.k1 || params.k2 != params_.k2) {
+    throw std::invalid_argument(
+        "TagsMmppModel::rebind: n/k1/k2 are structural; construct a new model");
+  }
+  params_ = params;
+  rebind_rates();
+}
+
+ctmc::index_t TagsMmppModel::state_space_size() const {
+  return static_cast<ctmc::index_t>(node1_states_) * node2_states_ * 2;
+}
+
+const std::vector<std::string>& TagsMmppModel::transition_labels() const {
+  return kLabels;
+}
+
+void TagsMmppModel::for_each_transition(ctmc::index_t state,
+                                        const TransitionSink& emit) const {
   const unsigned n = params_.n;
   const unsigned k1 = params_.k1;
   const unsigned k2 = params_.k2;
-  node1_states_ = k1 * (n + 1) + 1;
-  node2_states_ = k2 * (n + 2) + 1;
   const unsigned serving = n + 1;
+  const State s = decode(state);
+  const auto& bb = s.base;
+  const double lambda = s.m == 0 ? params_.arrivals.lambda0 : params_.arrivals.lambda1;
+  const double sw = s.m == 0 ? params_.arrivals.r01 : params_.arrivals.r10;
 
-  ctmc::CtmcBuilder b;
-  const auto l_arrival = b.label("arrival");
-  const auto l_service1 = b.label("service1");
-  const auto l_tick1 = b.label("tick1");
-  const auto l_timeout = b.label("timeout");
-  const auto l_timeout_lost = b.label("timeout_lost");
-  const auto l_tick2 = b.label("tick2");
-  const auto l_repeat = b.label("repeatservice");
-  const auto l_service2 = b.label("service2");
-  const auto l_loss1 = b.label("loss1");
-  const auto l_switch = b.label("modulate");
+  // Modulation phase switch.
+  emit(encode({bb, 1 - s.m}), sw, kSwitch);
 
-  const auto for_each_state = [&](auto&& fn) {
-    for (unsigned q1 = 0; q1 <= k1; ++q1) {
-      const unsigned j1_lo = q1 == 0 ? n : 0;
-      for (unsigned j1 = j1_lo; j1 <= n; ++j1) {
-        for (unsigned q2 = 0; q2 <= k2; ++q2) {
-          const unsigned p2_lo = q2 == 0 ? n : 0;
-          const unsigned p2_hi = q2 == 0 ? n : serving;
-          for (unsigned p2 = p2_lo; p2 <= p2_hi; ++p2) {
-            for (unsigned m = 0; m <= 1; ++m) {
-              fn(State{{q1, j1, q2, p2}, m});
-            }
-          }
-        }
-      }
-    }
-  };
-
-  for_each_state([&](const State& s) {
-    const ctmc::index_t from = encode(s);
-    const auto& bb = s.base;
-    const double lambda = s.m == 0 ? params_.arrivals.lambda0 : params_.arrivals.lambda1;
-    const double sw = s.m == 0 ? params_.arrivals.r01 : params_.arrivals.r10;
-
-    // Modulation phase switch.
-    b.add(from, encode({bb, 1 - s.m}), sw, l_switch);
-
-    // --- Node 1 (as in TagsModel, with the phase-dependent arrival rate) ---
-    if (bb.q1 < k1) {
-      b.add(from, encode({{bb.q1 + 1, bb.j1, bb.q2, bb.phase2}, s.m}), lambda,
-            l_arrival);
-    } else {
-      b.add(from, from, lambda, l_loss1);
-    }
-    if (bb.q1 >= 1) {
-      b.add(from, encode({{bb.q1 - 1, n, bb.q2, bb.phase2}, s.m}), params_.mu,
-            l_service1);
-      if (bb.j1 >= 1) {
-        b.add(from, encode({{bb.q1, bb.j1 - 1, bb.q2, bb.phase2}, s.m}), params_.t,
-              l_tick1);
-      } else {
-        if (bb.q2 < k2) {
-          const unsigned p2 = bb.q2 == 0 ? n : bb.phase2;
-          b.add(from, encode({{bb.q1 - 1, n, bb.q2 + 1, p2}, s.m}), params_.t,
-                l_timeout);
-        } else {
-          b.add(from, encode({{bb.q1 - 1, n, bb.q2, bb.phase2}, s.m}), params_.t,
-                l_timeout_lost);
-        }
-      }
-    }
-
-    // --- Node 2 ---
-    if (bb.q2 >= 1) {
-      if (bb.phase2 == serving) {
-        b.add(from, encode({{bb.q1, bb.j1, bb.q2 - 1, n}, s.m}), params_.mu,
-              l_service2);
-      } else if (bb.phase2 >= 1) {
-        b.add(from, encode({{bb.q1, bb.j1, bb.q2, bb.phase2 - 1}, s.m}), params_.t,
-              l_tick2);
-      } else {
-        b.add(from, encode({{bb.q1, bb.j1, bb.q2, serving}, s.m}), params_.t, l_repeat);
-      }
-    }
-  });
-
-  b.ensure_states(static_cast<ctmc::index_t>(node1_states_) * node2_states_ * 2);
-  chain_ = b.build();
-}
-
-ctmc::SteadyStateResult TagsMmppModel::solve(const ctmc::SteadyStateOptions& opts) const {
-  return ctmc::steady_state(chain_, opts);
-}
-
-Metrics TagsMmppModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = solve(opts);
-  assert(result.converged);
-  return metrics_from(result.pi);
-}
-
-Metrics TagsMmppModel::metrics_from(const linalg::Vec& pi) const {
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.base.q1;
-    m.mean_q2 += pi[i] * s.base.q2;
-    if (s.base.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.base.q2 >= 1) m.utilisation2 += pi[i];
+  // --- Node 1 (as in TagsModel, with the phase-dependent arrival rate) ---
+  if (bb.q1 < k1) {
+    emit(encode({{bb.q1 + 1, bb.j1, bb.q2, bb.phase2}, s.m}), lambda, kArrival);
+  } else {
+    emit(state, lambda, kLoss1);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "service1") +
-                 ctmc::throughput(chain_, pi, "service2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss1");
-  m.loss2_rate = ctmc::throughput(chain_, pi, "timeout_lost");
-  finalize(m);
-  return m;
+  if (bb.q1 >= 1) {
+    emit(encode({{bb.q1 - 1, n, bb.q2, bb.phase2}, s.m}), params_.mu, kService1);
+    if (bb.j1 >= 1) {
+      emit(encode({{bb.q1, bb.j1 - 1, bb.q2, bb.phase2}, s.m}), params_.t, kTick1);
+    } else {
+      if (bb.q2 < k2) {
+        const unsigned p2 = bb.q2 == 0 ? n : bb.phase2;
+        emit(encode({{bb.q1 - 1, n, bb.q2 + 1, p2}, s.m}), params_.t, kTimeout);
+      } else {
+        emit(encode({{bb.q1 - 1, n, bb.q2, bb.phase2}, s.m}), params_.t,
+             kTimeoutLost);
+      }
+    }
+  }
+
+  // --- Node 2 ---
+  if (bb.q2 >= 1) {
+    if (bb.phase2 == serving) {
+      emit(encode({{bb.q1, bb.j1, bb.q2 - 1, n}, s.m}), params_.mu, kService2);
+    } else if (bb.phase2 >= 1) {
+      emit(encode({{bb.q1, bb.j1, bb.q2, bb.phase2 - 1}, s.m}), params_.t, kTick2);
+    } else {
+      emit(encode({{bb.q1, bb.j1, bb.q2, serving}, s.m}), params_.t, kRepeat);
+    }
+  }
+}
+
+ctmc::MeasureSpec TagsMmppModel::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) {
+    return static_cast<double>(decode(i).base.q1);
+  };
+  spec.queue2 = [this](ctmc::index_t i) {
+    return static_cast<double>(decode(i).base.q2);
+  };
+  spec.service_labels = {"service1", "service2"};
+  spec.loss1_labels = {"loss1"};
+  spec.loss2_labels = {"timeout_lost"};
+  return spec;
 }
 
 }  // namespace tags::models

@@ -6,9 +6,7 @@
 // State (q1, j1, q2, p2, m): the TagsModel state plus m in {0, 1}.
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 #include "models/tags.hpp"
 
 namespace tags::models {
@@ -38,7 +36,7 @@ struct TagsMmppParams {
   unsigned k2 = 10;
 };
 
-class TagsMmppModel {
+class TagsMmppModel : public SolvableModel {
  public:
   explicit TagsMmppModel(const TagsMmppParams& params);
 
@@ -48,20 +46,25 @@ class TagsMmppModel {
   };
 
   [[nodiscard]] const TagsMmppParams& params() const noexcept { return params_; }
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
-  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
 
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
 
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
-  [[nodiscard]] Metrics metrics_from(const linalg::Vec& pi) const;
-  [[nodiscard]] ctmc::SteadyStateResult solve(
-      const ctmc::SteadyStateOptions& opts = {}) const;
+  /// Repopulate rates for new arrival/mu/t parameters; throws
+  /// std::invalid_argument if n/k1/k2 changed.
+  void rebind(const TagsMmppParams& params);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   TagsMmppParams params_;
-  ctmc::Ctmc chain_;
   unsigned node1_states_ = 0;
   unsigned node2_states_ = 0;
 };

@@ -1,39 +1,12 @@
 #include "models/tags_nnode.hpp"
 
 #include <cassert>
+#include <queue>
 #include <stdexcept>
 #include <string>
-
-#include "ctmc/measures.hpp"
-#include "ctmc/reachability.hpp"
-#include "ctmc/steady_state.hpp"
+#include <utility>
 
 namespace tags::models {
-namespace {
-
-/// Hashable flattened state for ctmc::explore.
-struct NState {
-  std::vector<int> v;
-  bool operator==(const NState& o) const noexcept { return v == o.v; }
-};
-
-}  // namespace
-}  // namespace tags::models
-
-template <>
-struct std::hash<tags::models::NState> {
-  std::size_t operator()(const tags::models::NState& s) const noexcept {
-    std::size_t h = 0x9e3779b97f4a7c15ULL;
-    for (int x : s.v) {
-      h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-namespace tags::models {
-
-namespace {
 
 // State layout (flattened ints):
 //   node 0:            [q, j]         j = timeout-timer phase, pinned n when empty
@@ -42,30 +15,120 @@ namespace {
 //   node N-1 (last):   [q, hp]
 // All phase variables pinned to n when the queue is empty.
 
-struct Layout {
-  unsigned n_nodes;
-  std::vector<unsigned> offset;  // per-node start index in the flat vector
-
-  explicit Layout(const TagsNNodeParams& p) : n_nodes(p.n_nodes()) {
-    unsigned pos = 0;
-    for (unsigned i = 0; i < n_nodes; ++i) {
-      offset.push_back(pos);
-      pos += vars(i);
-    }
-    total = pos;
+std::size_t TagsNNodeModel::VecIntHash::operator()(
+    const std::vector<int>& v) const noexcept {
+  std::size_t h = 0x9e3779b97f4a7c15ULL;
+  for (int x : v) {
+    h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }
-  [[nodiscard]] unsigned vars(unsigned node) const {
-    if (node == 0 || node == n_nodes - 1) return 2;
-    return 3;
-  }
-  unsigned total = 0;
-};
-
-}  // namespace
+  return h;
+}
 
 unsigned TagsNNodeModel::vars_per_node(unsigned node) const {
   if (node == 0 || node == params_.n_nodes() - 1) return 2;
   return 3;
+}
+
+template <class Fn>
+void TagsNNodeModel::for_each_move(const std::vector<int>& v, Fn&& fn) const {
+  const unsigned nn = params_.n_nodes();
+  const int n = static_cast<int>(params_.n);
+  const int serving = n + 1;
+
+  std::vector<unsigned> offset(nn);
+  for (unsigned i = 0, pos = 0; i < nn; ++i) {
+    offset[i] = pos;
+    pos += vars_per_node(i);
+  }
+
+  // Move a timed-out job into node `target`, mutating `next`; returns
+  // false when the target buffer is full (job lost).
+  const auto push_downstream = [&](std::vector<int>& next, unsigned target) -> bool {
+    const unsigned off = offset[target];
+    const int q = next[off];
+    if (q >= static_cast<int>(params_.buffers[target])) return false;
+    next[off] = q + 1;
+    if (q == 0) {
+      next[off + 1] = n;                                   // fresh repeat phase
+      if (vars_per_node(target) == 3) next[off + 2] = n;   // fresh timer
+    }
+    return true;
+  };
+
+  for (unsigned i = 0; i < nn; ++i) {
+    const unsigned off = offset[i];
+    const int q = v[off];
+    const bool last = i + 1 == nn;
+    const double t_own = last ? 0.0 : params_.timeout_rates[i];
+    const double t_prev = i == 0 ? 0.0 : params_.timeout_rates[i - 1];
+
+    if (i == 0) {
+      // Arrivals.
+      if (q < static_cast<int>(params_.buffers[0])) {
+        auto w = v;
+        w[off] = q + 1;
+        fn(std::move(w), params_.lambda, arrival_id_);
+      } else {
+        fn(std::vector<int>(v), params_.lambda, loss1_id_);
+      }
+      if (q >= 1) {
+        const int j = v[off + 1];
+        {  // service
+          auto w = v;
+          w[off] = q - 1;
+          w[off + 1] = n;
+          fn(std::move(w), params_.mu, service_id_[0]);
+        }
+        if (j >= 1) {
+          auto w = v;
+          w[off + 1] = j - 1;
+          fn(std::move(w), t_own, ctmc::label_t{0});  // tau tick
+        } else {
+          auto w = v;
+          w[off] = q - 1;
+          w[off + 1] = n;
+          const bool ok = push_downstream(w, 1);
+          fn(std::move(w), t_own, ok ? timeout_id_[0] : timeout_lost_id_[0]);
+        }
+      }
+      continue;
+    }
+
+    if (q < 1) continue;
+    const int hp = v[off + 1];
+    // Head progress: repeat phase ticks at the *previous* node's rate.
+    if (hp == serving) {
+      auto w = v;
+      w[off] = q - 1;
+      w[off + 1] = n;
+      if (!last) w[off + 2] = n;
+      fn(std::move(w), params_.mu, service_id_[i]);
+    } else if (hp >= 1) {
+      auto w = v;
+      w[off + 1] = hp - 1;
+      fn(std::move(w), t_prev, ctmc::label_t{0});
+    } else {
+      auto w = v;
+      w[off + 1] = serving;
+      fn(std::move(w), t_prev, repeat_id_[i]);
+    }
+    // Own timeout timer (middle nodes only).
+    if (!last) {
+      const int tm = v[off + 2];
+      if (tm >= 1) {
+        auto w = v;
+        w[off + 2] = tm - 1;
+        fn(std::move(w), t_own, ctmc::label_t{0});
+      } else {
+        auto w = v;
+        w[off] = q - 1;
+        w[off + 1] = n;
+        w[off + 2] = n;
+        const bool ok = push_downstream(w, i + 1);
+        fn(std::move(w), t_own, ok ? timeout_id_[i] : timeout_lost_id_[i]);
+      }
+    }
+  }
 }
 
 TagsNNodeModel::TagsNNodeModel(TagsNNodeParams params) : params_(std::move(params)) {
@@ -75,118 +138,92 @@ TagsNNodeModel::TagsNNodeModel(TagsNNodeParams params) : params_(std::move(param
         "TagsNNodeModel: need >= 2 nodes and N-1 timeout rates");
   }
   const int n = static_cast<int>(params_.n);
-  const int serving = n + 1;
-  const Layout lay(params_);
 
-  NState init;
-  init.v.assign(lay.total, 0);
+  // Label table: fixed deterministic order, looked up by name downstream.
+  labels_ = {"tau", "arrival", "loss1"};
+  arrival_id_ = 1;
+  loss1_id_ = 2;
+  const auto intern = [this](std::string name) {
+    labels_.push_back(std::move(name));
+    return static_cast<ctmc::label_t>(labels_.size() - 1);
+  };
+  service_id_.resize(nn);
+  timeout_id_.resize(nn);
+  timeout_lost_id_.resize(nn);
+  repeat_id_.resize(nn);
   for (unsigned i = 0; i < nn; ++i) {
-    init.v[lay.offset[i] + 1] = n;                   // j or hp pinned to n
-    if (lay.vars(i) == 3) init.v[lay.offset[i] + 2] = n;  // tm pinned to n
+    service_id_[i] = intern("service_" + std::to_string(i + 1));
+  }
+  for (unsigned i = 0; i + 1 < nn; ++i) {
+    timeout_id_[i] = intern("timeout_" + std::to_string(i + 1));
+    timeout_lost_id_[i] = intern("timeout_lost_" + std::to_string(i + 1));
+  }
+  for (unsigned i = 1; i < nn; ++i) {
+    repeat_id_[i] = intern("repeat_" + std::to_string(i + 1));
   }
 
-  // Move a timed-out job from node `from_node` into node `from_node + 1`,
-  // mutating `next`; returns false when the target buffer is full (job lost).
-  const auto push_downstream = [&](std::vector<int>& next, unsigned target) -> bool {
-    const unsigned off = lay.offset[target];
-    const int q = next[off];
-    if (q >= static_cast<int>(params_.buffers[target])) return false;
-    next[off] = q + 1;
-    if (q == 0) {
-      next[off + 1] = n;                          // fresh repeat phase
-      if (lay.vars(target) == 3) next[off + 2] = n;  // fresh timer
-    }
-    return true;
-  };
+  // Breadth-first enumeration of the reachable set (index 0 = empty
+  // system), mirroring ctmc::explore's interning order.
+  std::vector<int> init;
+  unsigned total = 0;
+  for (unsigned i = 0; i < nn; ++i) total += vars_per_node(i);
+  init.assign(total, 0);
+  for (unsigned i = 0, pos = 0; i < nn; ++i) {
+    init[pos + 1] = n;                             // j or hp pinned to n
+    if (vars_per_node(i) == 3) init[pos + 2] = n;  // tm pinned to n
+    pos += vars_per_node(i);
+  }
 
-  const auto succ = [&](const NState& s) {
-    std::vector<ctmc::Move<NState>> moves;
-    const auto emit = [&](std::vector<int> v, double rate, std::string label) {
-      moves.push_back({NState{std::move(v)}, rate, std::move(label)});
-    };
-
-    for (unsigned i = 0; i < nn; ++i) {
-      const unsigned off = lay.offset[i];
-      const int q = s.v[off];
-      const bool last = i + 1 == nn;
-      const double t_own = last ? 0.0 : params_.timeout_rates[i];
-      const double t_prev = i == 0 ? 0.0 : params_.timeout_rates[i - 1];
-
-      if (i == 0) {
-        // Arrivals.
-        if (q < static_cast<int>(params_.buffers[0])) {
-          auto v = s.v;
-          v[off] = q + 1;
-          emit(std::move(v), params_.lambda, "arrival");
-        } else {
-          emit(s.v, params_.lambda, "loss1");
-        }
-        if (q >= 1) {
-          const int j = s.v[off + 1];
-          {  // service
-            auto v = s.v;
-            v[off] = q - 1;
-            v[off + 1] = n;
-            emit(std::move(v), params_.mu, "service_1");
-          }
-          if (j >= 1) {
-            auto v = s.v;
-            v[off + 1] = j - 1;
-            emit(std::move(v), t_own, "");
-          } else {
-            auto v = s.v;
-            v[off] = q - 1;
-            v[off + 1] = n;
-            const bool ok = push_downstream(v, 1);
-            emit(std::move(v), t_own, ok ? "timeout_1" : "timeout_lost_1");
-          }
-        }
-        continue;
+  states_.push_back(init);
+  index_of_.emplace(std::move(init), 0);
+  std::queue<ctmc::index_t> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const ctmc::index_t cur = frontier.front();
+    frontier.pop();
+    // Copy: states_ may reallocate while we push successors.
+    const std::vector<int> state = states_[static_cast<std::size_t>(cur)];
+    for_each_move(state, [&](std::vector<int> to, double rate, ctmc::label_t) {
+      if (rate == 0.0) return;
+      auto [it, inserted] =
+          index_of_.emplace(std::move(to), static_cast<ctmc::index_t>(states_.size()));
+      if (inserted) {
+        states_.push_back(it->first);
+        frontier.push(it->second);
       }
+    });
+  }
 
-      if (q < 1) continue;
-      const int hp = s.v[off + 1];
-      // Head progress: repeat phase ticks at the *previous* node's rate.
-      if (hp == serving) {
-        auto v = s.v;
-        v[off] = q - 1;
-        v[off + 1] = n;
-        if (!last) v[off + 2] = n;
-        emit(std::move(v), params_.mu, "service_" + std::to_string(i + 1));
-      } else if (hp >= 1) {
-        auto v = s.v;
-        v[off + 1] = hp - 1;
-        emit(std::move(v), t_prev, "");
-      } else {
-        auto v = s.v;
-        v[off + 1] = serving;
-        emit(std::move(v), t_prev, "repeat_" + std::to_string(i + 1));
-      }
-      // Own timeout timer (middle nodes only).
-      if (!last) {
-        const int tm = s.v[off + 2];
-        if (tm >= 1) {
-          auto v = s.v;
-          v[off + 2] = tm - 1;
-          emit(std::move(v), t_own, "");
-        } else {
-          auto v = s.v;
-          v[off] = q - 1;
-          v[off + 1] = n;
-          v[off + 2] = n;
-          const bool ok = push_downstream(v, i + 1);
-          emit(std::move(v), t_own,
-               (ok ? "timeout_" : "timeout_lost_") + std::to_string(i + 1));
-        }
-      }
-    }
-    return moves;
-  };
+  assemble();
+}
 
-  auto ex = ctmc::explore(init, succ);
-  chain_ = ex.builder.build();
-  states_.reserve(ex.states.size());
-  for (auto& st : ex.states) states_.push_back(std::move(st.v));
+void TagsNNodeModel::rebind(const TagsNNodeParams& params) {
+  if (params.n != params_.n || params.buffers != params_.buffers ||
+      params.timeout_rates.size() != params_.timeout_rates.size()) {
+    throw std::invalid_argument(
+        "TagsNNodeModel::rebind: n/buffers/node-count are structural; "
+        "construct a new model");
+  }
+  params_ = params;
+  rebind_rates();
+}
+
+ctmc::index_t TagsNNodeModel::state_space_size() const {
+  return static_cast<ctmc::index_t>(states_.size());
+}
+
+const std::vector<std::string>& TagsNNodeModel::transition_labels() const {
+  return labels_;
+}
+
+void TagsNNodeModel::for_each_transition(ctmc::index_t state,
+                                         const TransitionSink& emit) const {
+  for_each_move(states_[static_cast<std::size_t>(state)],
+                [&](std::vector<int> to, double rate, ctmc::label_t label) {
+                  const auto it = index_of_.find(to);
+                  assert(it != index_of_.end());  // BFS closed the space
+                  emit(it->second, rate, label);
+                });
 }
 
 unsigned TagsNNodeModel::queue_length(ctmc::index_t idx, unsigned node) const {
@@ -195,8 +232,29 @@ unsigned TagsNNodeModel::queue_length(ctmc::index_t idx, unsigned node) const {
   return static_cast<unsigned>(states_[static_cast<std::size_t>(idx)][off]);
 }
 
+ctmc::MeasureSpec TagsNNodeModel::measure_spec() const {
+  const unsigned nn = params_.n_nodes();
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) {
+    return static_cast<double>(queue_length(i, 0));
+  };
+  spec.queue2 = [this, nn](ctmc::index_t i) {
+    double total = 0.0;
+    for (unsigned node = 1; node < nn; ++node) total += queue_length(i, node);
+    return total;
+  };
+  for (unsigned i = 0; i < nn; ++i) {
+    spec.service_labels.push_back("service_" + std::to_string(i + 1));
+  }
+  spec.loss1_labels = {"loss1"};
+  for (unsigned i = 0; i + 1 < nn; ++i) {
+    spec.loss2_labels.push_back("timeout_lost_" + std::to_string(i + 1));
+  }
+  return spec;
+}
+
 NNodeMetrics TagsNNodeModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = ctmc::steady_state(chain_, opts);
+  const auto result = solve(opts);
   assert(result.converged);
   const linalg::Vec& pi = result.pi;
   const unsigned nn = params_.n_nodes();
@@ -214,14 +272,12 @@ NNodeMetrics TagsNNodeModel::metrics(const ctmc::SteadyStateOptions& opts) const
   }
   for (unsigned i = 0; i < nn; ++i) {
     m.mean_total += m.mean_q[i];
-    m.throughput +=
-        ctmc::throughput(chain_, pi, "service_" + std::to_string(i + 1));
+    m.throughput += chain().throughput(pi, "service_" + std::to_string(i + 1));
   }
-  m.loss_rate[0] = ctmc::throughput(chain_, pi, "loss1");
+  m.loss_rate[0] = chain().throughput(pi, "loss1");
   m.total_loss = m.loss_rate[0];
   for (unsigned i = 1; i < nn; ++i) {
-    m.loss_rate[i] =
-        ctmc::throughput(chain_, pi, "timeout_lost_" + std::to_string(i));
+    m.loss_rate[i] = chain().throughput(pi, "timeout_lost_" + std::to_string(i));
     m.total_loss += m.loss_rate[i];
   }
   m.response_time = m.throughput > 0.0 ? m.mean_total / m.throughput : 0.0;

@@ -8,11 +8,10 @@
 // no timeout. N = 2 reduces exactly to TagsModel.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 
 namespace tags::models {
 
@@ -41,25 +40,54 @@ struct NNodeMetrics {
   double response_time = 0.0;
 };
 
-class TagsNNodeModel {
+class TagsNNodeModel : public SolvableModel {
  public:
   explicit TagsNNodeModel(TagsNNodeParams params);
 
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
-  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
   [[nodiscard]] const TagsNNodeParams& params() const noexcept { return params_; }
 
+  /// Per-node measures (hides the two-queue Metrics of the base).
   [[nodiscard]] NNodeMetrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
 
   /// Queue length of node `node` in enumerated state `idx`.
   [[nodiscard]] unsigned queue_length(ctmc::index_t idx, unsigned node) const;
 
+  /// Repopulate rates for new lambda/mu/timeout rates; throws
+  /// std::invalid_argument if n, the node count, or a buffer size changed
+  /// (they reshape the reachable state space).
+  void rebind(const TagsNNodeParams& params);
+
+  // GeneratorModel interface. The state space is the BFS-reachable set
+  // from the empty system, enumerated once at construction.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
+
  private:
+  struct VecIntHash {
+    std::size_t operator()(const std::vector<int>& v) const noexcept;
+  };
+
+  /// Run the move body on flattened state `v`; `fn(to, rate, label)` gets
+  /// the successor's flattened state. Shared by the BFS enumeration and
+  /// for_each_transition.
+  template <class Fn>
+  void for_each_move(const std::vector<int>& v, Fn&& fn) const;
+
+  [[nodiscard]] unsigned vars_per_node(unsigned node) const;
+
   TagsNNodeParams params_;
-  ctmc::Ctmc chain_;
+  std::vector<std::string> labels_;  ///< index 0 = tau
+  // Pre-resolved label ids, indexed by 0-based node (names are 1-based).
+  std::vector<ctmc::label_t> service_id_, timeout_id_, timeout_lost_id_, repeat_id_;
+  ctmc::label_t arrival_id_ = 0, loss1_id_ = 0;
   /// Enumerated states: flattened per-node variables (see .cpp).
   std::vector<std::vector<int>> states_;
-  unsigned vars_per_node(unsigned node) const;
+  std::unordered_map<std::vector<int>, ctmc::index_t, VecIntHash> index_of_;
 };
 
 }  // namespace tags::models

@@ -1,9 +1,7 @@
 #include "models/tags_ph.hpp"
 
-#include <cassert>
-
-#include "ctmc/builder.hpp"
-#include "ctmc/measures.hpp"
+#include <stdexcept>
+#include <utility>
 
 namespace tags::models {
 
@@ -17,6 +15,24 @@ unsigned node2_index(unsigned q2, unsigned phase2, unsigned n, unsigned m) {
   (void)m;
   return q2 == 0 ? 0 : 1 + (q2 - 1) * (n + 1 + m) + phase2;
 }
+
+enum Label : ctmc::label_t {
+  kArrival = 1,
+  kService1,
+  kPhase1,
+  kTick1,
+  kTimeout,
+  kTimeoutLost,
+  kTick2,
+  kRepeat,
+  kPhase2,
+  kService2,
+  kLoss1,
+};
+
+const std::vector<std::string> kLabels = {
+    "tau",     "arrival",      "service1", "phase1",        "tick1",  "timeout",
+    "timeout_lost", "tick2",   "repeatservice", "phase2",   "service2", "loss1"};
 
 }  // namespace
 
@@ -62,164 +78,133 @@ TagsPhModel::State TagsPhModel::decode(ctmc::index_t idx) const noexcept {
 TagsPhModel::TagsPhModel(TagsPhParams params)
     : params_(std::move(params)),
       residual_alpha_(
-          params_.service.residual_after_erlang(params_.n + 1, params_.t).alpha()) {
+          params_.service.residual_after_erlang(params_.n + 1, params_.t).alpha()),
+      exit_(params_.service.exit_rates()) {
   m_ = static_cast<unsigned>(params_.service.n_phases());
+  node1_states_ = params_.k1 * m_ * (params_.n + 1) + 1;
+  node2_states_ = params_.k2 * (params_.n + 1 + m_) + 1;
+  assemble();
+}
+
+void TagsPhModel::rebind(TagsPhParams params) {
+  if (params.n != params_.n || params.k1 != params_.k1 || params.k2 != params_.k2 ||
+      params.service.n_phases() != params_.service.n_phases()) {
+    throw std::invalid_argument(
+        "TagsPhModel::rebind: n/k1/k2/phase-count are structural; construct a "
+        "new model");
+  }
+  params_ = std::move(params);
+  residual_alpha_ =
+      params_.service.residual_after_erlang(params_.n + 1, params_.t).alpha();
+  exit_ = params_.service.exit_rates();
+  rebind_rates();
+}
+
+ctmc::index_t TagsPhModel::state_space_size() const {
+  return static_cast<ctmc::index_t>(node1_states_) * node2_states_;
+}
+
+const std::vector<std::string>& TagsPhModel::transition_labels() const {
+  return kLabels;
+}
+
+void TagsPhModel::for_each_transition(ctmc::index_t state,
+                                      const TransitionSink& emit) const {
   const unsigned n = params_.n;
   const unsigned k1 = params_.k1;
   const unsigned k2 = params_.k2;
-  node1_states_ = k1 * m_ * (n + 1) + 1;
-  node2_states_ = k2 * (n + 1 + m_) + 1;
-
-  const auto& alpha = params_.service.alpha();
-  const auto& T = params_.service.T();
-  const linalg::Vec exit = params_.service.exit_rates();
-
-  ctmc::CtmcBuilder b;
-  const auto l_arrival = b.label("arrival");
-  const auto l_service1 = b.label("service1");
-  const auto l_phase1 = b.label("phase1");
-  const auto l_tick1 = b.label("tick1");
-  const auto l_timeout = b.label("timeout");
-  const auto l_timeout_lost = b.label("timeout_lost");
-  const auto l_tick2 = b.label("tick2");
-  const auto l_repeat = b.label("repeatservice");
-  const auto l_phase2 = b.label("phase2");
-  const auto l_service2 = b.label("service2");
-  const auto l_loss1 = b.label("loss1");
-
-  const auto for_each_state = [&](auto&& fn) {
-    for (unsigned q1 = 0; q1 <= k1; ++q1) {
-      const unsigned h1_hi = q1 == 0 ? 0 : m_ - 1;
-      for (unsigned h1 = 0; h1 <= h1_hi; ++h1) {
-        const unsigned j1_lo = q1 == 0 ? n : 0;
-        for (unsigned j1 = j1_lo; j1 <= n; ++j1) {
-          for (unsigned q2 = 0; q2 <= k2; ++q2) {
-            const unsigned p2_lo = q2 == 0 ? n : 0;
-            const unsigned p2_hi = q2 == 0 ? n : n + m_;
-            for (unsigned p2 = p2_lo; p2 <= p2_hi; ++p2) {
-              fn(State{q1, h1, j1, q2, p2});
-            }
-          }
-        }
-      }
-    }
-  };
+  const linalg::Vec& alpha = params_.service.alpha();
+  const linalg::DenseMatrix& T = params_.service.T();
+  const State s = decode(state);
 
   // A head departs node 1 (service or timeout): the next head starts in a
   // phase drawn from alpha; an emptied queue pins (h=0, j=n).
-  const auto add_node1_departure = [&](const State& s, ctmc::index_t from, double rate,
-                                       unsigned q2_next, unsigned p2_next,
-                                       ctmc::label_t label) {
+  const auto node1_departure = [&](double rate, unsigned q2_next, unsigned p2_next,
+                                   ctmc::label_t label) {
     if (rate == 0.0) return;
     if (s.q1 >= 2) {
       for (unsigned h = 0; h < m_; ++h) {
         if (alpha[h] <= 0.0) continue;
-        b.add(from, encode({s.q1 - 1, h, n, q2_next, p2_next}), rate * alpha[h], label);
+        emit(encode({s.q1 - 1, h, n, q2_next, p2_next}), rate * alpha[h], label);
       }
       // Any deficit of alpha would be an instantaneous job — unsupported in
       // a CTMC; PhaseType construction already bounds sum(alpha) <= 1 and
       // queueing models require it to be exactly 1.
     } else {
-      b.add(from, encode({0, 0, n, q2_next, p2_next}), rate, label);
+      emit(encode({0, 0, n, q2_next, p2_next}), rate, label);
     }
   };
 
-  for_each_state([&](const State& s) {
-    const ctmc::index_t from = encode(s);
-
-    // --- Node 1 ---
-    if (s.q1 < k1) {
-      if (s.q1 == 0) {
-        for (unsigned h = 0; h < m_; ++h) {
-          if (alpha[h] <= 0.0) continue;
-          b.add(from, encode({1, h, n, s.q2, s.phase2}), params_.lambda * alpha[h],
-                l_arrival);
-        }
-      } else {
-        b.add(from, encode({s.q1 + 1, s.h1, s.j1, s.q2, s.phase2}), params_.lambda,
-              l_arrival);
+  // --- Node 1 ---
+  if (s.q1 < k1) {
+    if (s.q1 == 0) {
+      for (unsigned h = 0; h < m_; ++h) {
+        if (alpha[h] <= 0.0) continue;
+        emit(encode({1, h, n, s.q2, s.phase2}), params_.lambda * alpha[h], kArrival);
       }
     } else {
-      b.add(from, from, params_.lambda, l_loss1);
+      emit(encode({s.q1 + 1, s.h1, s.j1, s.q2, s.phase2}), params_.lambda, kArrival);
     }
-    if (s.q1 >= 1) {
-      // PH internal phase moves.
-      for (unsigned h = 0; h < m_; ++h) {
-        if (h == s.h1) continue;
-        const double r = T(s.h1, h);
-        if (r > 0.0) {
-          b.add(from, encode({s.q1, h, s.j1, s.q2, s.phase2}), r, l_phase1);
-        }
-      }
-      // Completion (absorption).
-      add_node1_departure(s, from, exit[s.h1], s.q2, s.phase2, l_service1);
-      // Timer.
-      if (s.j1 >= 1) {
-        b.add(from, encode({s.q1, s.h1, s.j1 - 1, s.q2, s.phase2}), params_.t, l_tick1);
-      } else {
-        if (s.q2 < k2) {
-          const unsigned p2 = s.q2 == 0 ? n : s.phase2;
-          add_node1_departure(s, from, params_.t, s.q2 + 1, p2, l_timeout);
-        } else {
-          add_node1_departure(s, from, params_.t, s.q2, s.phase2, l_timeout_lost);
-        }
-      }
-    }
-
-    // --- Node 2 ---
-    if (s.q2 >= 1) {
-      if (s.phase2 > n) {
-        const unsigned h = s.phase2 - (n + 1);
-        for (unsigned h2 = 0; h2 < m_; ++h2) {
-          if (h2 == h) continue;
-          const double r = T(h, h2);
-          if (r > 0.0) {
-            b.add(from, encode({s.q1, s.h1, s.j1, s.q2, n + 1 + h2}), r, l_phase2);
-          }
-        }
-        b.add(from, encode({s.q1, s.h1, s.j1, s.q2 - 1, n}), exit[h], l_service2);
-      } else if (s.phase2 >= 1) {
-        b.add(from, encode({s.q1, s.h1, s.j1, s.q2, s.phase2 - 1}), params_.t, l_tick2);
-      } else {
-        // Repeat ends: sample the residual phase.
-        for (unsigned h = 0; h < m_; ++h) {
-          if (residual_alpha_[h] <= 0.0) continue;
-          b.add(from, encode({s.q1, s.h1, s.j1, s.q2, n + 1 + h}),
-                params_.t * residual_alpha_[h], l_repeat);
-        }
-      }
-    }
-  });
-
-  b.ensure_states(static_cast<ctmc::index_t>(node1_states_) * node2_states_);
-  chain_ = b.build();
-}
-
-ctmc::SteadyStateResult TagsPhModel::solve(const ctmc::SteadyStateOptions& opts) const {
-  return ctmc::steady_state(chain_, opts);
-}
-
-Metrics TagsPhModel::metrics(const ctmc::SteadyStateOptions& opts) const {
-  const auto result = solve(opts);
-  assert(result.converged);
-  return metrics_from(result.pi);
-}
-
-Metrics TagsPhModel::metrics_from(const linalg::Vec& pi) const {
-  Metrics m;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const State s = decode(static_cast<ctmc::index_t>(i));
-    m.mean_q1 += pi[i] * s.q1;
-    m.mean_q2 += pi[i] * s.q2;
-    if (s.q1 >= 1) m.utilisation1 += pi[i];
-    if (s.q2 >= 1) m.utilisation2 += pi[i];
+  } else {
+    emit(state, params_.lambda, kLoss1);
   }
-  m.throughput = ctmc::throughput(chain_, pi, "service1") +
-                 ctmc::throughput(chain_, pi, "service2");
-  m.loss1_rate = ctmc::throughput(chain_, pi, "loss1");
-  m.loss2_rate = ctmc::throughput(chain_, pi, "timeout_lost");
-  finalize(m);
-  return m;
+  if (s.q1 >= 1) {
+    // PH internal phase moves.
+    for (unsigned h = 0; h < m_; ++h) {
+      if (h == s.h1) continue;
+      const double r = T(s.h1, h);
+      if (r > 0.0) {
+        emit(encode({s.q1, h, s.j1, s.q2, s.phase2}), r, kPhase1);
+      }
+    }
+    // Completion (absorption).
+    node1_departure(exit_[s.h1], s.q2, s.phase2, kService1);
+    // Timer.
+    if (s.j1 >= 1) {
+      emit(encode({s.q1, s.h1, s.j1 - 1, s.q2, s.phase2}), params_.t, kTick1);
+    } else {
+      if (s.q2 < k2) {
+        const unsigned p2 = s.q2 == 0 ? n : s.phase2;
+        node1_departure(params_.t, s.q2 + 1, p2, kTimeout);
+      } else {
+        node1_departure(params_.t, s.q2, s.phase2, kTimeoutLost);
+      }
+    }
+  }
+
+  // --- Node 2 ---
+  if (s.q2 >= 1) {
+    if (s.phase2 > n) {
+      const unsigned h = s.phase2 - (n + 1);
+      for (unsigned h2 = 0; h2 < m_; ++h2) {
+        if (h2 == h) continue;
+        const double r = T(h, h2);
+        if (r > 0.0) {
+          emit(encode({s.q1, s.h1, s.j1, s.q2, n + 1 + h2}), r, kPhase2);
+        }
+      }
+      emit(encode({s.q1, s.h1, s.j1, s.q2 - 1, n}), exit_[h], kService2);
+    } else if (s.phase2 >= 1) {
+      emit(encode({s.q1, s.h1, s.j1, s.q2, s.phase2 - 1}), params_.t, kTick2);
+    } else {
+      // Repeat ends: sample the residual phase.
+      for (unsigned h = 0; h < m_; ++h) {
+        if (residual_alpha_[h] <= 0.0) continue;
+        emit(encode({s.q1, s.h1, s.j1, s.q2, n + 1 + h}),
+             params_.t * residual_alpha_[h], kRepeat);
+      }
+    }
+  }
+}
+
+ctmc::MeasureSpec TagsPhModel::measure_spec() const {
+  ctmc::MeasureSpec spec;
+  spec.queue1 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q1); };
+  spec.queue2 = [this](ctmc::index_t i) { return static_cast<double>(decode(i).q2); };
+  spec.service_labels = {"service1", "service2"};
+  spec.loss1_labels = {"loss1"};
+  spec.loss2_labels = {"timeout_lost"};
+  return spec;
 }
 
 }  // namespace tags::models

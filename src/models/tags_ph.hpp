@@ -15,9 +15,7 @@
 //   q2 in 0..K2, p2 in 0..n = repeat timer, n+1+h = serving in phase h.
 #pragma once
 
-#include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "models/metrics.hpp"
+#include "models/generator_base.hpp"
 #include "phasetype/ph.hpp"
 
 namespace tags::models {
@@ -31,7 +29,7 @@ struct TagsPhParams {
   unsigned k2 = 10;
 };
 
-class TagsPhModel {
+class TagsPhModel : public SolvableModel {
  public:
   explicit TagsPhModel(TagsPhParams params);
 
@@ -44,8 +42,6 @@ class TagsPhModel {
   };
 
   [[nodiscard]] const TagsPhParams& params() const noexcept { return params_; }
-  [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
-  [[nodiscard]] ctmc::index_t n_states() const noexcept { return chain_.n_states(); }
 
   [[nodiscard]] ctmc::index_t encode(const State& s) const noexcept;
   [[nodiscard]] State decode(ctmc::index_t idx) const noexcept;
@@ -58,16 +54,27 @@ class TagsPhModel {
     return residual_alpha_;
   }
 
-  [[nodiscard]] Metrics metrics(const ctmc::SteadyStateOptions& opts = {}) const;
-  [[nodiscard]] Metrics metrics_from(const linalg::Vec& pi) const;
-  [[nodiscard]] ctmc::SteadyStateResult solve(
-      const ctmc::SteadyStateOptions& opts = {}) const;
+  /// Repopulate rates for new lambda/t/service *rates*. The number of PH
+  /// phases, the zero structure of alpha/T (and hence of the residual
+  /// alpha), and n/k1/k2 are structural — throws std::invalid_argument on
+  /// a phase-count change; other structural violations surface as the
+  /// engine's pattern-mismatch std::logic_error.
+  void rebind(TagsPhParams params);
+
+  // GeneratorModel interface.
+  [[nodiscard]] ctmc::index_t state_space_size() const override;
+  [[nodiscard]] const std::vector<std::string>& transition_labels() const override;
+  void for_each_transition(ctmc::index_t state,
+                           const TransitionSink& emit) const override;
+
+ protected:
+  [[nodiscard]] ctmc::MeasureSpec measure_spec() const override;
 
  private:
   TagsPhParams params_;
   linalg::Vec residual_alpha_;
-  ctmc::Ctmc chain_;
-  unsigned m_ = 0;  ///< PH phases
+  linalg::Vec exit_;  ///< PH exit rates -T 1 (cached)
+  unsigned m_ = 0;    ///< PH phases
   unsigned node1_states_ = 0;
   unsigned node2_states_ = 0;
 };

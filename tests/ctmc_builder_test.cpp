@@ -1,0 +1,56 @@
+// CtmcBuilder edge cases: duplicate (from, to) pairs must coalesce into a
+// single summed CSR entry, and self-loops must stay out of the generator
+// while still contributing to label throughput.
+#include <gtest/gtest.h>
+
+#include "ctmc/builder.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/measures.hpp"
+
+namespace {
+
+using namespace tags;
+
+TEST(CtmcBuilder, DuplicateTransitionsCoalesceIntoSummedRate) {
+  ctmc::CtmcBuilder b;
+  const auto a = b.label("a");
+  const auto c = b.label("c");
+  b.add(0, 1, 1.25, a);
+  b.add(0, 1, 2.50, c);  // same edge, different label
+  b.add(0, 1, 0.25, a);  // same edge, same label
+  b.add(1, 0, 3.0, a);
+  const ctmc::Ctmc chain = b.build();
+
+  // The labelled transition list keeps all three records...
+  ASSERT_EQ(chain.transitions().size(), 4u);
+  // ...but the generator has one coalesced off-diagonal per (from, to).
+  const auto& q = chain.generator();
+  EXPECT_EQ(q.row_cols(0).size(), 2u);  // diagonal + coalesced (0,1)
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(q.at(0, 0), -4.0);
+  EXPECT_DOUBLE_EQ(q.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(q.at(1, 1), -3.0);
+}
+
+TEST(CtmcBuilder, SelfLoopsStayOutOfGeneratorButCountTowardThroughput) {
+  ctmc::CtmcBuilder b;
+  const auto loss = b.label("loss");
+  const auto step = b.label("step");
+  b.add(0, 1, 2.0, step);
+  b.add(1, 0, 5.0, step);
+  b.add(1, 1, 7.0, loss);  // e.g. a blocked arrival
+  const ctmc::Ctmc chain = b.build();
+
+  const auto& q = chain.generator();
+  // Row 1 holds only the (1,0) off-diagonal and its balancing diagonal:
+  // the self-loop contributes no generator mass (it would cancel anyway).
+  EXPECT_DOUBLE_EQ(q.at(1, 1), -5.0);
+  EXPECT_DOUBLE_EQ(q.at(1, 0), 5.0);
+
+  // But the event still has a rate: throughput sees the self-loop.
+  const std::vector<double> pi = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(ctmc::throughput(chain, pi, "loss"), 0.7 * 7.0);
+  EXPECT_DOUBLE_EQ(ctmc::throughput(chain, pi, "step"), 0.3 * 2.0 + 0.7 * 5.0);
+}
+
+}  // namespace

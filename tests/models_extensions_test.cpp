@@ -266,7 +266,8 @@ TEST(FirstPassage, TagsTimeToFirstLossShrinksWithLoad) {
     p.k1 = p.k2 = 3;
     const models::TagsModel m(p);
     // Time to the first arrival loss  (losses at node 2 behave analogously).
-    const auto r1 = ctmc::mean_time_to_event(m.chain(), "loss1");
+    // First-passage analysis needs the materialised labelled chain.
+    const auto r1 = ctmc::mean_time_to_event(m.to_ctmc(), "loss1");
     ASSERT_TRUE(r1.converged);
     const ctmc::index_t empty = m.encode({0, p.n, 0, p.n});
     const double t_loss = r1.hitting_time[static_cast<std::size_t>(empty)];

@@ -1,0 +1,90 @@
+// Golden regression fixtures: metric values for fig06/fig07 (exponential
+// TAGS t-sweep) and fig09 (H2 TAGS) sample points, captured from the
+// pre-generator-refactor build at full precision. The generator-model port
+// must reproduce them; drift here means a model's transition structure or
+// measure extraction changed, not just floating-point noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+namespace {
+
+using namespace tags;
+
+struct GoldenPoint {
+  double t;
+  double mean_q1;
+  double mean_q2;
+  double throughput;
+  double loss_rate;
+  double response_time;
+};
+
+// The solver chain is iterative, so we allow 1e-9 relative slack (the
+// assembly itself is bit-identical; see ctmc_generator_test.cpp).
+void expect_close(double actual, double golden, const char* what, double t) {
+  EXPECT_NEAR(actual, golden, 1e-9 * std::max(1.0, std::abs(golden)))
+      << what << " at t=" << t;
+}
+
+void expect_matches(const models::Metrics& m, const GoldenPoint& g) {
+  expect_close(m.mean_q1, g.mean_q1, "mean_q1", g.t);
+  expect_close(m.mean_q2, g.mean_q2, "mean_q2", g.t);
+  expect_close(m.throughput, g.throughput, "throughput", g.t);
+  expect_close(m.loss_rate, g.loss_rate, "loss_rate", g.t);
+  expect_close(m.response_time, g.response_time, "response_time", g.t);
+}
+
+TEST(GoldenRegression, TagsExponentialTimeoutSweep) {
+  // TagsParams defaults: lambda=5, mu=10, n=6, K1=K2=10 (fig06/fig07).
+  const GoldenPoint golden[] = {
+      {30.0, 0.71219112432064746, 0.24968304178183962, 4.9998402218133187,
+       0.00015978927283450314, 0.19238098087735273},
+      {51.0, 0.5076454478683754, 0.42715683290730788, 4.9999921917979488,
+       7.8427880775185133e-06, 0.18696074812059604},
+      {100.0, 0.29638521950134145, 0.65185883984401471, 4.9999731907918656,
+       2.691234708826508e-05, 0.1896498287414175},
+  };
+  for (const GoldenPoint& g : golden) {
+    models::TagsParams p;
+    p.t = g.t;
+    expect_matches(models::TagsModel(p).metrics(), g);
+  }
+}
+
+TEST(GoldenRegression, TagsH2TimeoutSweep) {
+  // fig09 parameterisation: lambda=11, alpha=0.99, mu1/mu2=100, E[S]=0.1.
+  const GoldenPoint golden[] = {
+      {10.0, 1.7883703108958584, 1.1034192819542339, 10.800720482852775,
+       0.1992795341998336, 0.26774043430168365},
+      {16.0, 1.5176060686165223, 1.3968988602989747, 10.935672701016015,
+       0.064327325014643208, 0.26651354778062397},
+      {40.0, 1.0921078713406627, 3.1446413204792671, 10.911752310376063,
+       0.08824777661837728, 0.38827395191065467},
+  };
+  for (const GoldenPoint& g : golden) {
+    const auto p = models::TagsH2Params::from_ratio(11.0, 0.99, 100.0, 0.1, g.t);
+    expect_matches(models::TagsH2Model(p).metrics(), g);
+  }
+}
+
+TEST(GoldenRegression, RebindReachesSamePointAsFreshBuild) {
+  // Sweeping onto a golden point via rebind must land on the same metrics
+  // as constructing there directly (the fig07-style sweep path).
+  models::TagsParams p;
+  p.t = 30.0;
+  models::TagsModel m(p);
+  p.t = 51.0;
+  m.rebind(p);
+  const models::Metrics swept = m.metrics();
+  const models::Metrics direct = models::TagsModel(p).metrics();
+  EXPECT_EQ(swept.mean_q1, direct.mean_q1);
+  EXPECT_EQ(swept.mean_q2, direct.mean_q2);
+  EXPECT_EQ(swept.throughput, direct.throughput);
+  EXPECT_EQ(swept.response_time, direct.response_time);
+}
+
+}  // namespace
