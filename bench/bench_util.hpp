@@ -7,10 +7,38 @@
 #include <memory>
 #include <string>
 
+#include "core/sweep.hpp"
 #include "core/table.hpp"
 #include "obs/obs.hpp"
 
 namespace tags::bench {
+
+/// Sweep execution plan for the figure drivers: `--threads=N` on the
+/// command line wins, otherwise TAGS_SWEEP_THREADS, otherwise hardware
+/// concurrency (see ThreadPool::default_threads). The shard plan stays at
+/// its grid-determined default so results are identical at any setting.
+inline core::SweepPlan sweep_plan_from_args(int argc, char** argv) {
+  core::SweepPlan plan;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (v > 0) plan.threads = static_cast<unsigned>(v);
+    }
+  }
+  if (plan.threads == 0) plan.threads = core::ThreadPool::default_threads();
+  return plan;
+}
+
+/// One-line summary of how a sharded sweep executed.
+inline void print_sweep_stats(const core::SweepStats& stats) {
+  std::printf("[sweep: %zu points, %zu shards, %u threads; warm-start "
+              "hits/misses/cleared %llu/%llu/%llu]\n",
+              stats.points, stats.shards, stats.threads,
+              static_cast<unsigned long long>(stats.warm.hits),
+              static_cast<unsigned long long>(stats.warm.misses),
+              static_cast<unsigned long long>(stats.warm.cleared));
+}
 
 /// Print the standard header for a figure reproduction. Also installs a
 /// JSONL trace sink when TAGS_OBS_TRACE_FILE names a path (pair with

@@ -5,14 +5,17 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tags;
   bench::figure_header("Figure 7", "average response time vs timeout rate",
                        "lambda=5, mu=10, n=6, K=10");
 
   const auto scenario = core::Fig6Scenario::make();
   const models::TagsParams base = scenario.tags_at(scenario.t_values.front());
-  const auto sweep = core::tags_t_sweep(base, scenario.t_values);
+  const core::SweepPlan plan = bench::sweep_plan_from_args(argc, argv);
+  core::SweepStats stats;
+  const auto sweep = core::tags_t_sweep(base, scenario.t_values, plan, &stats);
+  bench::print_sweep_stats(stats);
 
   const auto random = models::random_alloc_exp(
       {.lambda = base.lambda, .mu = base.mu, .k = base.k1});

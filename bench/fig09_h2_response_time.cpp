@@ -10,7 +10,7 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tags;
   bench::figure_header(
       "Figure 9", "average response time vs timeout rate (H2 demands)",
@@ -21,7 +21,10 @@ int main() {
   std::printf("derived rates: mu1=%.4g mu2=%.4g; alpha'(t=%g)=%.4f\n\n", base.mu1,
               base.mu2, base.t, base.alpha_prime());
 
-  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values);
+  const core::SweepPlan plan = bench::sweep_plan_from_args(argc, argv);
+  core::SweepStats stats;
+  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats);
+  bench::print_sweep_stats(stats);
   const auto sq = models::ShortestQueueH2Model({.lambda = base.lambda,
                                                 .alpha = base.alpha,
                                                 .mu1 = base.mu1,

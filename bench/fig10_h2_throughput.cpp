@@ -5,7 +5,7 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tags;
   bench::figure_header(
       "Figure 10", "throughput vs timeout rate (H2 demands)",
@@ -13,7 +13,10 @@ int main() {
 
   const auto scenario = core::Fig9Scenario::make();
   const models::TagsH2Params base = scenario.tags_at(scenario.t_values.front());
-  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values);
+  const core::SweepPlan plan = bench::sweep_plan_from_args(argc, argv);
+  core::SweepStats stats;
+  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats);
+  bench::print_sweep_stats(stats);
   const auto sq = models::ShortestQueueH2Model({.lambda = base.lambda,
                                                 .alpha = base.alpha,
                                                 .mu1 = base.mu1,

@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "bench_util.hpp"
@@ -122,12 +124,36 @@ double run_rebind_report() {
   }
   const double rebind_ms = ms_since(t1);
 
+  // Strategy C: the sharded parallel engine — one model instance per
+  // shard, rebinding thread-locally on the pool (assembly only, like A/B).
+  const auto t2 = clock::now();
+  core::SweepStats stats;
+  const auto nnzs = core::sharded_sweep<std::size_t>(
+      t_values.size(), core::SweepPlan{},
+      [&](core::ShardRange range, std::span<std::size_t> out,
+          ctmc::WarmStartState&) {
+        std::optional<models::TagsModel> local;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          models::TagsParams p = base;
+          p.t = t_values[i];
+          if (local) {
+            local->rebind(p);
+          } else {
+            local.emplace(p);
+          }
+          out[i - range.begin] = local->chain().nnz();
+        }
+      },
+      &stats);
+  benchmark::DoNotOptimize(nnzs.data());
+  const double sharded_ms = ms_since(t2);
+
   const double speedup = rebind_ms > 0.0 ? rebuild_ms / rebind_ms : 0.0;
   std::printf(
       "t-sweep over %zu points (%lld states): rebuild %.3f ms, rebind %.3f ms, "
-      "speedup %.2fx\n",
+      "speedup %.2fx; sharded rebind (%u threads, %zu shards) %.3f ms\n",
       t_values.size(), static_cast<long long>(states), rebuild_ms, rebind_ms,
-      speedup);
+      speedup, stats.threads, stats.shards, sharded_ms);
 
   obs::gauge_set("bench.micro_statespace.sweep_points",
                  static_cast<double>(t_values.size()));
@@ -135,6 +161,9 @@ double run_rebind_report() {
   obs::gauge_set("bench.micro_statespace.rebuild_ms", rebuild_ms);
   obs::gauge_set("bench.micro_statespace.rebind_ms", rebind_ms);
   obs::gauge_set("bench.micro_statespace.rebind_speedup", speedup);
+  obs::gauge_set("bench.micro_statespace.sharded_rebind_ms", sharded_ms);
+  obs::gauge_set("bench.micro_statespace.sharded_threads",
+                 static_cast<double>(stats.threads));
   tags::bench::emit_telemetry("micro_statespace");
   return speedup;
 }

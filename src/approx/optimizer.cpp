@@ -33,7 +33,7 @@ ExactOptimum integer_scan(Params p, Objective obj, unsigned t_lo, unsigned t_hi,
   ExactOptimum best;
   double best_score = std::numeric_limits<double>::infinity();
   std::optional<Model> model;
-  ctmc::SteadyStateOptions opts;
+  ctmc::WarmStartState warm;
   for (unsigned t = t_lo; t <= t_hi; t += stride) {
     p.t = static_cast<double>(t);
     // Only t varies: rebind rates onto the frozen pattern after the first
@@ -43,11 +43,11 @@ ExactOptimum integer_scan(Params p, Objective obj, unsigned t_lo, unsigned t_hi,
     } else {
       model.emplace(p);
     }
-    ctmc::reconcile_warm_start(opts, model->n_states());
-    const auto solved = model->solve(opts);
+    warm.reconcile(model->n_states());
+    const auto solved = model->solve(warm.opts);
     ++best.solves;
+    warm.accept(solved);
     if (!solved.converged) continue;
-    opts.initial_guess = solved.pi;
     const models::Metrics m = model->metrics_from(solved.pi);
     const double s = score(m, obj);
     if (s < best_score) {
@@ -88,7 +88,7 @@ ExactOptimum optimise_tags_t(models::TagsParams p, Objective obj, double t_lo,
                              double t_hi) {
   ExactOptimum out;
   std::optional<models::TagsModel> model;
-  ctmc::SteadyStateOptions opts;
+  ctmc::WarmStartState warm;
   const auto evaluate = [&](double t) {
     p.t = t;
     if (model) {
@@ -96,10 +96,10 @@ ExactOptimum optimise_tags_t(models::TagsParams p, Objective obj, double t_lo,
     } else {
       model.emplace(p);
     }
-    ctmc::reconcile_warm_start(opts, model->n_states());
-    const auto solved = model->solve(opts);
+    warm.reconcile(model->n_states());
+    const auto solved = model->solve(warm.opts);
     ++out.solves;
-    if (solved.converged) opts.initial_guess = solved.pi;
+    warm.accept(solved);
     return model->metrics_from(solved.pi);
   };
   const auto objective = [&](double t) { return score(evaluate(t), obj); };

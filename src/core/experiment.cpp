@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <optional>
+#include <span>
 
 #include "core/sweep.hpp"
 #include "obs/obs.hpp"
@@ -32,16 +33,19 @@ PolicyComparison compare_policies_h2(const models::TagsH2Params& p) {
   return c;
 }
 
-std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
-                                          const std::vector<double>& t_values) {
-  const obs::ScopedTimer sweep_timer("core/tags_t_sweep");
-  std::vector<models::Metrics> out;
-  out.reserve(t_values.size());
-  ctmc::SteadyStateOptions opts;
-  std::optional<models::TagsModel> model;
-  for (double t : t_values) {
-    models::TagsParams p = base;
-    p.t = t;
+namespace {
+
+/// One warm-started t-chain over [range): the body shared by the legacy
+/// sequential sweeps (one chain across the whole grid) and the sharded
+/// engine (one chain per shard, thread-local model instance).
+template <class Model, class Params>
+void eval_t_chain(const Params& base, const std::vector<double>& t_values,
+                  ShardRange range, std::span<models::Metrics> out,
+                  ctmc::WarmStartState& warm) {
+  std::optional<Model> model;
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    Params p = base;
+    p.t = t_values[i];
     {
       // Only t moves within the sweep: the sparsity pattern is frozen, so
       // every point after the first is a rate rebind, not a rebuild.
@@ -52,48 +56,62 @@ std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
         model.emplace(p);
       }
     }
-    obs::gauge_set("core.tags_t_sweep.last_states",
-                   static_cast<double>(model->n_states()));
-    ctmc::reconcile_warm_start(opts, model->n_states());
+    warm.reconcile(model->n_states());
     const auto solved = [&] {
       const obs::ScopedTimer solve_timer("solve");
-      return model->solve(opts);
+      return model->solve(warm.opts);
     }();
-    if (solved.converged) opts.initial_guess = solved.pi;
-    out.push_back(model->metrics_from(solved.pi));
+    warm.accept(solved);
+    out[i - range.begin] = model->metrics_from(solved.pi);
   }
+}
+
+template <class Model, class Params>
+std::vector<models::Metrics> model_t_sweep(const Params& base,
+                                           const std::vector<double>& t_values,
+                                           const SweepPlan& plan, SweepStats* stats) {
+  return sharded_sweep<models::Metrics>(
+      t_values.size(), plan,
+      [&](ShardRange range, std::span<models::Metrics> out,
+          ctmc::WarmStartState& warm) {
+        eval_t_chain<Model>(base, t_values, range, out, warm);
+      },
+      stats);
+}
+
+}  // namespace
+
+std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
+                                          const std::vector<double>& t_values) {
+  const obs::ScopedTimer sweep_timer("core/tags_t_sweep");
+  std::vector<models::Metrics> out(t_values.size());
+  ctmc::WarmStartState warm;
+  eval_t_chain<models::TagsModel>(base, t_values, {0, t_values.size()}, out, warm);
   return out;
 }
 
 std::vector<models::Metrics> tags_h2_t_sweep(const models::TagsH2Params& base,
                                              const std::vector<double>& t_values) {
   const obs::ScopedTimer sweep_timer("core/tags_h2_t_sweep");
-  std::vector<models::Metrics> out;
-  out.reserve(t_values.size());
-  ctmc::SteadyStateOptions opts;
-  std::optional<models::TagsH2Model> model;
-  for (double t : t_values) {
-    models::TagsH2Params p = base;
-    p.t = t;
-    {
-      const obs::ScopedTimer build_timer("build");
-      if (model) {
-        model->rebind(p);
-      } else {
-        model.emplace(p);
-      }
-    }
-    obs::gauge_set("core.tags_h2_t_sweep.last_states",
-                   static_cast<double>(model->n_states()));
-    ctmc::reconcile_warm_start(opts, model->n_states());
-    const auto solved = [&] {
-      const obs::ScopedTimer solve_timer("solve");
-      return model->solve(opts);
-    }();
-    if (solved.converged) opts.initial_guess = solved.pi;
-    out.push_back(model->metrics_from(solved.pi));
-  }
+  std::vector<models::Metrics> out(t_values.size());
+  ctmc::WarmStartState warm;
+  eval_t_chain<models::TagsH2Model>(base, t_values, {0, t_values.size()}, out, warm);
   return out;
+}
+
+std::vector<models::Metrics> tags_t_sweep(const models::TagsParams& base,
+                                          const std::vector<double>& t_values,
+                                          const SweepPlan& plan, SweepStats* stats) {
+  const obs::ScopedTimer sweep_timer("core/tags_t_sweep");
+  return model_t_sweep<models::TagsModel>(base, t_values, plan, stats);
+}
+
+std::vector<models::Metrics> tags_h2_t_sweep(const models::TagsH2Params& base,
+                                             const std::vector<double>& t_values,
+                                             const SweepPlan& plan,
+                                             SweepStats* stats) {
+  const obs::ScopedTimer sweep_timer("core/tags_h2_t_sweep");
+  return model_t_sweep<models::TagsH2Model>(base, t_values, plan, stats);
 }
 
 }  // namespace tags::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "models/metrics.hpp"
 #include "models/random_alloc.hpp"
 #include "models/round_robin.hpp"
@@ -25,11 +26,25 @@ struct PolicyComparison {
 /// H2 variant (shares lambda / alpha / rates / buffer with the TAGS params).
 [[nodiscard]] PolicyComparison compare_policies_h2(const models::TagsH2Params& p);
 
-/// TAGS metrics across a t-sweep, warm-starting consecutive solves.
+/// TAGS metrics across a t-sweep, warm-starting consecutive solves
+/// (sequential: one warm chain across the whole grid).
 [[nodiscard]] std::vector<models::Metrics> tags_t_sweep(
     const models::TagsParams& base, const std::vector<double>& t_values);
 
 [[nodiscard]] std::vector<models::Metrics> tags_h2_t_sweep(
     const models::TagsH2Params& base, const std::vector<double>& t_values);
+
+/// Sharded t-sweeps on the parallel sweep engine: the grid is cut by
+/// plan_shards (a function of the grid only), every shard gets its own
+/// model instance + warm-start chain on a pool worker, and results merge
+/// back in grid order — bit-identical for every thread count (see the
+/// determinism contract in core/sweep.hpp).
+[[nodiscard]] std::vector<models::Metrics> tags_t_sweep(
+    const models::TagsParams& base, const std::vector<double>& t_values,
+    const SweepPlan& plan, SweepStats* stats = nullptr);
+
+[[nodiscard]] std::vector<models::Metrics> tags_h2_t_sweep(
+    const models::TagsH2Params& base, const std::vector<double>& t_values,
+    const SweepPlan& plan, SweepStats* stats = nullptr);
 
 }  // namespace tags::core

@@ -1,0 +1,210 @@
+#include "core/pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace tags::core {
+
+namespace {
+
+// Batch-level instrumentation shared by every pool in the process (the
+// registry aggregates same-named handles, so statics are fine).
+obs::Counter& queued_counter() {
+  static obs::Counter c("core.pool.tasks_queued");
+  return c;
+}
+obs::Counter& stolen_counter() {
+  static obs::Counter c("core.pool.tasks_stolen");
+  return c;
+}
+obs::Counter& completed_counter() {
+  static obs::Counter c("core.pool.tasks_completed");
+  return c;
+}
+
+}  // namespace
+
+struct ThreadPool::State {
+  // One deque per worker. Owners pop from the front, thieves take from the
+  // back; each deque has its own lock so a steal never blocks the victim's
+  // neighbours.
+  struct Queue {
+    std::mutex m;
+    std::deque<std::function<void()>*> tasks;
+  };
+
+  explicit State(unsigned n) : queues(n), busy_ns(n) {
+    for (auto& b : busy_ns) b.store(0, std::memory_order_relaxed);
+  }
+
+  std::vector<Queue> queues;
+  std::vector<std::atomic<std::uint64_t>> busy_ns;
+  std::atomic<std::uint64_t> stolen{0};
+  std::atomic<std::uint64_t> completed{0};
+
+  // Batch lifecycle: run() publishes work under `m` and waits on done_cv;
+  // workers sleep on work_cv between batches.
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;  ///< tasks not yet finished in the active batch
+  bool stop = false;
+  std::exception_ptr first_error;
+
+  // Serialises concurrent run() callers (one batch in flight at a time).
+  std::mutex run_m;
+
+  /// Take one task: own queue first, then steal from the back of the most
+  /// loaded victim. Returns nullptr when every deque is empty.
+  std::function<void()>* take(unsigned me, bool& stole) {
+    {
+      Queue& own = queues[me];
+      const std::lock_guard<std::mutex> lock(own.m);
+      if (!own.tasks.empty()) {
+        auto* t = own.tasks.front();
+        own.tasks.pop_front();
+        stole = false;
+        return t;
+      }
+    }
+    // Pick the victim with the longest queue (sampled without locks held
+    // long: lock each candidate only for the peek/steal).
+    const unsigned n = static_cast<unsigned>(queues.size());
+    for (unsigned hop = 1; hop < n; ++hop) {
+      Queue& victim = queues[(me + hop) % n];
+      const std::lock_guard<std::mutex> lock(victim.m);
+      if (!victim.tasks.empty()) {
+        auto* t = victim.tasks.back();
+        victim.tasks.pop_back();
+        stole = true;
+        return t;
+      }
+    }
+    return nullptr;
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads > 0 ? threads : default_threads();
+  state_ = std::make_unique<State>(n);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->m);
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned me) {
+  State& s = *state_;
+  for (;;) {
+    bool stole = false;
+    // Fast path: grab work (own deque, then steal) without the batch lock.
+    std::function<void()>* task = s.take(me, stole);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(s.m);
+      s.work_cv.wait(lock, [&] {
+        if (s.stop) return true;
+        task = s.take(me, stole);
+        return task != nullptr;
+      });
+      if (task == nullptr) return;  // stop requested, queues drained
+    }
+    if (stole) {
+      s.stolen.fetch_add(1, std::memory_order_relaxed);
+      stolen_counter().add();
+    }
+    // Busy time is part of the pool's functional API (worker_busy_ns), so
+    // measure it directly — obs::now_ns() is stubbed to 0 in obs-OFF builds.
+    const auto start = std::chrono::steady_clock::now();
+    std::exception_ptr error;
+    try {
+      (*task)();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::uint64_t elapsed = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    s.busy_ns[me].fetch_add(elapsed, std::memory_order_relaxed);
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    completed_counter().add();
+    obs::observe("core.pool.task_ms", static_cast<double>(elapsed) / 1e6);
+    bool batch_done = false;
+    {
+      const std::lock_guard<std::mutex> lock(s.m);
+      if (error && !s.first_error) s.first_error = error;
+      batch_done = (--s.pending == 0);
+    }
+    if (batch_done) s.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  State& s = *state_;
+  const std::lock_guard<std::mutex> batch_lock(s.run_m);
+  {
+    const std::lock_guard<std::mutex> lock(s.m);
+    s.first_error = nullptr;
+    s.pending = tasks.size();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      State::Queue& q = s.queues[i % s.queues.size()];
+      const std::lock_guard<std::mutex> qlock(q.m);
+      q.tasks.push_back(&tasks[i]);
+    }
+  }
+  queued_counter().add(tasks.size());
+  s.work_cv.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(s.m);
+    s.done_cv.wait(lock, [&] { return s.pending == 0; });
+    error = s.first_error;
+    s.first_error = nullptr;
+  }
+  for (unsigned i = 0; i < size(); ++i) {
+    obs::gauge_set(("core.pool.worker" + std::to_string(i) + ".busy_ms").c_str(),
+                   static_cast<double>(worker_busy_ns(i)) / 1e6);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::uint64_t ThreadPool::worker_busy_ns(unsigned worker) const {
+  return state_->busy_ns.at(worker).load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::tasks_stolen() const {
+  return state_->stolen.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::tasks_completed() const {
+  return state_->completed.load(std::memory_order_relaxed);
+}
+
+unsigned ThreadPool::default_threads() {
+  if (const char* env = std::getenv("TAGS_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace tags::core

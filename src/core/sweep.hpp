@@ -1,13 +1,32 @@
-// Parameter sweeps. parallel_sweep fans independent evaluations out over
-// OpenMP threads; warm_sweep runs sequentially, threading the previous
-// stationary vector into each solve (much faster for CTMC t-sweeps, where
-// neighbouring parameter points have nearly identical solutions).
+// Parameter sweeps. Three execution strategies:
+//
+//  * parallel_sweep — independent per-point evaluations fanned out over
+//    OpenMP threads (no state carried between points).
+//  * warm_sweep — sequential, threading the previous stationary vector
+//    into each solve (much faster for CTMC t-sweeps, where neighbouring
+//    parameter points have nearly identical solutions).
+//  * sharded_sweep — the parallel sweep engine: the grid is cut into
+//    contiguous shards, each shard is evaluated as one task on the
+//    work-stealing pool (core/pool.hpp) with its own thread-local
+//    ctmc::WarmStartState (warm starts never cross shards), and results
+//    are merged back in grid order.
+//
+// Determinism contract (see DESIGN.md "Parallel sweep engine"): the shard
+// plan is a function of the grid alone — never of the thread count — and a
+// shard's evaluation depends only on its own inputs and warm-start chain.
+// Running the same grid with 1, 2, or N threads therefore produces
+// bit-identical results and identical per-shard warm-start counters; the
+// thread count only changes which worker executes a shard and when.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
+#include "core/pool.hpp"
 #include "ctmc/steady_state.hpp"
+#include "obs/obs.hpp"
 
 namespace tags::core {
 
@@ -37,18 +56,102 @@ template <class T, class SolveFn>
     const std::vector<T>& inputs, SolveFn&& solve_fn) {
   std::vector<ctmc::SteadyStateResult> results;
   results.reserve(inputs.size());
-  ctmc::SteadyStateOptions opts;
+  ctmc::WarmStartState warm;
   for (const T& x : inputs) {
-    ctmc::SteadyStateResult r = solve_fn(x, opts);
-    if (r.converged) {
-      opts.initial_guess = r.pi;
-    } else if (opts.initial_guess && opts.initial_guess->size() != r.pi.size()) {
-      // The state space changed mid-sweep (a structural parameter moved):
-      // drop the stale guess instead of letting every later solve silently
-      // fall back to the uniform start through the solver's size check.
-      opts.initial_guess.reset();
-    }
+    ctmc::SteadyStateResult r = solve_fn(x, warm.opts);
+    warm.accept(r);
+    // A structural parameter may have moved mid-sweep; reconciling against
+    // the size we just solved drops a stale guess instead of letting every
+    // later solve silently fall back to the uniform start.
+    warm.reconcile(static_cast<ctmc::index_t>(r.pi.size()));
     results.push_back(std::move(r));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parallel sweep engine
+// ---------------------------------------------------------------------------
+
+/// Half-open index range [begin, end) of grid points forming one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Execution plan for a sharded sweep. `threads == 0` resolves to
+/// ThreadPool::default_threads() (TAGS_SWEEP_THREADS, else hardware
+/// concurrency); `shard_size == 0` resolves to default_shard_size(n).
+struct SweepPlan {
+  unsigned threads = 0;
+  std::size_t shard_size = 0;
+};
+
+/// Default shard size: a function of the grid size only (so results never
+/// depend on the machine), small enough to load-balance a many-core pool
+/// on the paper's ~30-point grids, large enough to amortise the cold solve
+/// that starts every shard's warm-start chain.
+[[nodiscard]] std::size_t default_shard_size(std::size_t n_points) noexcept;
+
+/// Cut [0, n_points) into contiguous shards of `shard_size` (the last
+/// shard takes the remainder). shard_size == 0 uses the default.
+[[nodiscard]] std::vector<ShardRange> plan_shards(std::size_t n_points,
+                                                  std::size_t shard_size = 0);
+
+/// What a sharded sweep did: merged warm-start counters plus the shape of
+/// the run. Counters are summed in grid order, so totals are identical for
+/// every thread count.
+struct SweepStats {
+  ctmc::WarmStartState warm;  ///< merged counters (opts field unused)
+  std::size_t points = 0;
+  std::size_t shards = 0;
+  unsigned threads = 1;
+};
+
+/// The parallel sweep driver. `eval` is invoked once per shard — from
+/// worker threads when threads > 1 — as
+///   eval(ShardRange shard, std::span<R> out, ctmc::WarmStartState& warm)
+/// and must fill out[i - shard.begin] for each grid index i in the shard,
+/// building any per-shard state (model instance, warm chain) locally.
+/// Results land in grid order; stats (when requested) merge shard counters
+/// in grid order.
+template <class R, class ShardEval>
+[[nodiscard]] std::vector<R> sharded_sweep(std::size_t n_points, const SweepPlan& plan,
+                                           ShardEval&& eval,
+                                           SweepStats* stats = nullptr) {
+  const std::vector<ShardRange> shards = plan_shards(n_points, plan.shard_size);
+  const unsigned threads =
+      plan.threads > 0 ? plan.threads : ThreadPool::default_threads();
+  std::vector<R> results(n_points);
+  std::vector<ctmc::WarmStartState> warm(shards.size());
+
+  const obs::ScopedTimer timer("core/sharded_sweep");
+  obs::gauge_set("core.sweep.points", static_cast<double>(n_points));
+  obs::gauge_set("core.sweep.shards", static_cast<double>(shards.size()));
+  obs::gauge_set("core.sweep.threads", static_cast<double>(threads));
+
+  const auto run_shard = [&](std::size_t s) {
+    const ShardRange range = shards[s];
+    eval(range, std::span<R>(results.data() + range.begin, range.size()), warm[s]);
+  };
+  if (threads <= 1 || shards.size() <= 1) {
+    for (std::size_t s = 0; s < shards.size(); ++s) run_shard(s);
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      tasks.emplace_back([&run_shard, s] { run_shard(s); });
+    }
+    pool.run(std::move(tasks));
+  }
+
+  if (stats != nullptr) {
+    stats->points = n_points;
+    stats->shards = shards.size();
+    stats->threads = threads;
+    for (const ctmc::WarmStartState& w : warm) stats->warm.merge(w);
   }
   return results;
 }

@@ -342,4 +342,25 @@ void reconcile_warm_start(SteadyStateOptions& opts, index_t n_states) {
   }
 }
 
+void WarmStartState::reconcile(index_t n_states) {
+  const bool had_guess = opts.initial_guess.has_value();
+  reconcile_warm_start(opts, n_states);
+  if (had_guess && !opts.initial_guess) ++cleared;
+  if (opts.initial_guess) {
+    ++hits;
+  } else {
+    ++misses;
+  }
+}
+
+void WarmStartState::accept(const SteadyStateResult& r) {
+  if (r.converged) opts.initial_guess = r.pi;
+}
+
+void WarmStartState::merge(const WarmStartState& other) noexcept {
+  hits += other.hits;
+  misses += other.misses;
+  cleared += other.cleared;
+}
+
 }  // namespace tags::ctmc

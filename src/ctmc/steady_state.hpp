@@ -14,6 +14,7 @@
 //                   GMRES fallback, then power iteration as a last resort.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -70,5 +71,30 @@ struct SteadyStateResult {
 /// would otherwise carry a stale guess that steady_state silently
 /// discards). Counts hits/misses under "ctmc.steady_state.warm_start.*".
 void reconcile_warm_start(SteadyStateOptions& opts, index_t n_states);
+
+/// Warm-start bookkeeping for one sweep shard: the solver options carrying
+/// the previous stationary vector plus local reuse counters. Each shard of
+/// a parallel sweep owns its own instance, so warm starts can never leak
+/// across shards (or threads) and the merged counters reproduce the serial
+/// totals exactly. Replaces the ad-hoc single-dimension reconciliation the
+/// sweep loops used to inline.
+struct WarmStartState {
+  SteadyStateOptions opts;
+  std::uint64_t hits = 0;     ///< solves entered with a usable previous pi
+  std::uint64_t misses = 0;   ///< solves entered cold
+  std::uint64_t cleared = 0;  ///< stale guesses dropped on dimension change
+
+  /// Call before each solve: drops a guess whose dimension does not match
+  /// the chain about to be solved (counting it in `cleared` and in the
+  /// registry), then records whether this solve starts warm or cold.
+  void reconcile(index_t n_states);
+
+  /// Call after each solve: keeps pi as the next point's initial guess when
+  /// the solve converged, otherwise leaves the current guess untouched.
+  void accept(const SteadyStateResult& r);
+
+  /// Fold another shard's counters into this one (grid-order merge).
+  void merge(const WarmStartState& other) noexcept;
+};
 
 }  // namespace tags::ctmc

@@ -1,0 +1,151 @@
+// Property tests over randomised model configurations: for ~50 seeded
+// parameter draws across the model zoo, the assembled generator must be a
+// valid CTMC generator (row sums ~0, non-negative off-diagonals), the
+// steady-state solve must converge to a probability vector, and rebinding
+// a perturbed parameter set onto the frozen pattern must reproduce a fresh
+// assembly bit-for-bit (the PR 2 rebinding contract, which the parallel
+// sweep engine leans on for its per-shard model instances).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+#include "ctmc/steady_state.hpp"
+#include "linalg/csr.hpp"
+#include "models/shortest_queue.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+namespace {
+
+using namespace tags;
+
+void expect_same_csr(const linalg::CsrMatrix& a, const linalg::CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (ctmc::index_t i = 0; i < a.rows(); ++i) {
+    const auto ac = a.row_cols(i);
+    const auto bc = b.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto bv = b.row_vals(i);
+    ASSERT_EQ(ac.size(), bc.size()) << "row " << i;
+    for (std::size_t k = 0; k < ac.size(); ++k) {
+      EXPECT_EQ(ac[k], bc[k]) << "row " << i;
+      EXPECT_EQ(av[k], bv[k]) << "row " << i << " col " << ac[k];
+    }
+  }
+}
+
+/// Direct row-by-row generator check (sharper diagnostics than the
+/// boolean is_valid_generator, and independent of its implementation).
+void expect_generator_properties(const ctmc::GeneratorCtmc& chain,
+                                 const char* what) {
+  const auto& q = chain.generator();
+  const double scale = std::max(1.0, chain.max_exit_rate());
+  for (ctmc::index_t i = 0; i < q.rows(); ++i) {
+    const auto cols = q.row_cols(i);
+    const auto vals = q.row_vals(i);
+    double row_sum = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      row_sum += vals[k];
+      if (cols[k] != i) {
+        EXPECT_GE(vals[k], 0.0) << what << ": negative off-diagonal at ("
+                                << i << ", " << cols[k] << ")";
+      }
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-9 * scale) << what << ": row " << i;
+  }
+  EXPECT_TRUE(chain.is_valid_generator()) << what;
+}
+
+void expect_probability_vector(const linalg::Vec& pi, const char* what) {
+  double sum = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, -1e-12) << what;
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-8) << what;
+}
+
+/// One randomised round for a concrete model type: validate the generator
+/// and the solve, then perturb the rate-only parameters and confirm
+/// rebind == fresh assembly bit-for-bit.
+template <class Model, class Params>
+void check_model(const Params& p, const Params& perturbed, const char* what) {
+  Model model(p);
+  expect_generator_properties(model.chain(), what);
+
+  const auto result = model.solve();
+  ASSERT_TRUE(result.converged) << what;
+  expect_probability_vector(result.pi, what);
+
+  model.rebind(perturbed);
+  const Model fresh(perturbed);
+  expect_same_csr(model.chain().generator(), fresh.chain().generator());
+  EXPECT_EQ(model.chain().max_exit_rate(), fresh.chain().max_exit_rate()) << what;
+}
+
+TEST(CtmcProperty, RandomConfigsSatisfyGeneratorAndRebindContracts) {
+  constexpr int kRounds = 51;  // 17 draws per model family
+  for (int round = 0; round < kRounds; ++round) {
+    std::mt19937 rng(1234u + static_cast<unsigned>(round));
+    std::uniform_real_distribution<double> rate(1.0, 12.0);
+    std::uniform_real_distribution<double> service(5.0, 20.0);
+    std::uniform_real_distribution<double> timer(5.0, 80.0);
+    std::uniform_real_distribution<double> mix(0.1, 0.9);
+    std::uniform_int_distribution<unsigned> ticks(1, 3);
+    std::uniform_int_distribution<unsigned> buffer(2, 5);
+
+    SCOPED_TRACE("round " + std::to_string(round));
+    switch (round % 3) {
+      case 0: {
+        models::TagsParams p;
+        p.lambda = rate(rng);
+        p.mu = service(rng);
+        p.t = timer(rng);
+        p.n = ticks(rng);
+        p.k1 = buffer(rng);
+        p.k2 = buffer(rng);
+        auto shifted = p;
+        shifted.lambda *= 1.3;
+        shifted.mu *= 0.9;
+        shifted.t *= 0.8;
+        check_model<models::TagsModel>(p, shifted, "tags");
+        break;
+      }
+      case 1: {
+        models::TagsH2Params p;
+        p.lambda = rate(rng);
+        p.alpha = mix(rng);
+        p.mu1 = service(rng) + 10.0;
+        p.mu2 = 0.5 + mix(rng);
+        p.t = timer(rng);
+        p.n = ticks(rng);
+        p.k1 = buffer(rng);
+        p.k2 = buffer(rng);
+        auto shifted = p;
+        shifted.lambda *= 0.8;
+        shifted.alpha = 0.5 * (p.alpha + 0.5);  // stays inside (0, 1)
+        shifted.t *= 1.25;
+        check_model<models::TagsH2Model>(p, shifted, "tags_h2");
+        break;
+      }
+      default: {
+        models::ShortestQueueParams p;
+        p.lambda = rate(rng);
+        p.mu = service(rng);
+        p.k = buffer(rng);
+        auto shifted = p;
+        shifted.lambda *= 1.5;
+        shifted.mu *= 1.1;
+        check_model<models::ShortestQueueModel>(p, shifted, "shortest_queue");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace

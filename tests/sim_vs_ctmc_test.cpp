@@ -1,0 +1,133 @@
+// Differential tests: the CTMC solutions against the discrete-event
+// simulator of the actual system. Two regimes where the correspondence is
+// (near-)exact:
+//
+//  * TAGS with exponential demands and the Erlang(n+1, t) timeout fed to
+//    the simulator, at a timer rate where timeouts are rare. The CTMC
+//    resamples the node-2 repeat period independently of the original
+//    timeout draw, so a small systematic gap appears when timeouts are
+//    frequent (abl_sim_validation measures ~5% on E[N] at t = 50); at
+//    t = 15, P(timeout) = (t/(t+mu))^(n+1) ~ 2.8% and the gap is well
+//    inside simulation noise.
+//  * Shortest-queue dispatch with exponential demands — here the CTMC is
+//    the exact model of the simulated system.
+//
+// Assertions use replication-based 99% confidence intervals (5 fixed
+// seeds, Student t with 4 degrees of freedom), so the tests are
+// deterministic yet statistically honest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "models/shortest_queue.hpp"
+#include "models/tags.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace tags;
+
+constexpr double kT99Df4 = 4.604;  // two-sided 99% Student t, 4 dof
+constexpr std::uint64_t kSeeds[] = {11, 23, 37, 51, 73};
+
+struct Replications {
+  double mean = 0.0;
+  double ci99 = 0.0;  ///< half-width
+
+  explicit Replications(const std::vector<double>& xs) {
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double ss = 0.0;
+    for (double x : xs) ss += (x - mean) * (x - mean);
+    const double var = ss / static_cast<double>(xs.size() - 1);
+    ci99 = kT99Df4 * std::sqrt(var / static_cast<double>(xs.size()));
+  }
+
+  /// The CI the assertion uses: the statistical half-width plus a small
+  /// relative floor so a freak ultra-tight replication set cannot turn
+  /// sub-noise model error into a flake.
+  [[nodiscard]] double tolerance(double reference) const {
+    return ci99 + 0.01 * std::abs(reference);
+  }
+};
+
+TEST(SimVsCtmc, ExponentialTagsResponseTimeMatchesAtRareTimeouts) {
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = 15.0;  // mean timeout (n+1)/t = 0.467 >> mean demand 0.1
+  p.n = 6;
+  p.k1 = p.k2 = 10;
+  const auto ctmc_metrics = models::TagsModel(p).metrics();
+
+  std::vector<double> response, total_queue, loss;
+  for (std::uint64_t seed : kSeeds) {
+    sim::TagsSimParams sp;
+    sp.lambda = p.lambda;
+    sp.service = sim::Exponential{p.mu};
+    // Mirror the CTMC's phase-type timeout exactly in distribution.
+    sp.timeouts = {sim::Erlang{p.n + 1, p.t}};
+    sp.buffers = {p.k1, p.k2};
+    sp.horizon = 3e4;
+    sp.warmup_fraction = 0.1;
+    sp.seed = seed;
+    const auto r = sim::simulate_tags(sp);
+    response.push_back(r.mean_response);
+    total_queue.push_back(r.mean_total_queue);
+    loss.push_back(r.loss_fraction);
+  }
+
+  const Replications w(response), n_total(total_queue), p_loss(loss);
+  EXPECT_NEAR(ctmc_metrics.response_time, w.mean,
+              w.tolerance(ctmc_metrics.response_time))
+      << "CTMC W outside the sim's 99% CI";
+  EXPECT_NEAR(ctmc_metrics.mean_total, n_total.mean,
+              n_total.tolerance(ctmc_metrics.mean_total))
+      << "CTMC E[N] outside the sim's 99% CI";
+  // Losses are negligible in this regime on both sides (utilisation 0.5,
+  // deep buffers) — the comparison is about the response-time law.
+  EXPECT_LT(ctmc_metrics.loss_rate / p.lambda, 1e-3);
+  EXPECT_LT(p_loss.mean, 1e-3);
+}
+
+TEST(SimVsCtmc, ShortestQueueMatchesExactly) {
+  // Loaded enough that losses are measurable, so the loss probability is a
+  // meaningful second check (lambda/(2 mu) = 0.8, buffer 3 per queue).
+  models::ShortestQueueParams p;
+  p.lambda = 16.0;
+  p.mu = 10.0;
+  p.k = 3;
+  const auto ctmc_metrics = models::ShortestQueueModel(p).metrics();
+  const double ctmc_loss_prob = ctmc_metrics.loss_rate / p.lambda;
+
+  std::vector<double> response, loss, throughput;
+  for (std::uint64_t seed : kSeeds) {
+    sim::DispatchSimParams sp;
+    sp.lambda = p.lambda;
+    sp.service = sim::Exponential{p.mu};
+    sp.n_queues = 2;
+    sp.buffer = p.k;
+    sp.policy = sim::DispatchPolicy::kShortestQueue;
+    sp.horizon = 3e4;
+    sp.warmup_fraction = 0.1;
+    sp.seed = seed;
+    const auto r = sim::simulate_dispatch(sp);
+    response.push_back(r.mean_response);
+    loss.push_back(r.loss_fraction);
+    throughput.push_back(r.throughput);
+  }
+
+  const Replications w(response), p_loss(loss), x(throughput);
+  EXPECT_NEAR(ctmc_metrics.response_time, w.mean,
+              w.tolerance(ctmc_metrics.response_time))
+      << "CTMC W outside the sim's 99% CI";
+  EXPECT_NEAR(ctmc_loss_prob, p_loss.mean, p_loss.tolerance(ctmc_loss_prob))
+      << "CTMC loss probability outside the sim's 99% CI";
+  EXPECT_NEAR(ctmc_metrics.throughput, x.mean,
+              x.tolerance(ctmc_metrics.throughput))
+      << "CTMC throughput outside the sim's 99% CI";
+}
+
+}  // namespace

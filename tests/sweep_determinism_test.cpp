@@ -1,0 +1,109 @@
+// The parallel sweep engine's core contract: the sharded run is
+// bit-identical to the serial run at every thread count, and the merged
+// per-shard warm-start counters equal the serial totals. Sharding is a
+// function of the grid alone, each shard's warm-start chain is
+// self-contained, and results land in grid order — so thread count can
+// only change wall clock, never output.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+namespace {
+
+using namespace tags;
+
+/// Bytewise comparison — the contract is bit-identical, not within-tol.
+bool same_bytes(const std::vector<models::Metrics>& a,
+                const std::vector<models::Metrics>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(models::Metrics)) == 0;
+}
+
+void expect_counters_equal(const core::SweepStats& serial,
+                           const core::SweepStats& parallel) {
+  EXPECT_EQ(serial.warm.hits, parallel.warm.hits);
+  EXPECT_EQ(serial.warm.misses, parallel.warm.misses);
+  EXPECT_EQ(serial.warm.cleared, parallel.warm.cleared);
+  EXPECT_EQ(serial.points, parallel.points);
+  EXPECT_EQ(serial.shards, parallel.shards);
+}
+
+TEST(SweepDeterminism, TagsSweepBitIdenticalAcrossThreadCounts) {
+  // fig07-style timeout grid on a reduced model (fast enough to run the
+  // sweep three times over).
+  models::TagsParams base;
+  base.n = 3;
+  base.k1 = base.k2 = 4;
+  const auto ts = core::linspace(10.0, 150.0, 29);
+
+  core::SweepStats serial_stats;
+  const auto serial =
+      core::tags_t_sweep(base, ts, {.threads = 1}, &serial_stats);
+  ASSERT_EQ(serial.size(), ts.size());
+  EXPECT_GT(serial_stats.shards, 1u);
+  // The whole grid was solved and warm starts were exercised: every point
+  // after a shard's first is a hit (t is a rate-only parameter).
+  EXPECT_EQ(serial_stats.warm.hits + serial_stats.warm.misses, ts.size());
+  EXPECT_EQ(serial_stats.warm.misses, serial_stats.shards);
+  EXPECT_EQ(serial_stats.warm.cleared, 0u);
+
+  for (unsigned threads : {2u, 8u}) {
+    core::SweepStats stats;
+    const auto parallel =
+        core::tags_t_sweep(base, ts, {.threads = threads}, &stats);
+    EXPECT_TRUE(same_bytes(serial, parallel)) << threads << " threads";
+    expect_counters_equal(serial_stats, stats);
+    EXPECT_EQ(stats.threads, threads);
+  }
+}
+
+TEST(SweepDeterminism, H2SweepBitIdenticalAcrossThreadCounts) {
+  const models::TagsH2Params base = models::TagsH2Params::from_ratio(
+      11.0, 0.99, 100.0, 0.1, 10.0, /*n=*/3, /*k1=*/4, /*k2=*/4);
+  const auto ts = core::linspace(4.0, 60.0, 15);
+
+  core::SweepStats serial_stats;
+  const auto serial =
+      core::tags_h2_t_sweep(base, ts, {.threads = 1}, &serial_stats);
+  ASSERT_EQ(serial.size(), ts.size());
+
+  for (unsigned threads : {2u, 8u}) {
+    core::SweepStats stats;
+    const auto parallel =
+        core::tags_h2_t_sweep(base, ts, {.threads = threads}, &stats);
+    EXPECT_TRUE(same_bytes(serial, parallel)) << threads << " threads";
+    expect_counters_equal(serial_stats, stats);
+  }
+}
+
+TEST(SweepDeterminism, ExplicitShardSizeStillDeterministic) {
+  // A pathologically fine shard plan (one point per shard, so no warm-start
+  // reuse at all): the contract is fixed-plan + varying threads, so compare
+  // the same shard_size serial vs parallel. Determinism across *different*
+  // shard plans is explicitly not promised — warm starts change solver
+  // trajectories, hence low-order bits.
+  models::TagsParams base;
+  base.n = 2;
+  base.k1 = base.k2 = 3;
+  const auto ts = core::linspace(20.0, 100.0, 9);
+
+  core::SweepStats serial_stats, parallel_stats;
+  const auto serial = core::tags_t_sweep(
+      base, ts, {.threads = 1, .shard_size = 1}, &serial_stats);
+  const auto parallel = core::tags_t_sweep(
+      base, ts, {.threads = 4, .shard_size = 1}, &parallel_stats);
+
+  EXPECT_TRUE(same_bytes(serial, parallel));
+  EXPECT_EQ(parallel_stats.shards, ts.size());
+  EXPECT_EQ(parallel_stats.warm.hits, 0u);
+  EXPECT_EQ(parallel_stats.warm.misses, ts.size());
+  expect_counters_equal(serial_stats, parallel_stats);
+}
+
+}  // namespace

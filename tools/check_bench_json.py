@@ -1,7 +1,14 @@
 #!/usr/bin/env python3
 """Validate a bench telemetry JSON file against the v1 schema.
 
-Usage: check_bench_json.py <telemetry.json> [...]
+Usage: check_bench_json.py [--require-gauge NAME[=VALUE]] <telemetry.json> [...]
+
+--require-gauge (repeatable) additionally asserts that every file defines
+the named gauge; with =VALUE it must also equal VALUE (within 1e-9). Used
+by the bench fixtures to pin down report invariants (e.g. that the
+parallel sweep produced bit-identical results) when observability is
+compiled in; files from an obs-off build (obs_level == -1) skip the
+requirement, since such builds legitimately emit empty documents.
 
 Stdlib only. Exit 0 when every file conforms, 1 otherwise with one line per
 problem. The schema (see README "Observability"):
@@ -31,7 +38,7 @@ import sys
 NUMBER = (int, float)
 
 
-def check(path):
+def check(path, required_gauges=()):
     problems = []
 
     def err(msg):
@@ -115,20 +122,41 @@ def check(path):
             elif not isinstance(rec[key], types):
                 err(f"solves[{i}] field '{key}' wrong type")
 
+    if doc.get("obs_level", -1) >= 0:
+        for spec in required_gauges:
+            name, _, want = spec.partition("=")
+            if not isinstance((gauges or {}).get(name), NUMBER):
+                err(f"required gauge '{name}' missing")
+            elif want and abs(gauges[name] - float(want)) > 1e-9:
+                err(f"required gauge '{name}' is {gauges[name]}, expected {want}")
+
     return problems
 
 
 def main(argv):
-    if len(argv) < 2:
+    required_gauges = []
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require-gauge" and i + 1 < len(argv):
+            required_gauges.append(argv[i + 1])
+            i += 2
+        elif argv[i].startswith("--require-gauge="):
+            required_gauges.append(argv[i].split("=", 1)[1])
+            i += 1
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
     all_problems = []
-    for path in argv[1:]:
-        all_problems += check(path)
+    for path in paths:
+        all_problems += check(path, required_gauges)
     for p in all_problems:
         print(p, file=sys.stderr)
     if not all_problems:
-        print(f"ok: {len(argv) - 1} file(s) conform to telemetry schema v1")
+        print(f"ok: {len(paths)} file(s) conform to telemetry schema v1")
     return 1 if all_problems else 0
 
 
