@@ -30,14 +30,17 @@ inline core::SweepPlan sweep_plan_from_args(int argc, char** argv) {
   return plan;
 }
 
-/// One-line summary of how a sharded sweep executed.
+/// One-line summary of how a sharded sweep executed. A nonzero uncertified
+/// count means some accepted solve failed result certification — the table
+/// printed above it should not be trusted without a look at the solve log.
 inline void print_sweep_stats(const core::SweepStats& stats) {
   std::printf("[sweep: %zu points, %zu shards, %u threads; warm-start "
-              "hits/misses/cleared %llu/%llu/%llu]\n",
+              "hits/misses/cleared %llu/%llu/%llu; uncertified %llu]\n",
               stats.points, stats.shards, stats.threads,
               static_cast<unsigned long long>(stats.warm.hits),
               static_cast<unsigned long long>(stats.warm.misses),
-              static_cast<unsigned long long>(stats.warm.cleared));
+              static_cast<unsigned long long>(stats.warm.cleared),
+              static_cast<unsigned long long>(stats.warm.uncertified));
 }
 
 /// Print the standard header for a figure reproduction. Also installs a

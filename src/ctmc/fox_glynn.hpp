@@ -1,0 +1,41 @@
+// Stable Poisson weights for uniformization, after Fox & Glynn ("Computing
+// Poisson probabilities", CACM 31(4), 1988): mode-centred evaluation with
+// left/right truncation, so q = Lambda*t up to ~1e6 is handled without the
+// underflow that kills the naive recurrence w_0 = e^{-q}, w_k = w_{k-1} q/k
+// (e^{-q} flushes to zero for q >~ 745, leaving every weight zero and the
+// "distribution" silently empty).
+//
+// The weight at the mode m = floor(q) is computed in log space via lgamma
+// (Stirling territory, |log w_m| ~ ln(2 pi q)/2 — always representable),
+// then the two-sided recurrence walks outward until the neglected tails are
+// provably below eps. Weights are true pmf values, not rescaled, so the
+// compensated total is itself the mass check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tags::ctmc {
+
+struct FoxGlynnWeights {
+  std::size_t left = 0;          ///< smallest k kept
+  std::size_t right = 0;         ///< largest k kept (inclusive)
+  std::vector<double> weights;   ///< weights[k - left] ~= e^{-q} q^k / k!
+  double total_weight = 0.0;     ///< compensated sum over the window
+  /// Total weight within eps of 1 and every weight finite: the truncation
+  /// really did capture the distribution. Counted under
+  /// numerics.fox_glynn.{calls,mass_failures}.
+  bool ok = false;
+
+  [[nodiscard]] std::size_t size() const noexcept { return weights.size(); }
+  /// Weight of k, 0 outside the window.
+  [[nodiscard]] double at(std::size_t k) const noexcept {
+    return k < left || k > right ? 0.0 : weights[k - left];
+  }
+};
+
+/// Compute the truncated Poisson(q) weights with combined tail mass <= eps.
+/// q must be >= 0 and finite; eps in (0, 1).
+[[nodiscard]] FoxGlynnWeights fox_glynn(double q, double eps);
+
+}  // namespace tags::ctmc

@@ -27,14 +27,21 @@ void note_attempt(SteadyStateResult& res) {
       {res.method_used, res.iterations, res.residual, res.converged});
 }
 
-/// Trace a kAuto transition from a failed method to the next one.
-void trace_fallback(SteadyStateMethod from, SteadyStateMethod to, double residual) {
+/// Trace a kAuto transition from a failed method to the next one. `reason`
+/// distinguishes a raw convergence failure from a converged-but-uncertified
+/// result (certification escalation).
+void trace_fallback(SteadyStateMethod from, SteadyStateMethod to, double residual,
+                    const char* reason) {
   obs::count("ctmc.steady_state.fallbacks");
+  if (std::string_view(reason) != "residual") {
+    obs::count("numerics.certify.escalations");
+  }
   if (!obs::tracing_on()) return;
   obs::TraceEvent ev;
   ev.name = "steady_state.fallback";
   ev.str.emplace_back("from", std::string(to_string(from)));
   ev.str.emplace_back("to", std::string(to_string(to)));
+  ev.str.emplace_back("reason", reason);
   ev.num.emplace_back("residual", residual);
   obs::emit(std::move(ev));
 }
@@ -68,6 +75,31 @@ double balance_residual(const CsrMatrix& qt, std::span<const double> pi, Vec& sc
   return linalg::nrm_inf(scratch);
 }
 
+/// Stamp the result with an independent certificate: the residual is
+/// recomputed from Q^T and pi (never trusted from the solver), entries are
+/// checked finite, and probability mass is re-summed with compensation.
+/// `condition` carries the dense-LU path's Hager estimate (0 elsewhere).
+void certify_result(SteadyStateResult& res, const CsrMatrix& qt, const System& sys,
+                    const SteadyStateOptions& opts, double condition = 0.0) {
+  if (!opts.certify) return;
+  if (res.pi.size() != static_cast<std::size_t>(sys.n())) return;  // no solution
+  linalg::CertifyOptions c = opts.certify_opts;
+  c.residual_bound *= std::max(1.0, sys.max_exit);
+  const Vec zero(res.pi.size(), 0.0);
+  res.certificate = linalg::certify_solution(qt, res.pi, zero, c, condition);
+}
+
+/// The acceptance test the kAuto chain escalates on: converged by the
+/// solver's own criterion AND certified (when certification is enabled).
+bool accepted(const SteadyStateResult& res, const SteadyStateOptions& opts) {
+  return res.converged && (!opts.certify || res.certificate.ok());
+}
+
+/// Why the chain moved on — for the fallback trace.
+const char* fallback_reason(const SteadyStateResult& res) {
+  return res.converged ? "certification" : "residual";
+}
+
 Vec initial_vector(const System& sys, const SteadyStateOptions& opts) {
   const std::size_t n = static_cast<std::size_t>(sys.n());
   if (opts.initial_guess && opts.initial_guess->size() == n) {
@@ -78,7 +110,7 @@ Vec initial_vector(const System& sys, const SteadyStateOptions& opts) {
   return Vec(n, 1.0 / static_cast<double>(n));
 }
 
-SteadyStateResult solve_dense_lu(const System& sys) {
+SteadyStateResult solve_dense_lu(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("dense-lu");
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kDenseLu;
@@ -94,6 +126,7 @@ SteadyStateResult solve_dense_lu(const System& sys) {
     }
   }
   for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  const double a_norm1 = opts.certify ? linalg::norm1(a) : 0.0;
   Vec b(n, 0.0);
   b[n - 1] = 1.0;
   const linalg::LuFactorization f = linalg::lu_factor(std::move(a));
@@ -101,14 +134,20 @@ SteadyStateResult solve_dense_lu(const System& sys) {
     note_attempt(res);
     return res;
   }
+  // The direct path is the one place a condition estimate is nearly free:
+  // Hager's iteration is a handful of O(n^2) triangular solves on a
+  // factorization we already hold.
+  const double condition = opts.certify ? linalg::condest_1(a_norm1, f) : 0.0;
   res.pi = f.solve(b);
   for (double& v : res.pi) v = std::max(v, 0.0);
   linalg::normalize_l1(res.pi);
   Vec scratch(n);
-  res.residual = balance_residual(q.transposed(), res.pi, scratch);
+  const CsrMatrix qt = q.transposed();
+  res.residual = balance_residual(qt, res.pi, scratch);
   res.converged = std::isfinite(res.residual) &&
                   res.residual <= 1e-6 * std::max(1.0, sys.max_exit);
   res.iterations = 1;
+  certify_result(res, qt, sys, opts, condition);
   note_attempt(res);
   return res;
 }
@@ -153,6 +192,7 @@ SteadyStateResult solve_gauss_seidel(const System& sys, const SteadyStateOptions
   res.residual = balance_residual(qt, pi, scratch);
   res.converged = res.residual <= tol;
   res.pi = std::move(pi);
+  certify_result(res, qt, sys, opts);
   note_attempt(res);
   return res;
 }
@@ -198,6 +238,7 @@ SteadyStateResult solve_power(const System& sys, const SteadyStateOptions& opts)
   res.residual = balance_residual(qt, pi, scratch);
   res.converged = res.residual <= tol;
   res.pi = std::move(pi);
+  certify_result(res, qt, sys, opts);
   note_attempt(res);
   return res;
 }
@@ -238,21 +279,27 @@ SteadyStateResult solve_gmres(const System& sys, const SteadyStateOptions& opts)
   for (double& v : x) v = std::max(v, 0.0);
   linalg::normalize_l1(x);
   Vec scratch(n);
-  res.residual = balance_residual(q.transposed(), x, scratch);
+  const CsrMatrix qt = q.transposed();
+  res.residual = balance_residual(qt, x, scratch);
   res.converged = res.residual <= tol * 10.0;  // allow slack vs linear tol
   res.pi = std::move(x);
+  certify_result(res, qt, sys, opts);
   note_attempt(res);
   return res;
 }
 
 SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions& opts) {
   switch (opts.method) {
-    case SteadyStateMethod::kDenseLu: return solve_dense_lu(sys);
+    case SteadyStateMethod::kDenseLu: return solve_dense_lu(sys, opts);
     case SteadyStateMethod::kGaussSeidel: return solve_gauss_seidel(sys, opts);
     case SteadyStateMethod::kPower: return solve_power(sys, opts);
     case SteadyStateMethod::kGmres: return solve_gmres(sys, opts);
     case SteadyStateMethod::kAuto: break;
   }
+  // The kAuto chain escalates on the *certificate*, not on the raw residual
+  // alone: a method that converged by its own bookkeeping but failed the
+  // independent check (non-finite entries, mass drift, hopeless condition
+  // estimate) falls through to the next method exactly like a divergence.
   std::vector<SteadyStateAttempt> chain_attempts;
   const auto finish = [&](SteadyStateResult r) {
     chain_attempts.insert(chain_attempts.end(), r.attempts.begin(), r.attempts.end());
@@ -260,23 +307,24 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
     return r;
   };
   if (sys.n() <= 1200) {
-    SteadyStateResult res = solve_dense_lu(sys);
-    if (res.converged) return finish(std::move(res));
+    SteadyStateResult res = solve_dense_lu(sys, opts);
+    if (accepted(res, opts)) return finish(std::move(res));
     trace_fallback(SteadyStateMethod::kDenseLu, SteadyStateMethod::kGaussSeidel,
-                   res.residual);
+                   res.residual, fallback_reason(res));
     chain_attempts.insert(chain_attempts.end(), res.attempts.begin(),
                           res.attempts.end());
   }
   SteadyStateResult res = solve_gauss_seidel(sys, opts);
-  if (res.converged) return finish(std::move(res));
+  if (accepted(res, opts)) return finish(std::move(res));
   trace_fallback(SteadyStateMethod::kGaussSeidel, SteadyStateMethod::kGmres,
-                 res.residual);
+                 res.residual, fallback_reason(res));
   chain_attempts.insert(chain_attempts.end(), res.attempts.begin(), res.attempts.end());
   SteadyStateOptions warm = opts;
   warm.initial_guess = res.pi;  // reuse partial progress
   SteadyStateResult res2 = solve_gmres(sys, warm);
-  if (res2.converged) return finish(std::move(res2));
-  trace_fallback(SteadyStateMethod::kGmres, SteadyStateMethod::kPower, res2.residual);
+  if (accepted(res2, opts)) return finish(std::move(res2));
+  trace_fallback(SteadyStateMethod::kGmres, SteadyStateMethod::kPower, res2.residual,
+                 fallback_reason(res2));
   chain_attempts.insert(chain_attempts.end(), res2.attempts.begin(),
                         res2.attempts.end());
   warm.initial_guess = res2.residual < res.residual ? res2.pi : res.pi;
@@ -285,9 +333,15 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
                         res3.attempts.end());
   const auto with_chain = [&](SteadyStateResult r) {
     r.attempts = chain_attempts;
+    if (!accepted(r, opts)) {
+      // The whole chain is exhausted and nothing passed: the caller gets
+      // the best attempt, flagged. This is the "nothing landed in a table
+      // unchecked" guarantee — uncertified results are visible, not silent.
+      obs::count("numerics.steady_state.uncertified_returns");
+    }
     return r;
   };
-  if (res3.converged) return with_chain(std::move(res3));
+  if (accepted(res3, opts)) return with_chain(std::move(res3));
   // Return the best attempt so callers can inspect the residual.
   if (res.residual <= res2.residual && res.residual <= res3.residual) {
     return with_chain(std::move(res));
@@ -319,6 +373,8 @@ SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOpti
     rec.relative_residual = res.residual / std::max(1.0, sys.max_exit);
     rec.converged = res.converged;
     rec.diverged = !std::isfinite(res.residual);
+    rec.certified = res.certificate.ok();
+    rec.condition = res.certificate.condition;
     rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
     for (const SteadyStateAttempt& a : res.attempts) {
       if (!rec.attempts.empty()) rec.attempts += ',';
@@ -354,6 +410,7 @@ void WarmStartState::reconcile(index_t n_states) {
 }
 
 void WarmStartState::accept(const SteadyStateResult& r) {
+  if (!r.converged || (opts.certify && !r.certificate.ok())) ++uncertified;
   if (r.converged) opts.initial_guess = r.pi;
 }
 
@@ -361,6 +418,7 @@ void WarmStartState::merge(const WarmStartState& other) noexcept {
   hits += other.hits;
   misses += other.misses;
   cleared += other.cleared;
+  uncertified += other.uncertified;
 }
 
 }  // namespace tags::ctmc

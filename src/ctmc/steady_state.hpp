@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "linalg/certify.hpp"
 #include "linalg/solver.hpp"
 
 namespace tags::ctmc {
@@ -35,6 +36,14 @@ struct SteadyStateOptions {
   /// Warm start (e.g. the solution at a nearby parameter point). Must have
   /// n_states entries; it is normalised internally.
   std::optional<linalg::Vec> initial_guess;
+  /// Stamp every attempt with a certificate (true-residual recompute,
+  /// non-finite guard, probability-mass check, condition estimate on the
+  /// dense-LU path). kAuto escalates on certification failure, not just on
+  /// raw residual. Off only for overhead measurements.
+  bool certify = true;
+  /// Certification bounds. residual_bound is *relative*: it is multiplied
+  /// by max(1, max exit rate), matching how solver tolerances scale.
+  linalg::CertifyOptions certify_opts{.residual_bound = 1e-6};
 };
 
 /// One method tried by steady_state (kAuto runs several in sequence).
@@ -51,6 +60,11 @@ struct SteadyStateResult {
   int iterations = 0;
   double residual = 0.0;    ///< final ||pi Q||_inf
   SteadyStateMethod method_used = SteadyStateMethod::kAuto;
+  /// What was independently verified about pi (see linalg/certify.hpp).
+  /// Default-false when options.certify was disabled; otherwise the
+  /// recomputed-residual / finiteness / mass / condition verdict, which is
+  /// the signal results tables should trust over `converged`.
+  linalg::Certificate certificate;
   /// Every method attempted, in order; the last entry is method_used.
   /// A single-method request yields one entry; kAuto records its whole
   /// fallback chain (LU, Gauss-Seidel, GMRES, power iteration).
@@ -83,6 +97,9 @@ struct WarmStartState {
   std::uint64_t hits = 0;     ///< solves entered with a usable previous pi
   std::uint64_t misses = 0;   ///< solves entered cold
   std::uint64_t cleared = 0;  ///< stale guesses dropped on dimension change
+  /// Solves accepted whose result failed certification (or never converged)
+  /// — the sweep-level "did anything land in the table unchecked" signal.
+  std::uint64_t uncertified = 0;
 
   /// Call before each solve: drops a guess whose dimension does not match
   /// the chain about to be solved (counting it in `cleared` and in the

@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
+#include "ctmc/fox_glynn.hpp"
 #include "linalg/coo.hpp"
+#include "obs/obs.hpp"
 
 namespace tags::ctmc {
 
@@ -26,54 +29,109 @@ CsrMatrix uniformized_transposed(const Ctmc& chain, double lambda) {
   return CsrMatrix::from_coo(coo);
 }
 
-/// One uniformization step of duration t (Lambda*t assumed moderate).
-Vec step(const CsrMatrix& pt, const Vec& pi0, double lambda, double t, double eps) {
-  const std::size_t n = pi0.size();
+/// One uniformization step of duration t on Fox-Glynn weights. Left
+/// truncation skips the accumulate (not the power iteration — pi0 P^k must
+/// still be advanced); right truncation ends the series with tail mass
+/// below truncation_eps by construction. If the weights fail their own
+/// mass certification (the underflow guard — unreachable on the Fox-Glynn
+/// path for sane inputs) the step auto-splits in half and recurses.
+Vec step(const CsrMatrix& pt, Vec pi, double lambda, double t,
+         const TransientOptions& opts, int depth, int& steps_taken) {
   const double q = lambda * t;
-  Vec result(n, 0.0);
-  Vec term = pi0;  // pi0 P^k as k grows
-  Vec next(n);
+  const FoxGlynnWeights fg = fox_glynn(q, opts.truncation_eps);
+  if (!fg.ok && depth < 10) {
+    obs::count("numerics.uniformization.step_splits");
+    pi = step(pt, std::move(pi), lambda, t / 2.0, opts, depth + 1, steps_taken);
+    return step(pt, std::move(pi), lambda, t / 2.0, opts, depth + 1, steps_taken);
+  }
+  obs::count("numerics.uniformization.steps");
+  ++steps_taken;
 
-  // Poisson(q) weights computed iteratively: w_0 = e^{-q}; w_k = w_{k-1} q/k.
-  double w = std::exp(-q);
-  double cumulative = 0.0;
-  std::size_t k = 0;
-  // For large q, e^{-q} underflows; the caller keeps q <= max_step_jumps so
-  // the straightforward recurrence stays in range (exp(-512) ~ 1e-223, still
-  // representable in double).
-  while (cumulative < 1.0 - eps) {
-    if (w > 0.0) {
-      linalg::axpy(w, term, result);
-      cumulative += w;
-    }
-    ++k;
-    w *= q / static_cast<double>(k);
-    if (k > static_cast<std::size_t>(q + 60.0 * std::sqrt(q + 1.0) + 60.0)) break;
+  const std::size_t n = pi.size();
+  Vec result(n, 0.0);
+  Vec term = std::move(pi);  // pi0 P^k as k grows
+  Vec next(n);
+  for (std::size_t k = 0;; ++k) {
+    const double w = fg.at(k);
+    if (w > 0.0) linalg::axpy(w, term, result);
+    if (k >= fg.right) break;
     pt.multiply(term, next);
     term.swap(next);
   }
-  // Renormalise the truncated series.
-  linalg::normalize_l1(result);
+  // Clean the truncation/rounding drift. A zero or non-finite mass here
+  // means the step produced no distribution at all — the failure mode this
+  // layer exists to surface; normalize_l1 leaves the vector untouched then,
+  // and the caller's certification fails loudly instead of reading zeros.
+  const double mass = linalg::normalize_l1(result);
+  if (!(mass > 0.0) || !std::isfinite(mass)) {
+    obs::count("numerics.uniformization.zero_mass_guards");
+    if (obs::tracing_on()) {
+      obs::TraceEvent ev;
+      ev.name = "numerics.uniformization_zero_mass";
+      ev.num.emplace_back("q", q);
+      ev.num.emplace_back("mass", mass);
+      obs::emit(std::move(ev));
+    }
+  }
   return result;
+}
+
+/// Advance pi over a gap of duration `gap`, splitting so each step's
+/// Lambda*dt stays below max_step_jumps.
+Vec advance(const CsrMatrix& pt, Vec pi, double lambda, double gap,
+            const TransientOptions& opts, int& steps_taken) {
+  const int n_steps =
+      std::max(1, static_cast<int>(std::ceil(lambda * gap / opts.max_step_jumps)));
+  const double dt = gap / n_steps;
+  for (int s = 0; s < n_steps; ++s) {
+    pi = step(pt, std::move(pi), lambda, dt, opts, 0, steps_taken);
+  }
+  return pi;
+}
+
+void record_transient_solve(const TransientResult& res, index_t n,
+                            std::uint64_t start_ns) {
+  if (!obs::metrics_on()) return;
+  obs::SolveRecord rec;
+  rec.context = "transient";
+  rec.method = "uniformization";
+  rec.n = n;
+  rec.iterations = res.steps;
+  rec.residual = res.certificate.mass_error;
+  rec.relative_residual = res.certificate.mass_error;
+  rec.converged = res.certificate.ok();
+  rec.diverged = !res.certificate.finite;
+  rec.certified = res.certificate.ok();
+  rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
+  obs::record_solve(std::move(rec));
 }
 
 }  // namespace
 
-linalg::Vec transient_distribution(const Ctmc& chain, const Vec& pi0, double t,
-                                   const TransientOptions& opts) {
+TransientResult transient_distribution_certified(const Ctmc& chain, const Vec& pi0,
+                                                 double t,
+                                                 const TransientOptions& opts) {
   assert(static_cast<index_t>(pi0.size()) == chain.n_states());
   assert(t >= 0.0);
-  if (t == 0.0) return pi0;
+  const std::uint64_t start_ns = obs::now_ns();
+  TransientResult res;
+  if (t == 0.0) {
+    res.pi = pi0;
+    res.certificate = linalg::certify_distribution(res.pi, {});
+    record_transient_solve(res, chain.n_states(), start_ns);
+    return res;
+  }
   const double lambda = chain.max_exit_rate() * 1.02 + 1e-12;
   const CsrMatrix pt = uniformized_transposed(chain, lambda);
-  const int n_steps =
-      std::max(1, static_cast<int>(std::ceil(lambda * t / opts.max_step_jumps)));
-  const double dt = t / n_steps;
-  Vec pi = pi0;
-  for (int s = 0; s < n_steps; ++s) {
-    pi = step(pt, pi, lambda, dt, opts.truncation_eps);
-  }
-  return pi;
+  res.pi = advance(pt, pi0, lambda, t, opts, res.steps);
+  res.certificate = linalg::certify_distribution(res.pi, {});
+  record_transient_solve(res, chain.n_states(), start_ns);
+  return res;
+}
+
+linalg::Vec transient_distribution(const Ctmc& chain, const Vec& pi0, double t,
+                                   const TransientOptions& opts) {
+  return transient_distribution_certified(chain, pi0, t, opts).pi;
 }
 
 std::vector<linalg::Vec> transient_trajectory(const Ctmc& chain, const Vec& pi0,
@@ -85,15 +143,12 @@ std::vector<linalg::Vec> transient_trajectory(const Ctmc& chain, const Vec& pi0,
   const CsrMatrix pt = uniformized_transposed(chain, lambda);
   Vec pi = pi0;
   double prev_t = 0.0;
+  int steps_taken = 0;
   for (double t : times) {
     assert(t >= prev_t);
     const double gap = t - prev_t;
-    if (gap > 0.0) {
-      const int n_steps =
-          std::max(1, static_cast<int>(std::ceil(lambda * gap / opts.max_step_jumps)));
-      const double dt = gap / n_steps;
-      for (int s = 0; s < n_steps; ++s) pi = step(pt, pi, lambda, dt, opts.truncation_eps);
-    }
+    if (gap > 0.0) pi = advance(pt, std::move(pi), lambda, gap, opts, steps_taken);
+    (void)linalg::certify_distribution(pi, {});
     out.push_back(pi);
     prev_t = t;
   }

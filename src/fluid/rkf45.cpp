@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "fluid/ode.hpp"
+#include "obs/obs.hpp"
 
 namespace tags::fluid {
 
@@ -15,6 +16,20 @@ Vec rkf45_integrate(const OdeRhs& f, Vec y, double t0, double t_end,
 
   while (t < t_end) {
     h = std::min(h, t_end - t);
+    if (t + h == t) {
+      // The remaining gap is below one ulp of t: t += h would not move and
+      // the loop would spin forever. Within rounding, we are at t_end.
+      obs::count("numerics.rkf45.stall_terminations");
+      if (obs::tracing_on()) {
+        obs::TraceEvent ev;
+        ev.name = "numerics.rkf45_stall";
+        ev.num.emplace_back("t", t);
+        ev.num.emplace_back("t_end", t_end);
+        ev.num.emplace_back("h", h);
+        obs::emit(std::move(ev));
+      }
+      break;
+    }
     f(t, y, k1);
     for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * (k1[i] / 4.0);
     f(t + h / 4.0, tmp, k2);
@@ -50,6 +65,20 @@ Vec rkf45_integrate(const OdeRhs& f, Vec y, double t0, double t_end,
       err = std::max(err, std::abs(y5[i] - y4[i]) / scale);
     }
     if (err <= 1.0 || h <= opts.min_dt) {
+      if (err > 1.0) {
+        // Forced acceptance at the step floor: error control is lost for
+        // this step. Count it so a stiff run that rode min_dt the whole way
+        // is distinguishable from one the controller actually resolved.
+        obs::count("numerics.rkf45.forced_min_dt_steps");
+        if (obs::tracing_on()) {
+          obs::TraceEvent ev;
+          ev.name = "numerics.rkf45_error_control_loss";
+          ev.num.emplace_back("t", t);
+          ev.num.emplace_back("h", h);
+          ev.num.emplace_back("err", err);
+          obs::emit(std::move(ev));
+        }
+      }
       t += h;
       y = y5;  // local extrapolation
     }

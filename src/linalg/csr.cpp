@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace tags::linalg {
 
@@ -134,9 +135,13 @@ double CsrMatrix::residual_inf(std::span<const double> x, std::span<const double
                                std::span<double> scratch) const noexcept {
   assert(static_cast<index_t>(scratch.size()) == rows_);
   multiply(x, scratch);
+  // NaN-propagating max: a poisoned row must surface as a NaN residual,
+  // not vanish under std::max's NaN-discarding comparison.
   double m = 0.0;
-  for (std::size_t i = 0; i < scratch.size(); ++i)
-    m = std::max(m, std::abs(b[i] - scratch[i]));
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    const double a = std::abs(b[i] - scratch[i]);
+    if (a > m || std::isnan(a)) m = a;
+  }
   return m;
 }
 

@@ -20,6 +20,28 @@ SolveResult gauss_seidel(const CsrMatrix& a, std::span<const double> b, Vec& x,
   const double b_norm = nrm_inf(b);
   SolveResult res;
 
+  // A structural zero on the diagonal makes the sweep divide by zero and
+  // fill x with inf/NaN that then propagates through every later update.
+  // Bail before touching x: the caller sees an explicit divergence instead
+  // of a poisoned vector.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (diag[i] == 0.0) {
+      obs::count("numerics.gauss_seidel.zero_diagonal");
+      if (obs::tracing_on()) {
+        obs::TraceEvent ev;
+        ev.name = "numerics.gauss_seidel_zero_diagonal";
+        ev.num.emplace_back("row", static_cast<double>(i));
+        ev.num.emplace_back("n", static_cast<double>(n));
+        obs::emit(std::move(ev));
+      }
+      res.residual = initial_residual;
+      detail::finalize_solve(res, "gauss-seidel", a.rows(), b_norm, initial_residual,
+                             start_ns, "zero-diagonal");
+      res.diverged = true;  // after finalize_solve, which re-derives the flag
+      return res;
+    }
+  }
+
   for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
     double max_update = 0.0;
     for (index_t i = 0; i < a.rows(); ++i) {

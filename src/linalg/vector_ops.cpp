@@ -34,8 +34,14 @@ double nrm2(std::span<const double> x) noexcept {
 }
 
 double nrm_inf(std::span<const double> x) noexcept {
+  // NaN entries must poison the norm: std::max would silently drop them
+  // (NaN comparisons are false), reporting a zero "residual" for a vector
+  // of NaNs — the exact failure certification exists to catch.
   double m = 0.0;
-  for (double v : x) m = std::max(m, std::abs(v));
+  for (double v : x) {
+    const double a = std::abs(v);
+    if (a > m || std::isnan(a)) m = a;
+  }
   return m;
 }
 
@@ -51,6 +57,40 @@ double sum(std::span<const double> x) noexcept {
   return acc;
 }
 
+double sum_compensated(std::span<const double> x) noexcept {
+  // Neumaier's variant of Kahan summation: the correction also covers the
+  // case where the incoming term is larger than the running sum.
+  double acc = 0.0;
+  double comp = 0.0;
+  for (double v : x) {
+    const double t = acc + v;
+    if (std::abs(acc) >= std::abs(v)) {
+      comp += (acc - t) + v;
+    } else {
+      comp += (v - t) + acc;
+    }
+    acc = t;
+  }
+  return acc + comp;
+}
+
+double dot_compensated(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  double comp = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = x[i] * y[i];
+    const double t = acc + v;
+    if (std::abs(acc) >= std::abs(v)) {
+      comp += (acc - t) + v;
+    } else {
+      comp += (v - t) + acc;
+    }
+    acc = t;
+  }
+  return acc + comp;
+}
+
 void set_zero(std::span<double> x) noexcept {
   for (double& v : x) v = 0.0;
 }
@@ -61,8 +101,8 @@ void copy(std::span<const double> src, std::span<double> dst) noexcept {
 }
 
 double normalize_l1(std::span<double> x) noexcept {
-  const double s = sum(x);
-  if (s != 0.0) scale(1.0 / s, x);
+  const double s = sum_compensated(x);
+  if (s != 0.0 && std::isfinite(s)) scale(1.0 / s, x);
   return s;
 }
 

@@ -35,14 +35,27 @@ void scale(double a, std::span<double> x) noexcept;
 /// probability vectors.
 [[nodiscard]] double sum(std::span<const double> x) noexcept;
 
+/// Neumaier-compensated sum: exact to ~1 ulp of the result even when the
+/// entries span many orders of magnitude (Poisson weight tails, stationary
+/// vectors of stiff chains). ~2x the cost of sum(); used on certification
+/// and measure paths, not in solver inner loops.
+[[nodiscard]] double sum_compensated(std::span<const double> x) noexcept;
+
+/// Compensated dot product <x, y> (Neumaier on the product terms).
+[[nodiscard]] double dot_compensated(std::span<const double> x,
+                                     std::span<const double> y) noexcept;
+
 /// Overwrite x with zeros.
 void set_zero(std::span<double> x) noexcept;
 
 /// x = y (sizes must match).
 void copy(std::span<const double> src, std::span<double> dst) noexcept;
 
-/// Normalise x so its entries sum to one. Returns the pre-normalisation sum.
-/// If the sum is zero the vector is left untouched and 0 is returned.
+/// Normalise x so its entries sum to one (compensated sum, so mass is not
+/// lost when entries span many magnitudes). Returns the pre-normalisation
+/// sum. If the sum is zero or non-finite the vector is left untouched and
+/// the offending sum is returned — callers treating the output as a
+/// distribution must check, or certify the result downstream.
 double normalize_l1(std::span<double> x) noexcept;
 
 /// ||x - y||_inf, the max absolute componentwise difference.

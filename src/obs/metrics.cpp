@@ -369,6 +369,8 @@ std::string metrics_json(const std::string& id) {
     w.field("relative_residual", s.relative_residual);
     w.field("converged", s.converged);
     w.field("diverged", s.diverged);
+    w.field("certified", s.certified);
+    if (s.condition > 0.0) w.field("condition", s.condition);
     w.field("wall_ms", s.wall_ms);
     if (!s.attempts.empty()) w.field("attempts", s.attempts);
     if (!s.note.empty()) w.field("note", s.note);

@@ -27,6 +27,11 @@ struct SolveRecord {
   double relative_residual = 0.0;
   bool converged = false;
   bool diverged = false;
+  /// Result certification (numerics layer): true when the recomputed
+  /// residual / finiteness / probability-mass checks all passed.
+  bool certified = false;
+  /// Hager 1-norm condition estimate; 0 when the path did not compute one.
+  double condition = 0.0;
   double wall_ms = 0.0;
   std::string attempts;  ///< kAuto fallback chain, e.g. "gauss-seidel,gmres"
   std::string note;      ///< free-form (preconditioner choice, restart length)

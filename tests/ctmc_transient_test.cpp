@@ -1,12 +1,15 @@
-// Uniformization (transient analysis) against closed-form two-state chains
-// and convergence to the stationary distribution.
+// Uniformization (transient analysis) against closed-form two-state chains,
+// convergence to the stationary distribution, a dense matrix-exponential
+// differential oracle, and the large-Lambda*t underflow regression.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "ctmc/builder.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/uniformization.hpp"
+#include "linalg/dense.hpp"
 
 namespace {
 
@@ -77,6 +80,129 @@ TEST(Transient, ZeroHorizonIsIdentity) {
   const linalg::Vec pi0{0.25, 0.75};
   const auto pit = ctmc::transient_distribution(chain, pi0, 0.0);
   EXPECT_EQ(pit, pi0);
+}
+
+// Regression: Lambda*t ~ 1.6e6 in one horizon. The naive Poisson recurrence
+// starts from exp(-Lambda*dt), which underflows to 0 for Lambda*dt > ~745
+// and silently returned an all-zero "distribution"; Fox-Glynn weights keep
+// the full mass.
+TEST(Transient, HugeLambdaTKeepsProbabilityMass) {
+  const double a = 5e5, b = 3e5;
+  const auto chain = two_state(a, b);
+  const linalg::Vec pi0{1.0, 0.0};
+  const auto res = ctmc::transient_distribution_certified(chain, pi0, 2.0);
+  EXPECT_TRUE(res.certificate.ok()) << res.certificate.failed_check();
+  EXPECT_NEAR(res.pi[0] + res.pi[1], 1.0, 1e-12);
+  EXPECT_NEAR(res.pi[0], b / (a + b), 1e-8);
+}
+
+// Same regression at the single-step level: cap max_step_jumps well above
+// the exp underflow threshold so one step must absorb Lambda*dt ~ 2000.
+TEST(Transient, SingleStepBeyondExpUnderflowIsExact) {
+  const double a = 800.0, b = 1200.0;
+  const auto chain = two_state(a, b);
+  const linalg::Vec pi0{1.0, 0.0};
+  ctmc::TransientOptions opts;
+  opts.max_step_jumps = 5000.0;  // one step, q ~ 2080 > 745
+  const auto pit = ctmc::transient_distribution(chain, pi0, 1.0, opts);
+  EXPECT_NEAR(pit[0] + pit[1], 1.0, 1e-12);
+  EXPECT_NEAR(pit[0], p0_analytic(a, b, 1.0), 1e-9);
+}
+
+TEST(Transient, CertifiedResultReportsSteps) {
+  const auto chain = two_state(2.0, 5.0);
+  const linalg::Vec pi0{1.0, 0.0};
+  const auto res = ctmc::transient_distribution_certified(chain, pi0, 1.5);
+  EXPECT_TRUE(res.certificate.ok());
+  EXPECT_GE(res.steps, 1);
+  EXPECT_NEAR(res.certificate.mass_error, 0.0, 1e-12);
+}
+
+/// Dense exp(Q t) by scaling-and-squaring on a Taylor series — an oracle
+/// independent of uniformization, viable for the <= 6-state chains below.
+linalg::DenseMatrix dense_expm(const linalg::CsrMatrix& q, double t) {
+  const std::size_t n = static_cast<std::size_t>(q.rows());
+  linalg::DenseMatrix a(n, n);
+  double max_abs = 0.0;
+  for (linalg::index_t i = 0; i < q.rows(); ++i) {
+    const auto cs = q.row_cols(i);
+    const auto vs = q.row_vals(i);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(cs[k])) = vs[k] * t;
+      max_abs = std::max(max_abs, std::abs(vs[k] * t));
+    }
+  }
+  int squarings = 0;
+  while (max_abs > 0.5) {
+    max_abs /= 2.0;
+    ++squarings;
+  }
+  const double scale = std::ldexp(1.0, -squarings);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) *= scale;
+  }
+  // exp(A) = sum A^k / k! — converges fast once ||A|| <= 0.5.
+  linalg::DenseMatrix result(n, n), term(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result(i, i) = 1.0;
+    term(i, i) = 1.0;
+  }
+  for (int k = 1; k <= 40; ++k) {
+    linalg::DenseMatrix next(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t m = 0; m < n; ++m) s += term(i, m) * a(m, j);
+        next(i, j) = s / static_cast<double>(k);
+      }
+    }
+    term = next;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) result(i, j) += term(i, j);
+    }
+  }
+  for (int s = 0; s < squarings; ++s) {
+    linalg::DenseMatrix sq(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t m = 0; m < n; ++m) acc += result(i, m) * result(m, j);
+        sq(i, j) = acc;
+      }
+    }
+    result = sq;
+  }
+  return result;
+}
+
+TEST(Transient, MatchesDenseMatrixExponentialOnRandomSmallChains) {
+  std::mt19937 gen(777);
+  std::uniform_real_distribution<double> rate(0.1, 8.0);
+  std::uniform_real_distribution<double> horizon(0.05, 4.0);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 2 + static_cast<int>(gen() % 5);  // 2..6 states
+    ctmc::CtmcBuilder b;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j && (gen() % 3u) != 0u) b.add(i, j, rate(gen));
+      }
+      b.add(i, (i + 1) % n, rate(gen));  // keep it irreducible
+    }
+    const auto chain = b.build();
+    const double t = horizon(gen);
+    linalg::Vec pi0(static_cast<std::size_t>(n), 0.0);
+    pi0[gen() % static_cast<unsigned>(n)] = 1.0;
+
+    const auto pit = ctmc::transient_distribution(chain, pi0, t);
+    const auto p = dense_expm(chain.generator(), t);
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      double expected = 0.0;
+      for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+        expected += pi0[i] * p(i, j);
+      }
+      EXPECT_NEAR(pit[j], expected, 1e-10) << "trial " << trial << " state " << j;
+    }
+  }
 }
 
 }  // namespace

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "fluid/fluid_tags.hpp"
 #include "fluid/ode.hpp"
 #include "models/tags.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -119,5 +121,41 @@ TEST(FluidTags, HighLoadSaturatesBelowBuffers) {
   EXPECT_LE(fluid.mean_q1, p.k1 + 1e-6);
   EXPECT_GE(fluid.mean_q1, 0.8 * p.k1);  // node 1 should be nearly full
 }
+
+// Regression: when t_end - t is below one ulp of t, t += h is a no-op and
+// the stepper used to spin forever. At t ~ 1e16 the ulp is 2.0, so no step
+// the controller can take (max_dt = 1.0 here) ever advances t.
+TEST(Rkf45, TerminatesWhenStepFallsBelowUlpOfT) {
+  const OdeRhs f = [](double, const Vec& y, Vec& dy) { dy[0] = -y[0]; };
+#if TAGS_OBS_ENABLED
+  tags::obs::Counter stalls("numerics.rkf45.stall_terminations");
+  const std::uint64_t before = stalls.value();
+#endif
+  const double t0 = 1e16;
+  const double t_end = std::nextafter(std::nextafter(t0, 2e16), 2e16);
+  ASSERT_GT(t_end, t0);  // a real, positive gap — just unreachable by stepping
+  const Vec y = rkf45_integrate(f, {1.0}, t0, t_end, {.dt = 0.5});
+  EXPECT_TRUE(std::isfinite(y[0]));
+#if TAGS_OBS_ENABLED
+  EXPECT_GE(stalls.value(), before + 1);
+#endif
+}
+
+#if TAGS_OBS_ENABLED
+// Forced acceptance at the min_dt floor loses error control; every such
+// step must be counted so stiff runs are auditable after the fact.
+TEST(Rkf45, CountsForcedMinDtStepsWithErrorAboveOne) {
+  const OdeRhs f = [](double, const Vec& y, Vec& dy) { dy[0] = -1e6 * y[0]; };
+  tags::obs::Counter forced("numerics.rkf45.forced_min_dt_steps");
+  const std::uint64_t before = forced.value();
+  OdeOptions opts;
+  opts.dt = 0.1;
+  opts.min_dt = 0.1;  // far too coarse for the stiffness: err > 1 every step
+  opts.max_dt = 0.1;
+  const Vec y = rkf45_integrate(f, {1.0}, 0.0, 0.5, opts);
+  (void)y;  // the trajectory is garbage by construction; the count is the point
+  EXPECT_GE(forced.value(), before + 1);
+}
+#endif
 
 }  // namespace

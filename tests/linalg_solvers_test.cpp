@@ -3,6 +3,7 @@
 // systems that defeat simple relaxation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 #include <tuple>
 
@@ -135,6 +136,41 @@ TEST(SolverEdge, MethodNamesRoundTrip) {
   EXPECT_EQ(to_string(IterativeMethod::kGaussSeidel), "gauss-seidel");
   EXPECT_EQ(to_string(IterativeMethod::kGmres), "gmres");
   EXPECT_EQ(to_string(IterativeMethod::kBicgstab), "bicgstab");
+}
+
+// Regression: a structural zero on the diagonal used to make the sweep
+// divide by zero and return a vector of inf/NaN with diverged unset.
+TEST(SolverEdge, GaussSeidelBailsOnStructuralZeroDiagonal) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 1, 1.0);  // row 0 has no diagonal entry at all
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 2.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Vec b{1.0, 1.0};
+  Vec x{0.5, 0.5};
+  const Vec x_before = x;
+  const SolveResult r = gauss_seidel(a, b, x, {});
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.diverged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(x, x_before);  // bailed before poisoning the iterate
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+// An explicit zero stored on the diagonal must trip the same guard as a
+// missing entry.
+TEST(SolverEdge, GaussSeidelBailsOnExplicitZeroDiagonal) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 0.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(1, 1, 2.0);
+  const CsrMatrix a = CsrMatrix::from_coo(coo);
+  Vec b{1.0, 1.0};
+  Vec x(2, 0.0);
+  const SolveResult r = gauss_seidel(a, b, x, {});
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.diverged);
 }
 
 }  // namespace

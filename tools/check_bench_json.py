@@ -24,7 +24,8 @@ problem. The schema (see README "Observability"):
                           "p90": num, "p99": num}},
     "solves": [{"context": str, "method": str, "n": int, "iterations": int,
                 "residual": num, "relative_residual": num, "converged": bool,
-                "diverged": bool, "wall_ms": num, ...}],
+                "diverged": bool, "certified": bool, "wall_ms": num,
+                "condition": num?, ...}],
     "solves_dropped": int,
   }
 
@@ -108,6 +109,7 @@ def check(path, required_gauges=()):
         ("relative_residual", (NUMBER, type(None))),
         ("converged", bool),
         ("diverged", bool),
+        ("certified", bool),
         ("wall_ms", NUMBER),
     )
     for i, rec in enumerate(solves or []):
@@ -121,6 +123,11 @@ def check(path, required_gauges=()):
                 err(f"solves[{i}] field '{key}' wrong type")
             elif not isinstance(rec[key], types):
                 err(f"solves[{i}] field '{key}' wrong type")
+        # Optional: condition estimate, present only on dense-LU solves
+        # (null when the estimate overflowed to a non-finite value).
+        cond = rec.get("condition")
+        if cond is not None and (not isinstance(cond, NUMBER) or isinstance(cond, bool)):
+            err(f"solves[{i}] field 'condition' wrong type")
 
     if doc.get("obs_level", -1) >= 0:
         for spec in required_gauges:
