@@ -59,6 +59,40 @@ void BM_CsrFromCoo(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrFromCoo)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_CsrFromDense(benchmark::State& state) {
+  // from_dense pre-counts the nonzeros and reserves the COO staging buffer
+  // in one shot — this curve is the assembly-cost datapoint for that path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 gen(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  linalg::DenseMatrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned k = 0; k < 8; ++k) dense(i, pick(gen)) = dist(gen);
+  }
+  for (auto _ : state) {
+    auto csr = linalg::CsrMatrix::from_dense(dense);
+    benchmark::DoNotOptimize(csr.nnz());
+  }
+}
+BENCHMARK(BM_CsrFromDense)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_SpmvTransposeCached(benchmark::State& state) {
+  // Steady-state inner loop shape: repeated y = A^T x. The first call
+  // builds the explicit transpose; every following call is a row-parallel
+  // gather on the cached pattern.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_sparse(n, 6, 42);
+  linalg::Vec x(n, 1.0), y(n);
+  for (auto _ : state) {
+    a.multiply_transpose(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvTransposeCached)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
 void BM_DenseLuSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::mt19937 gen(3);

@@ -1,19 +1,44 @@
-// Steady-state solver comparison on real TAGS chains of growing size
-// (google-benchmark). Complements the linalg microbenchmarks with the
-// whole-pipeline cost the figure benches actually pay.
+// Steady-state solver comparison on real TAGS chains of growing size,
+// plus the structure-aware fast-path report.
 //
-// Finding (also visible here): Gauss-Seidel sweeps are the dependable
-// workhorse for these balance systems; restarted GMRES — even with a D+L
-// preconditioner — needs far more work and can stall, which is why kAuto
-// prefers Gauss-Seidel (consistent with the CTMC literature).
+// Like micro_sweep this binary has its own main: before the
+// google-benchmark suite it solves the largest deep/narrow TAGS and H2
+// configurations twice — through the level/QBD direct solver and through
+// the generic kAuto chain with the structured path disabled — and records
+// the speedup, certification verdicts, transpose-cache traffic, and a
+// thread-count determinism cross-check into gauges written to
+// results/micro_solvers_telemetry.json (pinned by the ctest fixture via
+// tools/check_bench_json.py --require-gauge). `--solvers-report-only`
+// skips the google-benchmark suite.
+//
+// Findings (visible in the report): on the deep/narrow chains the paper
+// sweeps (fig06/fig09 at large K1 with small K2), block elimination on the
+// BFS level structure beats the generic chain by 3-5x; on square chains
+// the widest level approaches sqrt(n) and the O(m^2)-per-state cost loses,
+// which is exactly what the detector's profitability gate encodes.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_util.hpp"
+#include "ctmc/qbd.hpp"
 #include "ctmc/steady_state.hpp"
 #include "models/tags.hpp"
+#include "models/tags_h2.hpp"
 
 namespace {
 
 using namespace tags;
+using clock_type = std::chrono::steady_clock;
 
 models::TagsParams sized_params(unsigned k) {
   models::TagsParams p;
@@ -24,6 +49,159 @@ models::TagsParams sized_params(unsigned k) {
   p.k1 = p.k2 = k;
   return p;
 }
+
+double time_solve_ms(const linalg::CsrMatrix& q, const ctmc::SteadyStateOptions& opts,
+                     ctmc::SteadyStateResult& out) {
+  // Best of three: the first solve also pays the transpose-cache build and
+  // allocator warmup, which is real but not what the comparison measures.
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock_type::now();
+    auto r = ctmc::steady_state(q, opts);
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+    out = std::move(r);
+  }
+  return best;
+}
+
+struct FastPathComparison {
+  double speedup = 0.0;
+  bool structured_used = false;
+  bool certified = false;
+  double max_diff = 0.0;
+};
+
+/// Structured (level-QBD via kAuto) vs the generic chain on one generator.
+FastPathComparison compare_fast_path(const char* label, const linalg::CsrMatrix& q) {
+  ctmc::SteadyStateResult structured, generic;
+  const double structured_ms = time_solve_ms(q, {}, structured);
+  ctmc::SteadyStateOptions off;
+  off.structured = false;
+  const double generic_ms = time_solve_ms(q, off, generic);
+
+  FastPathComparison c;
+  c.structured_used =
+      structured.method_used == ctmc::SteadyStateMethod::kLevelQbd;
+  c.certified = structured.certificate.ok() && generic.certificate.ok();
+  c.speedup = structured_ms > 0.0 ? generic_ms / structured_ms : 0.0;
+  if (structured.converged && generic.converged) {
+    c.max_diff = linalg::max_abs_diff(structured.pi, generic.pi);
+  }
+  const auto s = ctmc::detect_qbd(q);
+  std::printf("%-24s n=%6lld max_block=%4lld: structured(%s) %8.2f ms, "
+              "generic(%s) %8.2f ms, speedup %.2fx, certified %s, "
+              "max|dpi|=%.1e\n",
+              label, static_cast<long long>(q.rows()),
+              static_cast<long long>(s.max_block),
+              std::string(ctmc::to_string(structured.method_used)).c_str(),
+              structured_ms,
+              std::string(ctmc::to_string(generic.method_used)).c_str(),
+              generic_ms, c.speedup, c.certified ? "yes" : "NO", c.max_diff);
+  return c;
+}
+
+/// Same chain solved at 1 and 2 OpenMP threads must be byte-identical —
+/// the parallel-kernel determinism contract, checked on the real solver.
+bool thread_determinism_check(const linalg::CsrMatrix& q) {
+#ifdef _OPENMP
+  const int prev = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const auto serial = ctmc::steady_state(q, {});
+#ifdef _OPENMP
+  omp_set_num_threads(2);
+#endif
+  const auto parallel = ctmc::steady_state(q, {});
+#ifdef _OPENMP
+  omp_set_num_threads(prev);
+#endif
+  const bool identical =
+      serial.pi.size() == parallel.pi.size() &&
+      std::memcmp(serial.pi.data(), parallel.pi.data(),
+                  serial.pi.size() * sizeof(double)) == 0;
+  std::printf("1-thread vs 2-thread pi bit-identical: %s\n",
+              identical ? "yes" : "NO");
+  return identical;
+}
+
+int run_solvers_report() {
+  // The paper's sweeps at scale: deep K1 with shallow K2 (fig06/fig09
+  // shapes pushed to their largest sizes) — narrow levels, gate-admitted.
+  models::TagsParams tp;
+  tp.k1 = 256;
+  tp.k2 = 2;
+  const models::TagsModel tags_model(tp);
+  const linalg::CsrMatrix& tags_q = tags_model.chain().generator();
+
+  models::TagsH2Params hp;
+  hp.k1 = 128;
+  hp.k2 = 1;
+  const models::TagsH2Model h2_model(hp);
+  const linalg::CsrMatrix& h2_q = h2_model.chain().generator();
+
+#if TAGS_OBS_ENABLED
+  obs::Counter cache_hits("numerics.transpose_cache.hits");
+  obs::Counter cache_misses("numerics.transpose_cache.misses");
+  const std::uint64_t hits_before = cache_hits.value();
+  const std::uint64_t misses_before = cache_misses.value();
+#endif
+
+  const auto tags_cmp = compare_fast_path("tags k1=256 k2=2", tags_q);
+  const auto h2_cmp = compare_fast_path("h2 k1=128 k2=1", h2_q);
+
+  // A square chain for contrast: the gate declines it and kAuto stays on
+  // the generic chain (structured_solver_used only counts the winners).
+  const models::TagsModel square_model(sized_params(10));
+  ctmc::SteadyStateResult square;
+  (void)time_solve_ms(square_model.chain().generator(), {}, square);
+  const bool square_declined =
+      square.method_used != ctmc::SteadyStateMethod::kLevelQbd;
+  std::printf("%-24s n=%6lld: gate declines, generic chain used: %s\n",
+              "tags k=10 (square)",
+              static_cast<long long>(square_model.n_states()),
+              square_declined ? "yes" : "NO");
+
+#if TAGS_OBS_ENABLED
+  const double hit_delta = static_cast<double>(cache_hits.value() - hits_before);
+  const double miss_delta =
+      static_cast<double>(cache_misses.value() - misses_before);
+#else
+  const double hit_delta = 0.0, miss_delta = 0.0;
+#endif
+  std::printf("transpose cache during report: %g hits, %g builds\n", hit_delta,
+              miss_delta);
+
+  const bool identical = thread_determinism_check(tags_q);
+
+  const bool structured_used = tags_cmp.structured_used && h2_cmp.structured_used;
+  const bool all_certified = tags_cmp.certified && h2_cmp.certified &&
+                             square.certificate.ok();
+
+  obs::gauge_set("bench.micro_solvers.structured_solver_used",
+                 structured_used ? 1.0 : 0.0);
+  obs::gauge_set("bench.micro_solvers.structured_declined_square",
+                 square_declined ? 1.0 : 0.0);
+  obs::gauge_set("bench.micro_solvers.speedup_tags", tags_cmp.speedup);
+  obs::gauge_set("bench.micro_solvers.speedup_h2", h2_cmp.speedup);
+  obs::gauge_set("bench.micro_solvers.all_solves_certified",
+                 all_certified ? 1.0 : 0.0);
+  obs::gauge_set("bench.micro_solvers.parallel_identical", identical ? 1.0 : 0.0);
+  obs::gauge_set("bench.micro_solvers.transpose_cache_hits", hit_delta);
+  obs::gauge_set("bench.micro_solvers.transpose_cache_misses", miss_delta);
+  tags::bench::emit_telemetry("micro_solvers");
+  return structured_used && square_declined && all_certified && identical ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark solver curves
+// ---------------------------------------------------------------------------
+//
+// Finding (also visible here): Gauss-Seidel sweeps are the dependable
+// workhorse for these balance systems; restarted GMRES — even with a D+L
+// preconditioner — needs far more work and can stall, which is why kAuto
+// prefers Gauss-Seidel (consistent with the CTMC literature).
 
 void run_method(benchmark::State& state, ctmc::SteadyStateMethod method,
                 int max_iter) {
@@ -56,10 +234,14 @@ void BM_SteadyGmres(benchmark::State& state) {
 void BM_SteadyDenseLu(benchmark::State& state) {
   run_method(state, ctmc::SteadyStateMethod::kDenseLu, 1);
 }
+void BM_SteadyLevelQbd(benchmark::State& state) {
+  run_method(state, ctmc::SteadyStateMethod::kLevelQbd, 1);
+}
 
 BENCHMARK(BM_SteadyGaussSeidel)->Arg(4)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SteadyGmres)->Arg(4)->Arg(10)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SteadyDenseLu)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SteadyLevelQbd)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
 
 // Warm-start benefit: solve at t, then at t + 1 from the previous solution.
 void BM_WarmStartedResolve(benchmark::State& state) {
@@ -79,3 +261,24 @@ void BM_WarmStartedResolve(benchmark::State& state) {
 BENCHMARK(BM_WarmStartedResolve)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool report_only = false;
+  // Consume our own flag so google-benchmark does not reject it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--solvers-report-only") == 0) {
+      report_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  const int rc = run_solvers_report();
+  if (report_only) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

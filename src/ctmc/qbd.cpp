@@ -1,0 +1,161 @@
+#include "ctmc/qbd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "linalg/lu.hpp"
+#include "obs/obs.hpp"
+
+namespace tags::ctmc {
+
+using linalg::CsrMatrix;
+using linalg::DenseMatrix;
+using linalg::index_t;
+using linalg::Vec;
+
+QbdStructure detect_qbd(const CsrMatrix& q, const QbdOptions& opts) {
+  const obs::ScopedTimer timer("ctmc/qbd_detect");
+  QbdStructure s;
+  s.levels = linalg::bfs_levels(q);
+  s.max_block = s.levels.max_block();
+  for (std::size_t l = 0; l < s.levels.levels(); ++l) {
+    const std::size_t m = static_cast<std::size_t>(s.levels.level_ptr[l + 1] -
+                                                   s.levels.level_ptr[l]);
+    s.factor_doubles += m * m;
+  }
+  // Undirected BFS levels differ by at most one across any edge, so the
+  // permuted matrix is block tridiagonal exactly when every state was
+  // reached (the solver still re-checks edge by edge, defensively).
+  s.block_tridiagonal = s.levels.connected && q.rows() > 0;
+  const index_t gate = opts.max_block > 0 ? opts.max_block : QbdOptions{}.max_block;
+  s.profitable = s.block_tridiagonal && s.max_block <= gate &&
+                 s.factor_doubles <= opts.max_factor_doubles;
+  return s;
+}
+
+namespace {
+
+struct Trip {
+  index_t r, c;
+  double v;
+};
+
+}  // namespace
+
+bool qbd_steady_state(const CsrMatrix& q, const QbdStructure& s, Vec& pi_out) {
+  const obs::ScopedTimer timer("ctmc/qbd_solve");
+  if (!s.block_tridiagonal) return false;
+  const linalg::LevelDecomposition& L = s.levels;
+  const index_t n = q.rows();
+  if (n == 0 || L.perm.order.size() != static_cast<std::size_t>(n)) return false;
+  const std::size_t nlev = L.levels();
+  const std::vector<index_t> pos = L.perm.inverse();
+  const auto bs = [&](std::size_t l) {
+    return static_cast<std::size_t>(L.level_ptr[l + 1] - L.level_ptr[l]);
+  };
+
+  // Split the generator into per-level triplet blocks in local coordinates:
+  // A[l] within level l, B[l] level l -> l+1, C[l] level l -> l-1.
+  std::vector<std::vector<Trip>> A(nlev), B(nlev), C(nlev);
+  for (index_t u = 0; u < n; ++u) {
+    const int l = L.level_of[static_cast<std::size_t>(u)];
+    const index_t lr = pos[static_cast<std::size_t>(u)] - L.level_ptr[static_cast<std::size_t>(l)];
+    const auto cs = q.row_cols(u);
+    const auto vs = q.row_vals(u);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const int lc = L.level_of[static_cast<std::size_t>(cs[k])];
+      const index_t cc =
+          pos[static_cast<std::size_t>(cs[k])] - L.level_ptr[static_cast<std::size_t>(lc)];
+      if (lc == l) {
+        A[static_cast<std::size_t>(l)].push_back({lr, cc, vs[k]});
+      } else if (lc == l + 1) {
+        B[static_cast<std::size_t>(l)].push_back({lr, cc, vs[k]});
+      } else if (lc == l - 1) {
+        C[static_cast<std::size_t>(l)].push_back({lr, cc, vs[k]});
+      } else {
+        return false;  // an edge skips a level: not block tridiagonal
+      }
+    }
+  }
+
+  // Backward sweep: S_l = A_l - B_l X_{l+1} with X_l = S_l^{-1} C_l. The
+  // LU of every S_l (l >= 1) is kept for the forward substitution; only
+  // the current X survives the loop.
+  std::vector<linalg::LuFactorization> facts(nlev);
+  DenseMatrix x_next;  // X_{l+1} while processing level l
+  std::vector<index_t> nzcols;
+  for (std::size_t l = nlev; l-- > 0;) {
+    const std::size_t m = bs(l);
+    DenseMatrix sl(m, m);
+    for (const Trip& t : A[l])
+      sl(static_cast<std::size_t>(t.r), static_cast<std::size_t>(t.c)) += t.v;
+    if (l + 1 < nlev) {
+      for (const Trip& t : B[l]) {
+        const auto srow = sl.row(static_cast<std::size_t>(t.r));
+        const auto xrow = x_next.row(static_cast<std::size_t>(t.c));
+        for (std::size_t j = 0; j < m; ++j) srow[j] -= t.v * xrow[j];
+      }
+    }
+    if (l == 0) {
+      // pi_0 S_0 = 0 with one equation traded for sum(pi_0) = 1:
+      // solve M x = e_last where M = S_0^T with its last row set to ones.
+      DenseMatrix mt(m, m);
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j) mt(j, i) = sl(i, j);
+      for (std::size_t j = 0; j < m; ++j) mt(m - 1, j) = 1.0;
+      facts[0] = linalg::lu_factor(std::move(mt));
+      if (facts[0].singular()) return false;
+      break;
+    }
+    facts[l] = linalg::lu_factor(std::move(sl));
+    if (facts[l].singular()) return false;
+    // X_l = S_l^{-1} C_l, solved only for the nonzero columns of C_l,
+    // packed dense so the multi-RHS substitution vectorises across them.
+    const std::size_t mprev = bs(l - 1);
+    nzcols.assign(mprev, -1);
+    index_t nnz_cols = 0;
+    for (const Trip& t : C[l]) {
+      if (nzcols[static_cast<std::size_t>(t.c)] < 0) nzcols[static_cast<std::size_t>(t.c)] = nnz_cols++;
+    }
+    DenseMatrix packed(m, static_cast<std::size_t>(nnz_cols));
+    for (const Trip& t : C[l])
+      packed(static_cast<std::size_t>(t.r),
+             static_cast<std::size_t>(nzcols[static_cast<std::size_t>(t.c)])) += t.v;
+    facts[l].solve_in_place_multi(packed);
+    DenseMatrix x(m, mprev);
+    for (std::size_t j = 0; j < mprev; ++j) {
+      if (nzcols[j] < 0) continue;
+      const std::size_t pj = static_cast<std::size_t>(nzcols[j]);
+      for (std::size_t i = 0; i < m; ++i) x(i, j) = packed(i, pj);
+    }
+    x_next = std::move(x);
+  }
+
+  const std::size_t m0 = bs(0);
+  Vec rhs(m0, 0.0);
+  rhs[m0 - 1] = 1.0;
+  Vec pil = facts[0].solve(rhs);
+
+  // Forward: pi_{l+1} = -pi_l B_l S_{l+1}^{-1}, i.e. solve
+  // S_{l+1}^T z = -(B_l^T pi_l).
+  Vec pi(static_cast<std::size_t>(n), 0.0);
+  const auto scatter = [&](std::size_t l, const Vec& block) {
+    for (std::size_t i = 0; i < block.size(); ++i)
+      pi[static_cast<std::size_t>(
+          L.perm.order[static_cast<std::size_t>(L.level_ptr[l]) + i])] = block[i];
+  };
+  scatter(0, pil);
+  for (std::size_t l = 0; l + 1 < nlev; ++l) {
+    Vec w(bs(l + 1), 0.0);
+    for (const Trip& t : B[l])
+      w[static_cast<std::size_t>(t.c)] -= t.v * pil[static_cast<std::size_t>(t.r)];
+    pil = facts[l + 1].solve_transpose(w);
+    scatter(l + 1, pil);
+  }
+  for (double& v : pi) v = std::max(v, 0.0);
+  if (linalg::normalize_l1(pi) <= 0.0) return false;
+  pi_out = std::move(pi);
+  return true;
+}
+
+}  // namespace tags::ctmc

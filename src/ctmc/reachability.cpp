@@ -40,7 +40,7 @@ bool is_irreducible(const linalg::CsrMatrix& q) {
   if (q.rows() == 0) return false;
   // Strong connectivity == BFS from state 0 covers all states in both the
   // forward and the reverse graph.
-  return bfs_covers_all(q, 0) && bfs_covers_all(q.transposed(), 0);
+  return bfs_covers_all(q, 0) && bfs_covers_all(q.transpose_cache(), 0);
 }
 
 bool is_irreducible(const Ctmc& chain) {

@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
+#include "ctmc/qbd.hpp"
 #include "linalg/lu.hpp"
+#include "linalg/reorder.hpp"
 #include "obs/obs.hpp"
 
 namespace tags::ctmc {
@@ -15,6 +18,7 @@ std::string_view to_string(SteadyStateMethod m) noexcept {
     case SteadyStateMethod::kGaussSeidel: return "gauss-seidel";
     case SteadyStateMethod::kPower: return "power";
     case SteadyStateMethod::kGmres: return "gmres";
+    case SteadyStateMethod::kLevelQbd: return "level-qbd";
   }
   return "unknown";
 }
@@ -142,7 +146,7 @@ SteadyStateResult solve_dense_lu(const System& sys, const SteadyStateOptions& op
   for (double& v : res.pi) v = std::max(v, 0.0);
   linalg::normalize_l1(res.pi);
   Vec scratch(n);
-  const CsrMatrix qt = q.transposed();
+  const CsrMatrix& qt = q.transpose_cache();
   res.residual = balance_residual(qt, res.pi, scratch);
   res.converged = std::isfinite(res.residual) &&
                   res.residual <= 1e-6 * std::max(1.0, sys.max_exit);
@@ -157,7 +161,7 @@ SteadyStateResult solve_gauss_seidel(const System& sys, const SteadyStateOptions
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGaussSeidel;
   const std::size_t n = static_cast<std::size_t>(sys.n());
-  const CsrMatrix qt = sys.q.transposed();
+  const CsrMatrix& qt = sys.q.transpose_cache();
   const Vec& exit = sys.exit;
   // Residuals of pi*Q scale with the transition rates; make the tolerance
   // relative so stiff chains (huge timer rates) converge sensibly.
@@ -203,7 +207,7 @@ SteadyStateResult solve_power(const System& sys, const SteadyStateOptions& opts)
   res.method_used = SteadyStateMethod::kPower;
   const std::size_t n = static_cast<std::size_t>(sys.n());
   const CsrMatrix& q = sys.q;
-  const CsrMatrix qt = q.transposed();
+  const CsrMatrix& qt = q.transpose_cache();
   // Strictly greater than the max exit rate so the DTMC is aperiodic.
   const double lambda = sys.max_exit * 1.05 + 1e-12;
   const double tol = opts.tol * std::max(1.0, sys.max_exit);
@@ -279,11 +283,37 @@ SteadyStateResult solve_gmres(const System& sys, const SteadyStateOptions& opts)
   for (double& v : x) v = std::max(v, 0.0);
   linalg::normalize_l1(x);
   Vec scratch(n);
-  const CsrMatrix qt = q.transposed();
+  const CsrMatrix& qt = q.transpose_cache();
   res.residual = balance_residual(qt, x, scratch);
   res.converged = res.residual <= tol * 10.0;  // allow slack vs linear tol
   res.pi = std::move(x);
   certify_result(res, qt, sys, opts);
+  note_attempt(res);
+  return res;
+}
+
+/// Direct solve on the generator's BFS level (QBD) structure. Exact like
+/// dense LU but with per-level dense blocks, so cost scales with the level
+/// width, not the chain size. A structural failure (edge skipping a level,
+/// singular Schur complement) yields an unconverged result with an
+/// infinite residual — the kAuto chain treats it like any divergence.
+SteadyStateResult solve_level_qbd(const System& sys, const SteadyStateOptions& opts,
+                                  const QbdStructure& structure) {
+  const obs::ScopedTimer timer("level-qbd");
+  SteadyStateResult res;
+  res.method_used = SteadyStateMethod::kLevelQbd;
+  res.residual = std::numeric_limits<double>::infinity();
+  Vec pi;
+  if (structure.usable() && qbd_steady_state(sys.q, structure, pi)) {
+    res.pi = std::move(pi);
+    Vec scratch(res.pi.size());
+    const CsrMatrix& qt = sys.q.transpose_cache();
+    res.residual = balance_residual(qt, res.pi, scratch);
+    res.converged = std::isfinite(res.residual) &&
+                    res.residual <= 1e-6 * std::max(1.0, sys.max_exit);
+    res.iterations = 1;
+    certify_result(res, qt, sys, opts);
+  }
   note_attempt(res);
   return res;
 }
@@ -294,6 +324,14 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
     case SteadyStateMethod::kGaussSeidel: return solve_gauss_seidel(sys, opts);
     case SteadyStateMethod::kPower: return solve_power(sys, opts);
     case SteadyStateMethod::kGmres: return solve_gmres(sys, opts);
+    case SteadyStateMethod::kLevelQbd: {
+      // Explicit request: the profitability gate is the caller's problem;
+      // only the structural requirement (connected block tridiagonal) and
+      // the memory cap still apply.
+      QbdOptions qo;
+      qo.max_block = opts.structured_max_block > 0 ? opts.structured_max_block : sys.n();
+      return solve_level_qbd(sys, opts, detect_qbd(sys.q, qo));
+    }
     case SteadyStateMethod::kAuto: break;
   }
   // The kAuto chain escalates on the *certificate*, not on the raw residual
@@ -306,6 +344,32 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
     r.attempts = std::move(chain_attempts);
     return r;
   };
+  // Structured fast path: when the generator is level-structured with
+  // levels narrow enough to pay off, the block-tridiagonal direct solver
+  // goes first. Its result is certified like every other attempt, so a
+  // misdetection (or a surprise singular block) degrades to the generic
+  // chain below rather than returning a wrong answer.
+  if (opts.structured) {
+    QbdOptions qo;
+    qo.max_block = opts.structured_max_block;
+    const QbdStructure structure = detect_qbd(sys.q, qo);
+    if (structure.usable()) {
+      SteadyStateResult res = solve_level_qbd(sys, opts, structure);
+      if (accepted(res, opts)) {
+        obs::count("ctmc.steady_state.structured.used");
+        return finish(std::move(res));
+      }
+      obs::count("ctmc.steady_state.structured.fallthrough");
+      trace_fallback(SteadyStateMethod::kLevelQbd,
+                     sys.n() <= 1200 ? SteadyStateMethod::kDenseLu
+                                     : SteadyStateMethod::kGaussSeidel,
+                     res.residual, fallback_reason(res));
+      chain_attempts.insert(chain_attempts.end(), res.attempts.begin(),
+                            res.attempts.end());
+    } else {
+      obs::count("ctmc.steady_state.structured.declined");
+    }
+  }
   if (sys.n() <= 1200) {
     SteadyStateResult res = solve_dense_lu(sys, opts);
     if (accepted(res, opts)) return finish(std::move(res));
@@ -353,6 +417,31 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
 
 SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOptions& opts) {
   assert(q.rows() > 0 && q.rows() == q.cols());
+  // PermutedSolve wrapper: solve P·Q·Pᵀ and carry π back. The certificate
+  // is computed on the permuted system, which is equivalent — residual
+  // inf-norms and probability mass are permutation-invariant.
+  if (opts.reorder == SteadyStateReorder::kRcm) {
+    const linalg::Permutation p = linalg::rcm_order(q);
+    if (!p.is_identity()) {
+      obs::count("ctmc.steady_state.permuted_solves");
+      const linalg::CsrMatrix qp = linalg::permute_symmetric(q, p);
+      SteadyStateOptions inner = opts;
+      inner.reorder = SteadyStateReorder::kNone;
+      if (inner.initial_guess &&
+          inner.initial_guess->size() == static_cast<std::size_t>(q.rows())) {
+        Vec guess(inner.initial_guess->size());
+        linalg::permute_vector(p, *inner.initial_guess, guess);
+        inner.initial_guess = std::move(guess);
+      }
+      SteadyStateResult res = steady_state(qp, inner);
+      if (res.pi.size() == p.size()) {
+        Vec orig(res.pi.size());
+        linalg::unpermute_vector(p, res.pi, orig);
+        res.pi = std::move(orig);
+      }
+      return res;
+    }
+  }
   const obs::ScopedTimer timer("ctmc/steady_state");
   const std::uint64_t start_ns = obs::now_ns();
   if (opts.initial_guess) {

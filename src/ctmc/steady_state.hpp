@@ -10,8 +10,16 @@
 //                   P = I + Q/Lambda; slowest but unconditionally stable.
 //  * kGmres       — restarted GMRES on the normalised system; robust when
 //                   Gauss-Seidel stalls.
-//  * kAuto        — LU for small chains, otherwise Gauss-Seidel with a
+//  * kLevelQbd    — block-tridiagonal direct solve on the BFS level (QBD)
+//                   structure of the generator (see ctmc/qbd.hpp); exact in
+//                   one pass when the chain is level-structured with narrow
+//                   levels, declined otherwise.
+//  * kAuto        — level-QBD when detection and its cost gate succeed,
+//                   then LU for small chains, otherwise Gauss-Seidel with a
 //                   GMRES fallback, then power iteration as a last resort.
+//                   Escalation is certificate-driven: a structured result
+//                   that fails the independent check falls through to the
+//                   generic chain.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +33,15 @@
 
 namespace tags::ctmc {
 
-enum class SteadyStateMethod { kAuto, kDenseLu, kGaussSeidel, kPower, kGmres };
+enum class SteadyStateMethod { kAuto, kDenseLu, kGaussSeidel, kPower, kGmres, kLevelQbd };
 
 [[nodiscard]] std::string_view to_string(SteadyStateMethod m) noexcept;
+
+/// Symmetric reordering applied around a solve (PermutedSolve): the system
+/// P·Q·Pᵀ is solved and π unpermuted. kRcm shrinks bandwidth for the
+/// iterative methods' cache locality; it is bandwidth-guarded (falls back
+/// to the natural order when it would not help), so it is never worse.
+enum class SteadyStateReorder { kNone, kRcm };
 
 struct SteadyStateOptions {
   SteadyStateMethod method = SteadyStateMethod::kAuto;
@@ -36,6 +50,18 @@ struct SteadyStateOptions {
   /// Warm start (e.g. the solution at a nearby parameter point). Must have
   /// n_states entries; it is normalised internally.
   std::optional<linalg::Vec> initial_guess;
+  /// Let kAuto try the structured (level/QBD) direct solver first when the
+  /// detector finds narrow block-tridiagonal structure. Misdetection is
+  /// safe — every structured result must pass certification or the chain
+  /// falls through — so this is on by default.
+  bool structured = true;
+  /// Override for the detector's profitability gate (largest admissible
+  /// level size); 0 keeps the built-in default. An explicit kLevelQbd
+  /// request ignores the gate entirely.
+  linalg::index_t structured_max_block = 0;
+  /// Reordering for the solve (see SteadyStateReorder). Off by default:
+  /// the structured path carries its own level permutation internally.
+  SteadyStateReorder reorder = SteadyStateReorder::kNone;
   /// Stamp every attempt with a certificate (true-residual recompute,
   /// non-finite guard, probability-mass check, condition estimate on the
   /// dense-LU path). kAuto escalates on certification failure, not just on
@@ -67,7 +93,7 @@ struct SteadyStateResult {
   linalg::Certificate certificate;
   /// Every method attempted, in order; the last entry is method_used.
   /// A single-method request yields one entry; kAuto records its whole
-  /// fallback chain (LU, Gauss-Seidel, GMRES, power iteration).
+  /// fallback chain (level-QBD, LU, Gauss-Seidel, GMRES, power iteration).
   std::vector<SteadyStateAttempt> attempts;
 };
 

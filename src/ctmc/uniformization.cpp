@@ -18,7 +18,7 @@ using linalg::Vec;
 
 /// Pt = (I + Q/lambda)^T so that row-vector iteration is a plain SpMV.
 CsrMatrix uniformized_transposed(const Ctmc& chain, double lambda) {
-  const CsrMatrix qt = chain.generator().transposed();
+  const CsrMatrix& qt = chain.generator().transpose_cache();
   linalg::CooMatrix coo(qt.rows(), qt.cols());
   for (index_t i = 0; i < qt.rows(); ++i) {
     const auto cs = qt.row_cols(i);

@@ -3,8 +3,69 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "obs/obs.hpp"
 
 namespace tags::linalg {
+
+/// Explicit transpose plus the gather permutation that maps each transposed
+/// entry back to its source slot in the parent's value array. The parent's
+/// sparsity pattern is frozen once built (rate rebinding rewrites values
+/// only), so invalidation just flips `fresh` and the next reader refreshes
+/// values through `src` without touching structure.
+struct CsrMatrix::TransposeCache {
+  CsrMatrix t;                    // the transpose, rows sorted by column
+  std::vector<std::size_t> src;   // t.val_[k] == parent.val_[src[k]]
+  std::mutex refresh_mu;          // serialises the value refresh
+  std::atomic<bool> fresh{true};  // false after a rebind, until refreshed
+};
+
+CsrMatrix::CsrMatrix(const CsrMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(other.row_ptr_),
+      col_(other.col_),
+      val_(other.val_) {}
+
+CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = other.row_ptr_;
+  col_ = other.col_;
+  val_ = other.val_;
+  delete tcache_.exchange(nullptr, std::memory_order_acq_rel);
+  return *this;
+}
+
+CsrMatrix::CsrMatrix(CsrMatrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(std::move(other.row_ptr_)),
+      col_(std::move(other.col_)),
+      val_(std::move(other.val_)),
+      tcache_(other.tcache_.exchange(nullptr, std::memory_order_acq_rel)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = std::move(other.row_ptr_);
+  col_ = std::move(other.col_);
+  val_ = std::move(other.val_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  delete tcache_.exchange(other.tcache_.exchange(nullptr, std::memory_order_acq_rel),
+                          std::memory_order_acq_rel);
+  return *this;
+}
+
+CsrMatrix::~CsrMatrix() { delete tcache_.load(std::memory_order_acquire); }
 
 CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
   CsrMatrix m;
@@ -59,6 +120,9 @@ CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
 
 CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense) {
   CooMatrix coo(static_cast<index_t>(dense.rows()), static_cast<index_t>(dense.cols()));
+  std::size_t nnz = 0;
+  for (const double v : dense.data()) nnz += (v != 0.0);
+  coo.reserve(nnz);
   for (std::size_t i = 0; i < dense.rows(); ++i)
     for (std::size_t j = 0; j < dense.cols(); ++j)
       if (dense(i, j) != 0.0)
@@ -81,17 +145,73 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const n
 }
 
 void CsrMatrix::multiply_transpose(std::span<const double> x,
-                                   std::span<double> y) const noexcept {
+                                   std::span<double> y) const {
   assert(static_cast<index_t>(x.size()) == rows_);
   assert(static_cast<index_t>(y.size()) == cols_);
-  set_zero(y);
-  for (index_t i = 0; i < rows_; ++i) {
-    const double xi = x[static_cast<std::size_t>(i)];
-    if (xi == 0.0) continue;
-    const auto cs = row_cols(i);
-    const auto vs = row_vals(i);
-    for (std::size_t k = 0; k < cs.size(); ++k)
-      y[static_cast<std::size_t>(cs[k])] += vs[k] * xi;
+  // Row-parallel gather on the cached transpose; per-row partitioning is
+  // deterministic, so the result is bit-identical at any thread count.
+  transpose_cache().multiply(x, y);
+}
+
+const CsrMatrix& CsrMatrix::transpose_cache() const {
+  static obs::Counter hits("numerics.transpose_cache.hits");
+  static obs::Counter misses("numerics.transpose_cache.misses");
+  static obs::Counter refreshes("numerics.transpose_cache.refreshes");
+
+  TransposeCache* c = tcache_.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // First use: build the transpose by counting sort over columns, keeping
+    // the source index of every entry so later refreshes are value-only.
+    auto built = std::make_unique<TransposeCache>();
+    CsrMatrix& t = built->t;
+    t.rows_ = cols_;
+    t.cols_ = rows_;
+    const std::size_t nc = static_cast<std::size_t>(cols_);
+    t.row_ptr_.assign(nc + 1, 0);
+    for (const index_t j : col_) ++t.row_ptr_[static_cast<std::size_t>(j) + 1];
+    for (std::size_t j = 0; j < nc; ++j) t.row_ptr_[j + 1] += t.row_ptr_[j];
+    t.col_.resize(nnz());
+    t.val_.resize(nnz());
+    built->src.resize(nnz());
+    std::vector<index_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (index_t i = 0; i < rows_; ++i) {
+      const std::size_t lo = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
+      const std::size_t hi = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1]);
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(col_[k])]++);
+        t.col_[pos] = i;  // ascending i within each bucket: rows come out sorted
+        t.val_[pos] = val_[k];
+        built->src[pos] = k;
+      }
+    }
+    TransposeCache* expected = nullptr;
+    if (tcache_.compare_exchange_strong(expected, built.get(), std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      c = built.release();
+      misses.add();
+    } else {
+      c = expected;  // another thread installed first; ours is discarded
+      hits.add();
+    }
+  } else {
+    hits.add();
+  }
+  if (!c->fresh.load(std::memory_order_acquire)) {
+    // Values went stale through a rate rebind; the pattern did not. Gather
+    // the new values through the stored source permutation.
+    const std::lock_guard<std::mutex> lock(c->refresh_mu);
+    if (!c->fresh.load(std::memory_order_relaxed)) {
+      for (std::size_t k = 0; k < c->src.size(); ++k) c->t.val_[k] = val_[c->src[k]];
+      c->fresh.store(true, std::memory_order_release);
+      refreshes.add();
+    }
+  }
+  return c->t;
+}
+
+void CsrMatrix::invalidate_transpose_cache() const noexcept {
+  if (TransposeCache* c = tcache_.load(std::memory_order_acquire)) {
+    c->fresh.store(false, std::memory_order_release);
   }
 }
 

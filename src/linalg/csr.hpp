@@ -3,6 +3,7 @@
 // solvers (Jacobi/Gauss-Seidel) rely on for fast diagonal lookup.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,13 @@ namespace tags::linalg {
 class CsrMatrix {
  public:
   CsrMatrix() = default;
+  // The cached transpose (see transpose_cache below) is per-instance
+  // scratch, not value state: copies start cold, moves steal it.
+  CsrMatrix(const CsrMatrix& other);
+  CsrMatrix& operator=(const CsrMatrix& other);
+  CsrMatrix(CsrMatrix&& other) noexcept;
+  CsrMatrix& operator=(CsrMatrix&& other) noexcept;
+  ~CsrMatrix();
 
   /// Build from a COO buffer: sorts each row by column and sums duplicates.
   /// Entries that sum to exactly zero are kept (structural zeros are cheap
@@ -31,11 +39,22 @@ class CsrMatrix {
   /// y = A x.
   void multiply(std::span<const double> x, std::span<double> y) const noexcept;
 
-  /// y = A^T x (serial scatter).
-  void multiply_transpose(std::span<const double> x, std::span<double> y) const noexcept;
+  /// y = A^T x, through the cached transpose: a row-parallel gather instead
+  /// of the serial scatter this used to be.
+  void multiply_transpose(std::span<const double> x, std::span<double> y) const;
 
-  /// Explicit transpose (linear time).
+  /// Explicit transpose (linear time). Fresh copy; solver loops should use
+  /// transpose_cache() instead.
   [[nodiscard]] CsrMatrix transposed() const;
+
+  /// The transpose of this matrix, built on first use and cached. Rate
+  /// rebinding through CsrBuilderAccess::values invalidates only the cached
+  /// *values* (the sparsity pattern is frozen), so a refresh is a single
+  /// permuted gather, not a rebuild. Concurrent readers may race to build
+  /// the cache (one wins, the others discard); refreshing after a rebind
+  /// requires the same external synchronisation the rebind itself does.
+  /// The reference stays valid for the lifetime of this matrix.
+  [[nodiscard]] const CsrMatrix& transpose_cache() const;
 
   /// Vector of diagonal entries (zero where absent).
   [[nodiscard]] Vec diagonal() const;
@@ -64,11 +83,18 @@ class CsrMatrix {
                                     std::span<double> scratch) const noexcept;
 
  private:
+  struct TransposeCache;  // defined in csr.cpp
+
+  /// Mark the cached transpose's values stale (pattern is unchanged). Called
+  /// by CsrBuilderAccess when handing out the mutable value array.
+  void invalidate_transpose_cache() const noexcept;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<index_t> row_ptr_;  // size rows_+1
   std::vector<index_t> col_;
   std::vector<double> val_;
+  mutable std::atomic<TransposeCache*> tcache_{nullptr};
 
   friend class CsrBuilderAccess;
 };

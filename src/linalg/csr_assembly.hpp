@@ -37,8 +37,12 @@ class CsrBuilderAccess {
 
   /// Mutable view of the value array, parallel to the (frozen) column
   /// array. Used by rate rebinding to repopulate numerics without touching
-  /// structure.
+  /// structure. Marks the cached transpose stale: its pattern stays valid
+  /// (the caller's contract is pattern-preserving mutation), so the next
+  /// transpose_cache() reader refreshes values through the stored gather
+  /// permutation instead of rebuilding.
   [[nodiscard]] static std::vector<double>& values(CsrMatrix& m) noexcept {
+    m.invalidate_transpose_cache();
     return m.val_;
   }
 };

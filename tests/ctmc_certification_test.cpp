@@ -53,7 +53,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, CertifiedMethods,
                                            SteadyStateMethod::kDenseLu,
                                            SteadyStateMethod::kGaussSeidel,
                                            SteadyStateMethod::kPower,
-                                           SteadyStateMethod::kGmres));
+                                           SteadyStateMethod::kGmres,
+                                           SteadyStateMethod::kLevelQbd));
 
 TEST(Certification, DisablingItLeavesDefaultCertificate) {
   SteadyStateOptions opts;
@@ -69,7 +70,11 @@ TEST(Certification, AutoEscalatesWhenCertificationFails) {
   // certificate fail on any nontrivial chain while the solve itself looks
   // perfectly converged. kAuto must treat that exactly like a divergence
   // and fall through to Gauss-Seidel (whose path computes no estimate).
+  // The structured fast path is disabled so the chain actually starts at
+  // dense LU — the ring is QBD-solvable and would otherwise certify there
+  // (no condition estimate) before LU runs.
   SteadyStateOptions opts;
+  opts.structured = false;
   opts.certify_opts.condition_limit = 1.0;
 #if TAGS_OBS_ENABLED
   obs::Counter escalations("numerics.certify.escalations");

@@ -1,0 +1,200 @@
+// The level/QBD fast path, end to end: the detector classifies all ten zoo
+// models correctly (every bounded-queue generator is block tridiagonal
+// under BFS levels; only the narrow ones pass the profitability gate), the
+// block-Thomas solve agrees with the dense-LU reference, kAuto routes
+// through the structured path exactly when the gate admits it, and a
+// structure/matrix mismatch is rejected instead of producing garbage.
+#include <gtest/gtest.h>
+
+#include "ctmc/builder.hpp"
+#include "ctmc/qbd.hpp"
+#include "ctmc/steady_state.hpp"
+#include "models/mm1k.hpp"
+#include "models/random_alloc.hpp"
+#include "models/round_robin.hpp"
+#include "models/shortest_queue.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+#include "models/tags_mmpp.hpp"
+#include "models/tags_nnode.hpp"
+#include "models/tags_ph.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace tags;
+using ctmc::SteadyStateMethod;
+using ctmc::SteadyStateOptions;
+
+struct ZooExpectation {
+  const char* name;
+  linalg::CsrMatrix q;
+  linalg::index_t n;
+  linalg::index_t max_block;
+  std::size_t levels;
+  bool profitable;  // at the default max_block gate
+};
+
+/// All ten zoo models at their default parameters. The max_block / level
+/// values are structural (they depend only on the state-space shape, not on
+/// rates), so they are pinned exactly; `profitable` documents which models
+/// the default gate admits to the fast path.
+std::vector<ZooExpectation> zoo() {
+  std::vector<ZooExpectation> out;
+  out.push_back({"tags", models::TagsModel({}).chain().generator(), 5751, 284, 34, false});
+  out.push_back(
+      {"tags_h2", models::TagsH2Model({}).chain().generator(), 12831, 635, 34, false});
+  out.push_back(
+      {"tags_ph", models::TagsPhModel({}).chain().generator(), 5751, 284, 34, false});
+  out.push_back({"tags_mmpp", models::TagsMmppModel({}).chain().generator(), 11502, 568,
+                 35, false});
+  out.push_back({"tags_nnode", models::TagsNNodeModel({}).chain().generator(), 2091, 103,
+                 32, true});
+  out.push_back({"shortest_queue", models::ShortestQueueModel({}).chain().generator(),
+                 121, 11, 21, true});
+  out.push_back({"shortest_queue_h2",
+                 models::ShortestQueueH2Model({}).chain().generator(), 441, 40, 21, true});
+  out.push_back(
+      {"round_robin", models::RoundRobinModel({}).chain().generator(), 242, 22, 21, true});
+  out.push_back({"random_alloc",
+                 models::Mh21kModel(0.5, 0.5, 1.0, 2.0, 10).chain().generator(), 21, 2,
+                 11, true});
+  out.push_back({"mm1k", models::mm1k_ctmc({}).generator(), 11, 1, 11, true});
+  return out;
+}
+
+TEST(QbdDetector, ClassifiesAllTenZooModels) {
+  for (const auto& z : zoo()) {
+    SCOPED_TRACE(z.name);
+    ASSERT_EQ(z.q.rows(), z.n);
+    const auto s = ctmc::detect_qbd(z.q);
+    EXPECT_TRUE(s.levels.connected);
+    EXPECT_TRUE(s.block_tridiagonal);  // every zoo chain is level-structured
+    EXPECT_EQ(s.max_block, z.max_block);
+    EXPECT_EQ(s.levels.levels(), z.levels);
+    EXPECT_EQ(s.profitable, z.profitable);
+    EXPECT_EQ(s.usable(), z.profitable);
+  }
+}
+
+TEST(QbdDetector, GateOverrideAdmitsWideModels) {
+  const auto q = models::TagsModel({}).chain().generator();
+  ctmc::QbdOptions wide;
+  wide.max_block = q.rows();  // what an explicit kLevelQbd request does
+  const auto s = ctmc::detect_qbd(q, wide);
+  EXPECT_TRUE(s.block_tridiagonal);
+  EXPECT_TRUE(s.profitable);
+  ctmc::QbdOptions zero;
+  zero.max_block = 0;  // 0 restores the built-in default, not "admit none"
+  EXPECT_FALSE(ctmc::detect_qbd(q, zero).profitable);
+}
+
+TEST(QbdSolver, MatchesDenseLuOnNarrowModels) {
+  // Direct block elimination vs the dense reference on every gate-admitted
+  // zoo model small enough for LU.
+  for (auto& z : zoo()) {
+    if (!z.profitable || z.n > 1200) continue;
+    SCOPED_TRACE(z.name);
+    SteadyStateOptions lu;
+    lu.method = SteadyStateMethod::kDenseLu;
+    const auto ref = ctmc::steady_state(z.q, lu);
+    ASSERT_TRUE(ref.converged);
+
+    SteadyStateOptions qbd;
+    qbd.method = SteadyStateMethod::kLevelQbd;
+    const auto res = ctmc::steady_state(z.q, qbd);
+    ASSERT_TRUE(res.converged);
+    EXPECT_EQ(res.method_used, SteadyStateMethod::kLevelQbd);
+    EXPECT_EQ(res.iterations, 1);  // direct method: one pass, no sweeps
+    EXPECT_TRUE(res.certificate.ok()) << res.certificate.failed_check();
+    EXPECT_NEAR(linalg::max_abs_diff(res.pi, ref.pi), 0.0, 1e-10);
+  }
+}
+
+TEST(QbdSolver, ExplicitRequestSolvesWideModelToo) {
+  // kLevelQbd as an explicit method skips the profitability gate (but not
+  // the structural check): the full-size TAGS chain solves and certifies.
+  const auto q = models::TagsModel({}).chain().generator();
+  SteadyStateOptions opts;
+  opts.method = SteadyStateMethod::kLevelQbd;
+  const auto res = ctmc::steady_state(q, opts);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.method_used, SteadyStateMethod::kLevelQbd);
+  EXPECT_TRUE(res.certificate.ok()) << res.certificate.failed_check();
+}
+
+TEST(QbdSolver, AutoRoutesNarrowModelsThroughStructuredPath) {
+  const auto q = models::ShortestQueueModel({}).chain().generator();
+#if TAGS_OBS_ENABLED
+  obs::Counter used("ctmc.steady_state.structured.used");
+  const std::uint64_t before = used.value();
+#endif
+  const auto res = ctmc::steady_state(q, SteadyStateOptions{});
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.method_used, SteadyStateMethod::kLevelQbd);
+  EXPECT_TRUE(res.certificate.ok()) << res.certificate.failed_check();
+#if TAGS_OBS_ENABLED
+  EXPECT_EQ(used.value(), before + 1);
+#endif
+}
+
+TEST(QbdSolver, AutoDeclinesWideModelAndGateIsTunable) {
+  // Default gate: the full TAGS chain (max block 284) is declined and the
+  // generic chain solves it. Raising structured_max_block flips the same
+  // chain onto the structured path.
+  const auto q = models::TagsModel({}).chain().generator();
+#if TAGS_OBS_ENABLED
+  obs::Counter declined("ctmc.steady_state.structured.declined");
+  const std::uint64_t before = declined.value();
+#endif
+  const auto res = ctmc::steady_state(q, SteadyStateOptions{});
+  ASSERT_TRUE(res.converged);
+  EXPECT_NE(res.method_used, SteadyStateMethod::kLevelQbd);
+#if TAGS_OBS_ENABLED
+  EXPECT_EQ(declined.value(), before + 1);
+#endif
+
+  SteadyStateOptions wide;
+  wide.structured_max_block = 300;
+  const auto structured = ctmc::steady_state(q, wide);
+  ASSERT_TRUE(structured.converged);
+  EXPECT_EQ(structured.method_used, SteadyStateMethod::kLevelQbd);
+  EXPECT_NEAR(linalg::max_abs_diff(structured.pi, res.pi), 0.0, 1e-7);
+
+  SteadyStateOptions off;
+  off.structured = false;
+  const auto generic =
+      ctmc::steady_state(models::ShortestQueueModel({}).chain().generator(), off);
+  ASSERT_TRUE(generic.converged);
+  EXPECT_NE(generic.method_used, SteadyStateMethod::kLevelQbd);
+}
+
+TEST(QbdSolver, RejectsStructureFromADifferentMatrix) {
+  // A decomposition taken from a path chain applied to a chain with a
+  // level-skipping edge must be refused (returns false, pi untouched) —
+  // this is the misdetection safety net behind the certificate.
+  ctmc::CtmcBuilder path;
+  path.add(0, 1, 1.0);
+  path.add(1, 2, 1.0);
+  path.add(2, 3, 1.0);
+  path.add(3, 2, 1.0);
+  path.add(2, 1, 1.0);
+  path.add(1, 0, 1.0);
+  const auto pq = path.build();
+  const auto s = ctmc::detect_qbd(pq.generator());
+  ASSERT_TRUE(s.usable());
+
+  ctmc::CtmcBuilder skip;  // same states, but 0 -> 3 skips two levels
+  skip.add(0, 3, 1.0);
+  skip.add(3, 0, 1.0);
+  skip.add(0, 1, 1.0);
+  skip.add(1, 2, 1.0);
+  skip.add(2, 3, 1.0);
+  skip.add(1, 0, 1.0);
+  const auto sq = skip.build();
+  linalg::Vec pi(4, 0.25);
+  EXPECT_FALSE(ctmc::qbd_steady_state(sq.generator(), s, pi));
+  for (double v : pi) EXPECT_EQ(v, 0.25);  // untouched on failure
+}
+
+}  // namespace
