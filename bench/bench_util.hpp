@@ -67,8 +67,63 @@ inline void figure_header(const std::string& id, const std::string& description,
   std::printf("==============================================================\n");
 }
 
-/// Write the bench telemetry JSON (timers, counters, solve log) for the
-/// bench identified by `id` into results/<id>_telemetry.json. Schema:
+/// Exporter destinations parsed from the command line: --trace-chrome=PATH
+/// (Chrome Trace Event JSON of the span store) and --metrics-prom=PATH
+/// (Prometheus text exposition). Process-wide so emit_telemetry can flush
+/// them next to the native JSON without threading paths through every
+/// figure driver.
+struct ExportFlags {
+  std::string trace_chrome;
+  std::string metrics_prom;
+};
+
+inline ExportFlags& export_flags() {
+  static ExportFlags f;
+  return f;
+}
+
+/// Parse and REMOVE --trace-chrome= / --metrics-prom= from argv, updating
+/// argc, so the remaining arguments can be handed to google-benchmark's
+/// parser (which rejects flags it does not know).
+inline void consume_export_flags(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-chrome=", 0) == 0) {
+      export_flags().trace_chrome = arg.substr(15);
+    } else if (arg.rfind("--metrics-prom=", 0) == 0) {
+      export_flags().metrics_prom = arg.substr(15);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+}
+
+/// Flush the optional exporter files requested via parse_export_flags.
+inline void emit_export_files(const std::string& process_name) {
+  const ExportFlags& f = export_flags();
+  if (!f.trace_chrome.empty()) {
+    if (obs::write_chrome_trace(f.trace_chrome, process_name)) {
+      std::printf("[chrome trace written: %s]\n", f.trace_chrome.c_str());
+    } else {
+      std::fprintf(stderr, "[cannot write chrome trace %s]\n",
+                   f.trace_chrome.c_str());
+    }
+  }
+  if (!f.metrics_prom.empty()) {
+    if (obs::write_prometheus(f.metrics_prom)) {
+      std::printf("[prometheus metrics written: %s]\n", f.metrics_prom.c_str());
+    } else {
+      std::fprintf(stderr, "[cannot write prometheus metrics %s]\n",
+                   f.metrics_prom.c_str());
+    }
+  }
+}
+
+/// Write the bench telemetry JSON (timers, counters, solve log, spans) for
+/// the bench identified by `id` into results/<id>_telemetry.json, plus any
+/// exporter files requested on the command line. Schema:
 /// tools/check_bench_json.py; documented in README "Observability".
 inline void emit_telemetry(const std::string& id) {
   const std::string path = "results/" + id + "_telemetry.json";
@@ -77,6 +132,7 @@ inline void emit_telemetry(const std::string& id) {
   } else {
     std::printf("[telemetry not written]\n");
   }
+  emit_export_files(id);
 }
 
 /// Print a table, (best effort) save the CSV next to the binary, and emit

@@ -3,6 +3,7 @@
 
 #include <random>
 
+#include "bench_util.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/lu.hpp"
 #include "models/tags.hpp"
@@ -130,3 +131,15 @@ void BM_PhaseTypeMoment(benchmark::State& state) {
 BENCHMARK(BM_PhaseTypeMoment)->Arg(4)->Arg(32)->Arg(128);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  tags::bench::consume_export_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The kernel suite has no telemetry report; flush any exporter files
+  // requested on the command line directly.
+  tags::bench::emit_export_files("micro_kernels");
+  return 0;
+}

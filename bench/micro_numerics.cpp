@@ -194,6 +194,7 @@ BENCHMARK(BM_PlainSum)->Arg(1 << 12)->Arg(1 << 16);
 
 int main(int argc, char** argv) {
   bool report_only = false;
+  tags::bench::consume_export_flags(argc, argv);
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--numerics-report-only") == 0) {

@@ -264,7 +264,8 @@ BENCHMARK(BM_WarmStartedResolve)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bool report_only = false;
-  // Consume our own flag so google-benchmark does not reject it.
+  // Consume our own flags so google-benchmark does not reject them.
+  tags::bench::consume_export_flags(argc, argv);
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--solvers-report-only") == 0) {

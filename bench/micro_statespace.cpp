@@ -202,9 +202,16 @@ double run_rebind_report() {
 
 int main(int argc, char** argv) {
   bool report_only = false;
+  tags::bench::consume_export_flags(argc, argv);
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rebind-report-only") == 0) report_only = true;
+    if (std::strcmp(argv[i], "--rebind-report-only") == 0) {
+      report_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
   }
+  argc = kept;
   run_rebind_report();
   if (report_only) return 0;
   benchmark::Initialize(&argc, argv);

@@ -155,6 +155,7 @@ int main(int argc, char** argv) {
   bool report_only = false;
   unsigned threads = 8;
   // Consume our own flags so google-benchmark does not reject them.
+  tags::bench::consume_export_flags(argc, argv);
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep-report-only") == 0) {

@@ -49,6 +49,10 @@ struct ThreadPool::State {
   std::vector<std::atomic<std::uint64_t>> busy_ns;
   std::atomic<std::uint64_t> stolen{0};
   std::atomic<std::uint64_t> completed{0};
+  // Span id active on the thread that called run(): workers execute the
+  // batch on other threads, so each task span names this as its parent
+  // explicitly (the per-thread span stack cannot cross the pool boundary).
+  std::atomic<std::uint64_t> batch_parent{0};
 
   // Batch lifecycle: run() publishes work under `m` and waits on done_cv;
   // workers sleep on work_cv between batches.
@@ -133,10 +137,16 @@ void ThreadPool::worker_loop(unsigned me) {
     // measure it directly — obs::now_ns() is stubbed to 0 in obs-OFF builds.
     const auto start = std::chrono::steady_clock::now();
     std::exception_ptr error;
-    try {
-      (*task)();
-    } catch (...) {
-      error = std::current_exception();
+    {
+      obs::Span span("core/pool_task",
+                     s.batch_parent.load(std::memory_order_relaxed));
+      span.attr("worker", static_cast<double>(me));
+      if (stole) span.attr("stolen", 1.0);
+      try {
+        (*task)();
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     const std::uint64_t elapsed = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -160,6 +170,7 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   State& s = *state_;
   const std::lock_guard<std::mutex> batch_lock(s.run_m);
+  s.batch_parent.store(obs::Span::current_id(), std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(s.m);
     s.first_error = nullptr;

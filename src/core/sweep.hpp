@@ -127,12 +127,21 @@ template <class R, class ShardEval>
   std::vector<ctmc::WarmStartState> warm(shards.size());
 
   const obs::ScopedTimer timer("core/sharded_sweep");
+  obs::Span sweep_span("core/sharded_sweep");
+  sweep_span.attr("points", static_cast<double>(n_points));
+  sweep_span.attr("shards", static_cast<double>(shards.size()));
+  sweep_span.attr("threads", static_cast<double>(threads));
   obs::gauge_set("core.sweep.points", static_cast<double>(n_points));
   obs::gauge_set("core.sweep.shards", static_cast<double>(shards.size()));
   obs::gauge_set("core.sweep.threads", static_cast<double>(threads));
 
   const auto run_shard = [&](std::size_t s) {
+    // Default-constructed: parents under the worker's core/pool_task span
+    // on the threaded path, or directly under core/sharded_sweep serially.
+    obs::Span span("core/shard");
+    span.attr("shard", static_cast<double>(s));
     const ShardRange range = shards[s];
+    span.attr("points", static_cast<double>(range.size()));
     eval(range, std::span<R>(results.data() + range.begin, range.size()), warm[s]);
   };
   if (threads <= 1 || shards.size() <= 1) {

@@ -44,6 +44,8 @@ class RewardAccumulator {
 
 void GeneratorCtmc::assemble(const GeneratorModel& model) {
   const obs::ScopedTimer timer("ctmc/generator_assemble");
+  obs::Span span("ctmc/assemble");
+  span.attr("n", static_cast<double>(model.state_space_size()));
   const index_t n = model.state_space_size();
   const std::vector<std::string>& labels = model.transition_labels();
   assert(n > 0 && !labels.empty() && labels[0] == "tau");
@@ -110,6 +112,8 @@ void GeneratorCtmc::assemble(const GeneratorModel& model) {
 
 void GeneratorCtmc::rebind(const GeneratorModel& model) {
   const obs::ScopedTimer timer("ctmc/generator_rebind");
+  obs::Span span("ctmc/rebind");
+  span.attr("n", static_cast<double>(n_));
   if (model.state_space_size() != n_ ||
       model.transition_labels().size() != label_names_.size()) {
     throw std::logic_error(

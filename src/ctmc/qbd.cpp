@@ -15,6 +15,8 @@ using linalg::Vec;
 
 QbdStructure detect_qbd(const CsrMatrix& q, const QbdOptions& opts) {
   const obs::ScopedTimer timer("ctmc/qbd_detect");
+  obs::Span span("qbd/detect");
+  span.attr("n", static_cast<double>(q.rows()));
   QbdStructure s;
   s.levels = linalg::bfs_levels(q);
   s.max_block = s.levels.max_block();
@@ -30,6 +32,9 @@ QbdStructure detect_qbd(const CsrMatrix& q, const QbdOptions& opts) {
   const index_t gate = opts.max_block > 0 ? opts.max_block : QbdOptions{}.max_block;
   s.profitable = s.block_tridiagonal && s.max_block <= gate &&
                  s.factor_doubles <= opts.max_factor_doubles;
+  span.attr("levels", static_cast<double>(s.levels.levels()));
+  span.attr("max_block", static_cast<double>(s.max_block));
+  span.attr("profitable", s.profitable ? 1.0 : 0.0);
   return s;
 }
 
@@ -57,6 +62,11 @@ bool qbd_steady_state(const CsrMatrix& q, const QbdStructure& s, Vec& pi_out) {
   // Split the generator into per-level triplet blocks in local coordinates:
   // A[l] within level l, B[l] level l -> l+1, C[l] level l -> l-1.
   std::vector<std::vector<Trip>> A(nlev), B(nlev), C(nlev);
+  std::vector<linalg::LuFactorization> facts(nlev);
+  {
+  obs::Span factor_span("qbd/factor");
+  factor_span.attr("levels", static_cast<double>(nlev));
+  factor_span.attr("max_block", static_cast<double>(s.max_block));
   for (index_t u = 0; u < n; ++u) {
     const int l = L.level_of[static_cast<std::size_t>(u)];
     const index_t lr = pos[static_cast<std::size_t>(u)] - L.level_ptr[static_cast<std::size_t>(l)];
@@ -81,7 +91,6 @@ bool qbd_steady_state(const CsrMatrix& q, const QbdStructure& s, Vec& pi_out) {
   // Backward sweep: S_l = A_l - B_l X_{l+1} with X_l = S_l^{-1} C_l. The
   // LU of every S_l (l >= 1) is kept for the forward substitution; only
   // the current X survives the loop.
-  std::vector<linalg::LuFactorization> facts(nlev);
   DenseMatrix x_next;  // X_{l+1} while processing level l
   std::vector<index_t> nzcols;
   for (std::size_t l = nlev; l-- > 0;) {
@@ -130,7 +139,10 @@ bool qbd_steady_state(const CsrMatrix& q, const QbdStructure& s, Vec& pi_out) {
     }
     x_next = std::move(x);
   }
+  }  // qbd/factor
 
+  obs::Span substitute_span("qbd/substitute");
+  substitute_span.attr("levels", static_cast<double>(nlev));
   const std::size_t m0 = bs(0);
   Vec rhs(m0, 0.0);
   rhs[m0 - 1] = 1.0;

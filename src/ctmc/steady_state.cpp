@@ -87,6 +87,7 @@ void certify_result(SteadyStateResult& res, const CsrMatrix& qt, const System& s
                     const SteadyStateOptions& opts, double condition = 0.0) {
   if (!opts.certify) return;
   if (res.pi.size() != static_cast<std::size_t>(sys.n())) return;  // no solution
+  const obs::Span span("solve/certify");
   linalg::CertifyOptions c = opts.certify_opts;
   c.residual_bound *= std::max(1.0, sys.max_exit);
   const Vec zero(res.pi.size(), 0.0);
@@ -114,8 +115,17 @@ Vec initial_vector(const System& sys, const SteadyStateOptions& opts) {
   return Vec(n, 1.0 / static_cast<double>(n));
 }
 
+/// Stamp the per-attempt span with the outcome every solver reports.
+void close_attempt_span(obs::Span& span, const SteadyStateResult& res) {
+  span.attr("iterations", static_cast<double>(res.iterations));
+  span.attr("residual", res.residual);
+  span.attr("converged", res.converged ? 1.0 : 0.0);
+}
+
 SteadyStateResult solve_dense_lu(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("dense-lu");
+  obs::Span span("solve/dense-lu");
+  span.attr("n", static_cast<double>(sys.n()));
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kDenseLu;
   const std::size_t n = static_cast<std::size_t>(sys.n());
@@ -136,6 +146,7 @@ SteadyStateResult solve_dense_lu(const System& sys, const SteadyStateOptions& op
   const linalg::LuFactorization f = linalg::lu_factor(std::move(a));
   if (f.singular()) {
     note_attempt(res);
+    close_attempt_span(span, res);
     return res;
   }
   // The direct path is the one place a condition estimate is nearly free:
@@ -153,11 +164,14 @@ SteadyStateResult solve_dense_lu(const System& sys, const SteadyStateOptions& op
   res.iterations = 1;
   certify_result(res, qt, sys, opts, condition);
   note_attempt(res);
+  close_attempt_span(span, res);
   return res;
 }
 
 SteadyStateResult solve_gauss_seidel(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("gauss-seidel");
+  obs::Span span("solve/gauss-seidel");
+  span.attr("n", static_cast<double>(sys.n()));
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGaussSeidel;
   const std::size_t n = static_cast<std::size_t>(sys.n());
@@ -198,11 +212,14 @@ SteadyStateResult solve_gauss_seidel(const System& sys, const SteadyStateOptions
   res.pi = std::move(pi);
   certify_result(res, qt, sys, opts);
   note_attempt(res);
+  close_attempt_span(span, res);
   return res;
 }
 
 SteadyStateResult solve_power(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("power");
+  obs::Span span("solve/power");
+  span.attr("n", static_cast<double>(sys.n()));
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kPower;
   const std::size_t n = static_cast<std::size_t>(sys.n());
@@ -244,11 +261,14 @@ SteadyStateResult solve_power(const System& sys, const SteadyStateOptions& opts)
   res.pi = std::move(pi);
   certify_result(res, qt, sys, opts);
   note_attempt(res);
+  close_attempt_span(span, res);
   return res;
 }
 
 SteadyStateResult solve_gmres(const System& sys, const SteadyStateOptions& opts) {
   const obs::ScopedTimer timer("gmres");
+  obs::Span span("solve/gmres");
+  span.attr("n", static_cast<double>(sys.n()));
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kGmres;
   const std::size_t n = static_cast<std::size_t>(sys.n());
@@ -289,6 +309,7 @@ SteadyStateResult solve_gmres(const System& sys, const SteadyStateOptions& opts)
   res.pi = std::move(x);
   certify_result(res, qt, sys, opts);
   note_attempt(res);
+  close_attempt_span(span, res);
   return res;
 }
 
@@ -300,6 +321,9 @@ SteadyStateResult solve_gmres(const System& sys, const SteadyStateOptions& opts)
 SteadyStateResult solve_level_qbd(const System& sys, const SteadyStateOptions& opts,
                                   const QbdStructure& structure) {
   const obs::ScopedTimer timer("level-qbd");
+  obs::Span span("solve/level-qbd");
+  span.attr("n", static_cast<double>(sys.n()));
+  span.attr("max_block", static_cast<double>(structure.max_block));
   SteadyStateResult res;
   res.method_used = SteadyStateMethod::kLevelQbd;
   res.residual = std::numeric_limits<double>::infinity();
@@ -315,6 +339,7 @@ SteadyStateResult solve_level_qbd(const System& sys, const SteadyStateOptions& o
     certify_result(res, qt, sys, opts);
   }
   note_attempt(res);
+  close_attempt_span(span, res);
   return res;
 }
 
@@ -417,14 +442,23 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
 
 SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOptions& opts) {
   assert(q.rows() > 0 && q.rows() == q.cols());
+  obs::Span root_span("ctmc/steady_state");
+  root_span.attr("n", static_cast<double>(q.rows()));
+  root_span.attr("method", to_string(opts.method));
   // PermutedSolve wrapper: solve P·Q·Pᵀ and carry π back. The certificate
   // is computed on the permuted system, which is equivalent — residual
   // inf-norms and probability mass are permutation-invariant.
   if (opts.reorder == SteadyStateReorder::kRcm) {
-    const linalg::Permutation p = linalg::rcm_order(q);
+    const linalg::Permutation p = [&q] {
+      const obs::Span span("linalg/rcm_order");
+      return linalg::rcm_order(q);
+    }();
     if (!p.is_identity()) {
       obs::count("ctmc.steady_state.permuted_solves");
-      const linalg::CsrMatrix qp = linalg::permute_symmetric(q, p);
+      const linalg::CsrMatrix qp = [&q, &p] {
+        const obs::Span span("linalg/permute_symmetric");
+        return linalg::permute_symmetric(q, p);
+      }();
       SteadyStateOptions inner = opts;
       inner.reorder = SteadyStateReorder::kNone;
       if (inner.initial_guess &&
@@ -451,6 +485,7 @@ SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOpti
   }
   const System sys(q);
   SteadyStateResult res = steady_state_impl(sys, opts);
+  root_span.attr("method_used", to_string(res.method_used));
   if (obs::metrics_on()) {
     obs::count("ctmc.steady_state.solves");
     obs::SolveRecord rec;

@@ -13,6 +13,8 @@ SolveResult bicgstab(const CsrMatrix& a, std::span<const double> b, Vec& x,
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
   const std::uint64_t start_ns = obs::now_ns();
+  obs::Span span("linalg/bicgstab");
+  span.attr("n", static_cast<double>(n));
 
   Vec inv_diag;
   if (opts.precond != Preconditioner::kNone) {  // Jacobi (GS falls back to it)

@@ -162,6 +162,8 @@ const CsrMatrix& CsrMatrix::transpose_cache() const {
   if (c == nullptr) {
     // First use: build the transpose by counting sort over columns, keeping
     // the source index of every entry so later refreshes are value-only.
+    obs::Span span("linalg/transpose_fill");
+    span.attr("nnz", static_cast<double>(nnz()));
     auto built = std::make_unique<TransposeCache>();
     CsrMatrix& t = built->t;
     t.rows_ = cols_;
@@ -201,6 +203,7 @@ const CsrMatrix& CsrMatrix::transpose_cache() const {
     // the new values through the stored source permutation.
     const std::lock_guard<std::mutex> lock(c->refresh_mu);
     if (!c->fresh.load(std::memory_order_relaxed)) {
+      const obs::Span span("linalg/transpose_refresh");
       for (std::size_t k = 0; k < c->src.size(); ++k) c->t.val_[k] = val_[c->src[k]];
       c->fresh.store(true, std::memory_order_release);
       refreshes.add();

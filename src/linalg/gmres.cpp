@@ -69,6 +69,8 @@ SolveResult gmres(const CsrMatrix& a, std::span<const double> b, Vec& x,
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
   const std::uint64_t start_ns = obs::now_ns();
+  obs::Span span("linalg/gmres");
+  span.attr("n", static_cast<double>(n));
   const int m = std::max(1, opts.restart);
 
   const LeftPrecond precond(a, opts.precond);

@@ -12,6 +12,8 @@ SolveResult jacobi(const CsrMatrix& a, std::span<const double> b, Vec& x,
   const std::size_t n = static_cast<std::size_t>(a.rows());
   assert(b.size() == n && x.size() == n);
   const std::uint64_t start_ns = obs::now_ns();
+  obs::Span span("linalg/jacobi");
+  span.attr("n", static_cast<double>(n));
 
   const Vec diag = a.diagonal();
   Vec x_next(n, 0.0);

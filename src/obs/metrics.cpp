@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 
 #if TAGS_OBS_ENABLED
@@ -292,6 +293,48 @@ std::vector<SolveRecord> solve_records() {
   return r.solves;
 }
 
+std::vector<CounterSnapshot> counter_snapshots() {
+  Registry& r = Registry::get();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<CounterSnapshot> out;
+  out.reserve(r.counters.size());
+  for (std::size_t i = 0; i < r.counters.size(); ++i) {
+    out.push_back({r.counters[i]->name, counter_total(r, i)});
+  }
+  return out;
+}
+
+std::vector<GaugeSnapshot> gauge_snapshots() {
+  Registry& r = Registry::get();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(r.gauges.size());
+  for (const auto& g : r.gauges) {
+    out.push_back({g->name, g->value.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> histogram_snapshots() {
+  Registry& r = Registry::get();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(r.hists.size());
+  for (const auto& h : r.hists) {
+    HistogramSnapshot s;
+    s.name = h->name;
+    s.bounds = h->bounds;
+    s.buckets.resize(h->bounds.size() + 1);
+    for (std::size_t i = 0; i <= h->bounds.size(); ++i) {
+      s.buckets[i] = h->buckets[i].load(std::memory_order_relaxed);
+      s.count += s.buckets[i];
+    }
+    s.sum = h->sum.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -307,7 +350,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(1));
+  w.field("schema_version", static_cast<std::int64_t>(2));
   w.field("obs_level", static_cast<std::int64_t>(level()));
 
   w.key("timers");
@@ -321,6 +364,36 @@ std::string metrics_json(const std::string& id) {
     w.end_object();
   }
   w.end_object();
+
+  // Schema v2: the causal span profile. Sorted by (start, id), so a span's
+  // parent always appears before it; self_ms excludes same-thread children.
+  w.key("spans");
+  w.begin_array();
+  for (const SpanRecord& s : span_records_export()) {
+    w.begin_object();
+    w.field("id", static_cast<std::int64_t>(s.id));
+    w.field("parent", static_cast<std::int64_t>(s.parent_id));
+    w.field("thread", static_cast<std::int64_t>(s.thread));
+    w.field("name", s.name);
+    w.field("start_ms", static_cast<double>(s.start_ns) / 1e6);
+    w.field("end_ms", static_cast<double>(s.end_ns) / 1e6);
+    w.field("self_ms", static_cast<double>(s.self_ns) / 1e6);
+    if (!s.num.empty()) {
+      w.key("num");
+      w.begin_object();
+      for (const auto& [k, v] : s.num) w.field(k, v);
+      w.end_object();
+    }
+    if (!s.str.empty()) {
+      w.key("str");
+      w.begin_object();
+      for (const auto& [k, v] : s.str) w.field(k, v);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("spans_dropped", static_cast<std::int64_t>(spans_dropped()));
 
   Registry& r = Registry::get();
   const std::lock_guard<std::mutex> lock(r.mu);
@@ -430,6 +503,7 @@ void reset_metrics() {
   r.solves.clear();
   r.solves_dropped = 0;
   detail::reset_timer_stats();
+  detail::reset_spans();
 }
 
 }  // namespace tags::obs
@@ -443,11 +517,15 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(1));
+  w.field("schema_version", static_cast<std::int64_t>(2));
   w.field("obs_level", static_cast<std::int64_t>(-1));
   w.key("timers");
   w.begin_object();
   w.end_object();
+  w.key("spans");
+  w.begin_array();
+  w.end_array();
+  w.field("spans_dropped", static_cast<std::int64_t>(0));
   w.key("counters");
   w.begin_object();
   w.end_object();

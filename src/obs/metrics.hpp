@@ -98,8 +98,30 @@ void record_solve(SolveRecord rec);
 /// Monotonic nanoseconds, for wall-time deltas.
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
+// Read-only registry snapshots, for exporters (Prometheus text, the server
+// /stats endpoint). Each call takes the registry mutex once.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;          ///< sorted upper bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+[[nodiscard]] std::vector<CounterSnapshot> counter_snapshots();
+[[nodiscard]] std::vector<GaugeSnapshot> gauge_snapshots();
+[[nodiscard]] std::vector<HistogramSnapshot> histogram_snapshots();
+
 /// Whole-registry JSON snapshot (counters, gauges, histograms, timers,
-/// solve log) — the object written by write_telemetry_json.
+/// spans, solve log) — the object written by write_telemetry_json.
+/// Schema v2: tools/check_bench_json.py.
 [[nodiscard]] std::string metrics_json(const std::string& id);
 
 /// Human-readable summary: timer tree plus non-zero metrics.
@@ -146,6 +168,27 @@ inline void observe(const char*, double) {}
 inline void record_solve(SolveRecord) {}
 [[nodiscard]] inline std::vector<SolveRecord> solve_records() { return {}; }
 [[nodiscard]] inline std::uint64_t now_ns() noexcept { return 0; }
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+[[nodiscard]] inline std::vector<CounterSnapshot> counter_snapshots() { return {}; }
+[[nodiscard]] inline std::vector<GaugeSnapshot> gauge_snapshots() { return {}; }
+[[nodiscard]] inline std::vector<HistogramSnapshot> histogram_snapshots() {
+  return {};
+}
 [[nodiscard]] std::string metrics_json(const std::string& id);  // minimal, in obs.cpp
 [[nodiscard]] inline std::string metrics_text() { return "observability disabled\n"; }
 inline void reset_metrics() {}

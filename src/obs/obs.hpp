@@ -4,7 +4,9 @@
 // with TAGS_ENABLE_OBS=OFF.
 #pragma once
 
+#include "obs/export.hpp"   // IWYU pragma: export
 #include "obs/level.hpp"    // IWYU pragma: export
 #include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/span.hpp"     // IWYU pragma: export
 #include "obs/timer.hpp"    // IWYU pragma: export
 #include "obs/trace.hpp"    // IWYU pragma: export

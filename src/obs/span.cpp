@@ -1,0 +1,171 @@
+#include "obs/span.hpp"
+
+#if TAGS_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace tags::obs {
+
+namespace {
+
+// Bounds the completed-span store: at roughly 150 bytes per record this is
+// ~10 MB worst case. Long sweeps with more spans than this drop the excess
+// (counted), exactly like the solve log.
+constexpr std::size_t kMaxSpanRecords = 65536;
+
+struct SpanStore {
+  std::mutex mu;
+  std::vector<SpanRecord> records;
+  std::uint64_t dropped = 0;
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::uint32_t> next_thread{0};
+
+  static SpanStore& get() {
+    static SpanStore* s = new SpanStore;  // leaked: outlives static destructors
+    return *s;
+  }
+};
+
+thread_local Span* tl_span_top = nullptr;
+
+std::uint32_t this_thread_index() {
+  thread_local const std::uint32_t index =
+      SpanStore::get().next_thread.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::uint64_t span_clock_start_ns() {
+  // Shares t=0 semantics with trace events: pinned at first use, so span
+  // timestamps and trace timestamps are directly comparable.
+  static const std::uint64_t start = now_ns();
+  return start;
+}
+
+std::uint64_t since_clock_start_ns() {
+  // The base MUST be pinned before now is sampled: in `now_ns() - base`
+  // the evaluation order is unspecified, and sampling now first makes the
+  // very first span's start precede the base it then subtracts — a uint64
+  // underflow. The saturation also absorbs sub-tick clock jitter.
+  const std::uint64_t base = span_clock_start_ns();
+  const std::uint64_t now = now_ns();
+  return now > base ? now - base : 0;
+}
+
+}  // namespace
+
+Span::Span(std::string_view name) {
+  if (!metrics_on()) return;
+  open(name, tl_span_top != nullptr ? tl_span_top->rec_.id : 0);
+}
+
+Span::Span(std::string_view name, std::uint64_t parent_id) {
+  if (!metrics_on()) return;
+  open(name, parent_id);
+}
+
+void Span::open(std::string_view name, std::uint64_t parent_id) {
+  active_ = true;
+  SpanStore& store = SpanStore::get();
+  rec_.id = store.next_id.fetch_add(1, std::memory_order_relaxed);
+  rec_.parent_id = parent_id;
+  rec_.thread = this_thread_index();
+  rec_.name.assign(name.data(), name.size());
+  prev_ = tl_span_top;
+  tl_span_top = this;
+  rec_.start_ns = since_clock_start_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  rec_.end_ns = since_clock_start_ns();
+  tl_span_top = prev_;
+  SpanStore& store = SpanStore::get();
+  bool dropped = false;
+  {
+    const std::lock_guard<std::mutex> lock(store.mu);
+    if (store.records.size() >= kMaxSpanRecords) {
+      ++store.dropped;
+      dropped = true;
+    } else {
+      store.records.push_back(std::move(rec_));
+    }
+  }
+  // Counted outside the store lock: count() takes the registry mutex, and
+  // reset_metrics() takes registry-then-store — nesting store-then-registry
+  // here would be a lock-order inversion (TSan-flagged potential deadlock).
+  if (dropped) count("trace.spans_dropped");
+}
+
+void Span::attr(std::string_view key, double v) {
+  if (!active_) return;
+  rec_.num.emplace_back(std::string(key), v);
+}
+
+void Span::attr(std::string_view key, std::string_view v) {
+  if (!active_) return;
+  rec_.str.emplace_back(std::string(key), std::string(v));
+}
+
+std::uint64_t Span::current_id() noexcept {
+  return tl_span_top != nullptr ? tl_span_top->id() : 0;
+}
+
+std::vector<SpanRecord> span_records() {
+  SpanStore& store = SpanStore::get();
+  const std::lock_guard<std::mutex> lock(store.mu);
+  return store.records;
+}
+
+std::vector<SpanRecord> span_records_export() {
+  std::vector<SpanRecord> recs = span_records();
+  std::sort(recs.begin(), recs.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.id < b.id;
+  });
+  // Sum same-thread child durations into each parent. Keyed on (parent id,
+  // thread) so a cross-thread child never eats its parent's self time.
+  std::unordered_map<std::uint64_t, std::uint64_t> child_ns;
+  std::unordered_map<std::uint64_t, std::uint32_t> thread_of;
+  child_ns.reserve(recs.size());
+  thread_of.reserve(recs.size());
+  for (const SpanRecord& r : recs) thread_of.emplace(r.id, r.thread);
+  for (const SpanRecord& r : recs) {
+    if (r.parent_id == 0) continue;
+    const auto it = thread_of.find(r.parent_id);
+    if (it != thread_of.end() && it->second == r.thread) {
+      child_ns[r.parent_id] += r.duration_ns();
+    }
+  }
+  for (SpanRecord& r : recs) {
+    const std::uint64_t total = r.duration_ns();
+    const auto it = child_ns.find(r.id);
+    const std::uint64_t children = it != child_ns.end() ? it->second : 0;
+    r.self_ns = total > children ? total - children : 0;
+  }
+  return recs;
+}
+
+std::uint64_t spans_dropped() noexcept {
+  SpanStore& store = SpanStore::get();
+  const std::lock_guard<std::mutex> lock(store.mu);
+  return store.dropped;
+}
+
+namespace detail {
+
+void reset_spans() {
+  SpanStore& store = SpanStore::get();
+  const std::lock_guard<std::mutex> lock(store.mu);
+  store.records.clear();
+  store.dropped = 0;
+}
+
+}  // namespace detail
+
+}  // namespace tags::obs
+
+#endif  // TAGS_OBS_ENABLED

@@ -24,18 +24,20 @@ thread_local ScopedTimer* tl_top = nullptr;
 
 }  // namespace
 
-ScopedTimer::ScopedTimer(const char* label) {
+ScopedTimer::ScopedTimer(std::string_view label) {
   if (!metrics_on()) return;
   active_ = true;
   parent_ = tl_top;
   tl_top = this;
+  // The label is copied here, before the constructor returns — the caller's
+  // buffer owes nothing beyond this call (see the contract in timer.hpp).
   if (parent_ != nullptr) {
-    path_.reserve(parent_->path_.size() + 1 + std::char_traits<char>::length(label));
+    path_.reserve(parent_->path_.size() + 1 + label.size());
     path_ = parent_->path_;
     path_ += '/';
-    path_ += label;
+    path_.append(label.data(), label.size());
   } else {
-    path_ = label;
+    path_.assign(label.data(), label.size());
   }
   start_ns_ = now_ns();
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "obs/level.hpp"
 
@@ -25,9 +26,14 @@ struct TimerStat {
 
 class ScopedTimer {
  public:
-  /// `label` must outlive the scope (string literals in practice). Inactive
-  /// (zero-cost destructor) when the level is off at construction.
-  explicit ScopedTimer(const char* label);
+  /// Label-lifetime contract: the characters of `label` are copied into the
+  /// timer's owned path during construction, so any lifetime is fine —
+  /// string literals, temporaries, substrings of a buffer about to be
+  /// reused. (Earlier revisions documented a must-outlive-the-scope rule;
+  /// that requirement is gone and must not come back: call sites pass
+  /// dynamically composed labels.) Inactive (zero-cost destructor) when the
+  /// level is off at construction.
+  explicit ScopedTimer(std::string_view label);
   ~ScopedTimer();
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -51,7 +57,7 @@ void reset_timer_stats();  // called by reset_metrics()
 
 class ScopedTimer {
  public:
-  explicit ScopedTimer(const char*) noexcept {}
+  explicit ScopedTimer(std::string_view) noexcept {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 };

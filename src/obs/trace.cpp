@@ -42,9 +42,20 @@ std::uint64_t process_start_ns() {
 // Sinks
 // ---------------------------------------------------------------------------
 
+MemorySink::MemorySink(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
 void MemorySink::on_event(const TraceEvent& ev) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(ev);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(ev);
+      return;
+    }
+    ++dropped_;
+  }
+  // Counter update outside mu_: count() takes the registry mutex.
+  count("trace.events_dropped");
 }
 
 std::vector<TraceEvent> MemorySink::events() const {
@@ -52,9 +63,15 @@ std::vector<TraceEvent> MemorySink::events() const {
   return events_;
 }
 
+std::uint64_t MemorySink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void MemorySink::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  dropped_ = 0;
 }
 
 struct JsonlSink::Impl {

@@ -32,16 +32,28 @@ class TraceSink {
   virtual void on_event(const TraceEvent& ev) = 0;
 };
 
-/// Collects events in memory — tests and small runs.
+/// Collects events in memory — tests and small runs. Growth is bounded:
+/// beyond `capacity` events the sink drops new events (counting them in the
+/// trace.events_dropped counter and dropped()), so a long sweep left
+/// tracing cannot grow memory without bound.
 class MemorySink final : public TraceSink {
  public:
+  /// Default capacity fits any per-solve trace while capping worst-case
+  /// memory at roughly a hundred MB of events.
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+
+  explicit MemorySink(std::size_t capacity = kDefaultCapacity);
   void on_event(const TraceEvent& ev) override;
   [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Events discarded because the sink was at capacity.
+  [[nodiscard]] std::uint64_t dropped() const;
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Appends one JSON object per line to a file.

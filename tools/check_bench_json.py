@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a bench telemetry JSON file against the v1 schema.
+"""Validate a bench telemetry JSON file against the v1/v2 schema.
 
 Usage: check_bench_json.py [--require-gauge NAME[=VALUE]] <telemetry.json> [...]
 
@@ -15,9 +15,13 @@ problem. The schema (see README "Observability"):
 
   {
     "id": str,
-    "schema_version": 1,
+    "schema_version": 2,         # 1 accepted for pre-span files
     "obs_level": int,            # -1 when compiled out, else 0..3
     "timers": {path: {"count": int, "total_ms": num, "self_ms": num}},
+    "spans": [{"id": int, "parent": int, "thread": int, "name": str,
+               "start_ms": num, "end_ms": num, "self_ms": num,
+               "num": {key: num}?, "str": {key: str}?}],   # v2 only
+    "spans_dropped": int,        # v2 only
     "counters": {name: int},
     "gauges": {name: num},
     "histograms": {name: {"count": int, "sum": num, "p50": num,
@@ -28,6 +32,12 @@ problem. The schema (see README "Observability"):
                 "condition": num?, ...}],
     "solves_dropped": int,
   }
+
+Span entries are additionally checked for causal consistency: ids unique
+and positive, timestamps monotonic (end >= start), parents listed before
+their children with child intervals inside the parent's (same-thread
+children only — cross-thread spans overlap by design), and self time
+nonnegative and no larger than the duration.
 
 An empty document (all collections empty) is valid — that is what a build
 with TAGS_ENABLE_OBS=OFF or TAGS_OBS_LEVEL=0 produces.
@@ -64,7 +74,8 @@ def check(path, required_gauges=()):
         return doc[name]
 
     field("id", str)
-    if field("schema_version", int) not in (None, 1):
+    version = field("schema_version", int)
+    if version not in (None, 1, 2):
         err(f"unsupported schema_version {doc['schema_version']}")
     field("obs_level", int)
     field("solves_dropped", int)
@@ -77,6 +88,70 @@ def check(path, required_gauges=()):
         for key, types in (("count", int), ("total_ms", NUMBER), ("self_ms", NUMBER)):
             if not isinstance(stat.get(key), types) or isinstance(stat.get(key), bool):
                 err(f"timer '{tpath}' field '{key}' missing or wrong type")
+
+    if version == 2:
+        field("spans_dropped", int)
+        spans = field("spans", list)
+        seen = {}  # id -> record, in listed (parent-before-child) order
+        span_fields = (
+            ("id", int),
+            ("parent", int),
+            ("thread", int),
+            ("name", str),
+            ("start_ms", NUMBER),
+            ("end_ms", NUMBER),
+            ("self_ms", NUMBER),
+        )
+        for i, rec in enumerate(spans or []):
+            if not isinstance(rec, dict):
+                err(f"spans[{i}] must be an object")
+                continue
+            bad = False
+            for key, types in span_fields:
+                v = rec.get(key)
+                if not isinstance(v, types) or isinstance(v, bool):
+                    err(f"spans[{i}] field '{key}' missing or wrong type")
+                    bad = True
+            if bad:
+                continue
+            if rec["id"] <= 0:
+                err(f"spans[{i}] id must be positive")
+            if rec["id"] in seen:
+                err(f"spans[{i}] duplicate id {rec['id']}")
+            if rec["end_ms"] < rec["start_ms"]:
+                err(f"spans[{i}] ({rec['name']}) end_ms precedes start_ms")
+            duration = rec["end_ms"] - rec["start_ms"]
+            if rec["self_ms"] < 0 or rec["self_ms"] > duration * 1.001 + 1e-6:
+                err(
+                    f"spans[{i}] ({rec['name']}) self_ms {rec['self_ms']} "
+                    f"outside [0, duration {duration}]"
+                )
+            if rec["parent"] != 0:
+                parent = seen.get(rec["parent"])
+                if parent is None:
+                    # Orphans are legitimate only when the store overflowed.
+                    if doc.get("spans_dropped", 0) == 0:
+                        err(
+                            f"spans[{i}] ({rec['name']}) parent {rec['parent']} "
+                            "not listed before it (parent-before-child order)"
+                        )
+                elif parent["thread"] == rec["thread"] and (
+                    rec["start_ms"] < parent["start_ms"] - 1e-6
+                    or rec["end_ms"] > parent["end_ms"] + 1e-6
+                ):
+                    err(
+                        f"spans[{i}] ({rec['name']}) interval escapes its "
+                        f"same-thread parent {parent['name']}"
+                    )
+            for attrs, types in (("num", NUMBER), ("str", str)):
+                if attrs in rec:
+                    if not isinstance(rec[attrs], dict):
+                        err(f"spans[{i}] field '{attrs}' must be an object")
+                        continue
+                    for k, v in rec[attrs].items():
+                        if not isinstance(v, types) or isinstance(v, bool):
+                            err(f"spans[{i}] attribute '{k}' wrong type")
+            seen[rec["id"]] = rec
 
     counters = field("counters", dict)
     for name, v in (counters or {}).items():
@@ -163,7 +238,7 @@ def main(argv):
     for p in all_problems:
         print(p, file=sys.stderr)
     if not all_problems:
-        print(f"ok: {len(paths)} file(s) conform to telemetry schema v1")
+        print(f"ok: {len(paths)} file(s) conform to the telemetry schema")
     return 1 if all_problems else 0
 
 

@@ -4,9 +4,11 @@
 //   ./tools/export_models [output_dir]
 //
 // Observability flags:
-//   --trace <file.jsonl>   stream trace events as JSON lines
-//   --metrics-out <file>   write the metrics/telemetry JSON on exit
-//   --obs-level <0..3>     override TAGS_OBS_LEVEL for this run
+//   --trace <file.jsonl>       stream trace events as JSON lines
+//   --metrics-out <file>       write the metrics/telemetry JSON on exit
+//   --trace-chrome=<file>      write the span store as a Chrome trace on exit
+//   --metrics-prom=<file>      write Prometheus text exposition on exit
+//   --obs-level <0..3>         override TAGS_OBS_LEVEL for this run
 //
 // When either telemetry flag is given, each exported model is additionally
 // parsed and derived so that the emitted metrics cover the real state-space
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> pos;
   std::string trace_path;
   std::string metrics_path;
+  std::string chrome_path;
+  std::string prom_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&](const char* flag) -> const char* {
@@ -45,6 +49,10 @@ int main(int argc, char** argv) {
       trace_path = value("--trace");
     } else if (arg == "--metrics-out") {
       metrics_path = value("--metrics-out");
+    } else if (arg.rfind("--trace-chrome=", 0) == 0) {
+      chrome_path = arg.substr(15);
+    } else if (arg.rfind("--metrics-prom=", 0) == 0) {
+      prom_path = arg.substr(15);
     } else if (arg == "--obs-level") {
 #if TAGS_OBS_ENABLED
       obs::set_level(static_cast<obs::Level>(
@@ -66,13 +74,15 @@ int main(int argc, char** argv) {
     obs::install_trace_sink(std::move(sink));
   }
 #else
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() || !chrome_path.empty() ||
+      !prom_path.empty()) {
     std::fprintf(stderr,
                  "warning: built with TAGS_ENABLE_OBS=OFF; telemetry output "
                  "will be empty\n");
   }
 #endif
-  const bool derive_exports = !trace_path.empty() || !metrics_path.empty();
+  const bool derive_exports = !trace_path.empty() || !metrics_path.empty() ||
+                              !chrome_path.empty() || !prom_path.empty();
 
   const std::filesystem::path dir = !pos.empty() ? pos[0] : "pepa_models";
   std::error_code ec;
@@ -107,6 +117,15 @@ int main(int argc, char** argv) {
       !obs::write_telemetry_json(metrics_path, "export_models")) {
     std::fprintf(stderr, "warning: could not write metrics to %s\n",
                  metrics_path.c_str());
+  }
+  if (!chrome_path.empty() &&
+      !obs::write_chrome_trace(chrome_path, "export_models")) {
+    std::fprintf(stderr, "warning: could not write chrome trace to %s\n",
+                 chrome_path.c_str());
+  }
+  if (!prom_path.empty() && !obs::write_prometheus(prom_path)) {
+    std::fprintf(stderr, "warning: could not write prometheus metrics to %s\n",
+                 prom_path.c_str());
   }
   return 0;
 }
