@@ -20,11 +20,11 @@ int main(int argc, char** argv) {
   const auto sweep = core::tags_t_sweep(base, scenario.t_values, plan, &stats);
   bench::print_sweep_stats(stats);
 
-  const auto random = models::random_alloc_exp(
-      {.lambda = base.lambda, .mu = base.mu, .k = base.k1});
-  const auto sq =
-      models::ShortestQueueModel({.lambda = base.lambda, .mu = base.mu, .k = base.k1})
-          .metrics();
+  const core::ScenarioRequest base_req = core::request_for(base);
+  const auto random = core::scenario_metrics(
+      core::baseline_for(core::PolicyKind::kRandom, base_req));
+  const auto sq = core::scenario_metrics(
+      core::baseline_for(core::PolicyKind::kShortestQueue, base_req));
 
   core::Table table({"t", "tags_EN_total", "tags_EN_q1", "tags_EN_q2", "random_EN",
                      "shortest_queue_EN"});

@@ -34,10 +34,11 @@ int main() {
     p5.n = 5;
     const auto opt5 =
         approx::optimise_tags_t_integer(p5, approx::Objective::kMinQueueLength, 25, 70);
-    const auto random =
-        models::random_alloc_exp({.lambda = lambda, .mu = p.mu, .k = p.k1});
-    const auto sq =
-        models::ShortestQueueModel({.lambda = lambda, .mu = p.mu, .k = p.k1}).metrics();
+    const core::ScenarioRequest base_req = core::request_for(p);
+    const auto random = core::scenario_metrics(
+        core::baseline_for(core::PolicyKind::kRandom, base_req));
+    const auto sq = core::scenario_metrics(
+        core::baseline_for(core::PolicyKind::kShortestQueue, base_req));
     table.add_row({lambda, opt.t, opt5.t, static_cast<double>(paper_t[i]),
                    opt.metrics.response_time, random.response_time,
                    sq.response_time});

@@ -25,17 +25,11 @@ int main(int argc, char** argv) {
   core::SweepStats stats;
   const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats);
   bench::print_sweep_stats(stats);
-  const auto sq = models::ShortestQueueH2Model({.lambda = base.lambda,
-                                                .alpha = base.alpha,
-                                                .mu1 = base.mu1,
-                                                .mu2 = base.mu2,
-                                                .k = base.k1})
-                      .metrics();
-  const auto random = models::random_alloc_h2({.lambda = base.lambda,
-                                               .alpha = base.alpha,
-                                               .mu1 = base.mu1,
-                                               .mu2 = base.mu2,
-                                               .k = base.k1});
+  const core::ScenarioRequest base_req = core::request_for(base);
+  const auto sq = core::scenario_metrics(
+      core::baseline_for(core::PolicyKind::kShortestQueueH2, base_req));
+  const auto random = core::scenario_metrics(
+      core::baseline_for(core::PolicyKind::kRandomH2, base_req));
 
   core::Table table({"t", "tags_W", "shortest_queue_W"});
   table.set_precision(5);

@@ -17,12 +17,8 @@ int main(int argc, char** argv) {
   core::SweepStats stats;
   const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats);
   bench::print_sweep_stats(stats);
-  const auto sq = models::ShortestQueueH2Model({.lambda = base.lambda,
-                                                .alpha = base.alpha,
-                                                .mu1 = base.mu1,
-                                                .mu2 = base.mu2,
-                                                .k = base.k1})
-                      .metrics();
+  const auto sq = core::scenario_metrics(core::baseline_for(
+      core::PolicyKind::kShortestQueueH2, core::request_for(base)));
 
   core::Table table({"t", "tags_throughput", "shortest_queue_throughput",
                      "tags_loss_rate"});

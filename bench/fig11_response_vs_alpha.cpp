@@ -27,12 +27,11 @@ int main() {
     models::TagsH2Params p = scenario.tags_at(alpha, 20.0);
     const auto opt = approx::optimise_tags_h2_t_coarse(
         p, approx::Objective::kMinResponseTime, 4, 100, 6);
-    const auto random = models::random_alloc_h2(
-        {.lambda = p.lambda, .alpha = alpha, .mu1 = p.mu1, .mu2 = p.mu2, .k = p.k1});
-    const auto sq = models::ShortestQueueH2Model(
-                        {.lambda = p.lambda, .alpha = alpha, .mu1 = p.mu1,
-                         .mu2 = p.mu2, .k = p.k1})
-                        .metrics();
+    const core::ScenarioRequest base_req = core::request_for(p);
+    const auto random = core::scenario_metrics(
+        core::baseline_for(core::PolicyKind::kRandomH2, base_req));
+    const auto sq = core::scenario_metrics(
+        core::baseline_for(core::PolicyKind::kShortestQueueH2, base_req));
     table.add_row({alpha, opt.t, opt.metrics.response_time, random.response_time,
                    sq.response_time});
   }

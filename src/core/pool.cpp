@@ -8,6 +8,7 @@
 #include <exception>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -29,16 +30,32 @@ obs::Counter& completed_counter() {
   static obs::Counter c("core.pool.tasks_completed");
   return c;
 }
+obs::Counter& posted_counter() {
+  static obs::Counter c("core.pool.tasks_posted");
+  return c;
+}
+obs::Counter& error_counter() {
+  static obs::Counter c("core.pool.task_errors");
+  return c;
+}
 
 }  // namespace
 
 struct ThreadPool::State {
+  /// One unit of work on a deque. Batched entries report their first
+  /// exception back to the blocked run() caller; posted entries have no
+  /// waiter, so an escaped exception is only counted.
+  struct Entry {
+    std::function<void()> fn;
+    bool batched = false;
+  };
+
   // One deque per worker. Owners pop from the front, thieves take from the
   // back; each deque has its own lock so a steal never blocks the victim's
   // neighbours.
   struct Queue {
     std::mutex m;
-    std::deque<std::function<void()>*> tasks;
+    std::deque<Entry> tasks;
   };
 
   explicit State(unsigned n) : queues(n), busy_ns(n) {
@@ -49,17 +66,20 @@ struct ThreadPool::State {
   std::vector<std::atomic<std::uint64_t>> busy_ns;
   std::atomic<std::uint64_t> stolen{0};
   std::atomic<std::uint64_t> completed{0};
+  // Round-robin cursor for post() placement (run() deals by index).
+  std::atomic<std::uint64_t> post_cursor{0};
   // Span id active on the thread that called run(): workers execute the
   // batch on other threads, so each task span names this as its parent
   // explicitly (the per-thread span stack cannot cross the pool boundary).
   std::atomic<std::uint64_t> batch_parent{0};
 
-  // Batch lifecycle: run() publishes work under `m` and waits on done_cv;
-  // workers sleep on work_cv between batches.
+  // Lifecycle: run()/post() publish work under `m` and waiters sleep on
+  // done_cv; workers sleep on work_cv between tasks.
   std::mutex m;
   std::condition_variable work_cv;
   std::condition_variable done_cv;
-  std::size_t pending = 0;  ///< tasks not yet finished in the active batch
+  std::size_t pending = 0;        ///< all tasks not yet finished
+  std::size_t batch_pending = 0;  ///< batched tasks of the active run()
   bool stop = false;
   std::exception_ptr first_error;
 
@@ -67,16 +87,16 @@ struct ThreadPool::State {
   std::mutex run_m;
 
   /// Take one task: own queue first, then steal from the back of the most
-  /// loaded victim. Returns nullptr when every deque is empty.
-  std::function<void()>* take(unsigned me, bool& stole) {
+  /// loaded victim. Returns false when every deque is empty.
+  bool take(unsigned me, Entry& out, bool& stole) {
     {
       Queue& own = queues[me];
       const std::lock_guard<std::mutex> lock(own.m);
       if (!own.tasks.empty()) {
-        auto* t = own.tasks.front();
+        out = std::move(own.tasks.front());
         own.tasks.pop_front();
         stole = false;
-        return t;
+        return true;
       }
     }
     // Pick the victim with the longest queue (sampled without locks held
@@ -86,13 +106,13 @@ struct ThreadPool::State {
       Queue& victim = queues[(me + hop) % n];
       const std::lock_guard<std::mutex> lock(victim.m);
       if (!victim.tasks.empty()) {
-        auto* t = victim.tasks.back();
+        out = std::move(victim.tasks.back());
         victim.tasks.pop_back();
         stole = true;
-        return t;
+        return true;
       }
     }
-    return nullptr;
+    return false;
   }
 };
 
@@ -118,16 +138,17 @@ void ThreadPool::worker_loop(unsigned me) {
   State& s = *state_;
   for (;;) {
     bool stole = false;
+    State::Entry entry;
     // Fast path: grab work (own deque, then steal) without the batch lock.
-    std::function<void()>* task = s.take(me, stole);
-    if (task == nullptr) {
+    bool got = s.take(me, entry, stole);
+    if (!got) {
       std::unique_lock<std::mutex> lock(s.m);
       s.work_cv.wait(lock, [&] {
         if (s.stop) return true;
-        task = s.take(me, stole);
-        return task != nullptr;
+        got = s.take(me, entry, stole);
+        return got;
       });
-      if (task == nullptr) return;  // stop requested, queues drained
+      if (!got) return;  // stop requested, queues drained
     }
     if (stole) {
       s.stolen.fetch_add(1, std::memory_order_relaxed);
@@ -139,15 +160,17 @@ void ThreadPool::worker_loop(unsigned me) {
     std::exception_ptr error;
     {
       obs::Span span("core/pool_task",
-                     s.batch_parent.load(std::memory_order_relaxed));
+                     entry.batched ? s.batch_parent.load(std::memory_order_relaxed)
+                                   : 0);
       span.attr("worker", static_cast<double>(me));
       if (stole) span.attr("stolen", 1.0);
       try {
-        (*task)();
+        entry.fn();
       } catch (...) {
         error = std::current_exception();
       }
     }
+    entry.fn = nullptr;  // release captures before signalling completion
     const std::uint64_t elapsed = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
@@ -155,14 +178,19 @@ void ThreadPool::worker_loop(unsigned me) {
     s.busy_ns[me].fetch_add(elapsed, std::memory_order_relaxed);
     s.completed.fetch_add(1, std::memory_order_relaxed);
     completed_counter().add();
+    if (error) error_counter().add();
     obs::observe("core.pool.task_ms", static_cast<double>(elapsed) / 1e6);
+    bool all_done = false;
     bool batch_done = false;
     {
       const std::lock_guard<std::mutex> lock(s.m);
-      if (error && !s.first_error) s.first_error = error;
-      batch_done = (--s.pending == 0);
+      if (entry.batched) {
+        if (error && !s.first_error) s.first_error = error;
+        batch_done = (--s.batch_pending == 0);
+      }
+      all_done = (--s.pending == 0);
     }
-    if (batch_done) s.done_cv.notify_all();
+    if (batch_done || all_done) s.done_cv.notify_all();
   }
 }
 
@@ -174,11 +202,12 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   {
     const std::lock_guard<std::mutex> lock(s.m);
     s.first_error = nullptr;
-    s.pending = tasks.size();
+    s.pending += tasks.size();
+    s.batch_pending = tasks.size();
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       State::Queue& q = s.queues[i % s.queues.size()];
       const std::lock_guard<std::mutex> qlock(q.m);
-      q.tasks.push_back(&tasks[i]);
+      q.tasks.push_back({std::move(tasks[i]), /*batched=*/true});
     }
   }
   queued_counter().add(tasks.size());
@@ -186,7 +215,7 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(s.m);
-    s.done_cv.wait(lock, [&] { return s.pending == 0; });
+    s.done_cv.wait(lock, [&] { return s.batch_pending == 0; });
     error = s.first_error;
     s.first_error = nullptr;
   }
@@ -195,6 +224,27 @@ void ThreadPool::run(std::vector<std::function<void()>> tasks) {
                    static_cast<double>(worker_busy_ns(i)) / 1e6);
   }
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  State& s = *state_;
+  const auto slot = static_cast<std::size_t>(
+      s.post_cursor.fetch_add(1, std::memory_order_relaxed) % s.queues.size());
+  {
+    const std::lock_guard<std::mutex> lock(s.m);
+    ++s.pending;
+    State::Queue& q = s.queues[slot];
+    const std::lock_guard<std::mutex> qlock(q.m);
+    q.tasks.push_back({std::move(task), /*batched=*/false});
+  }
+  posted_counter().add();
+  s.work_cv.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  State& s = *state_;
+  std::unique_lock<std::mutex> lock(s.m);
+  s.done_cv.wait(lock, [&] { return s.pending == 0; });
 }
 
 std::uint64_t ThreadPool::worker_busy_ns(unsigned worker) const {

@@ -38,6 +38,21 @@ class ThreadPool {
   /// calls from different threads are serialised.
   void run(std::vector<std::function<void()>> tasks);
 
+  /// Enqueue one task with no batch barrier: it runs as soon as a worker
+  /// is free, and post() returns immediately. This is the long-lived
+  /// service submission path (the serve::JobQueue drains through it).
+  /// Posted tasks must not throw — there is no batch to rethrow into, so
+  /// an escaped exception is swallowed after being counted under
+  /// core.pool.task_errors (callers that care wrap their work in try/catch,
+  /// as the JobQueue does). Safe to call from any thread, including from
+  /// inside a running task.
+  void post(std::function<void()> task);
+
+  /// Block until every task — posted or batched — has finished. Intended
+  /// for service shutdown/drain; new post() calls during the wait extend
+  /// it.
+  void wait_idle();
+
   /// Busy wall-clock nanoseconds accumulated by one worker across all
   /// batches so far (stable only between run() calls).
   [[nodiscard]] std::uint64_t worker_busy_ns(unsigned worker) const;

@@ -1,0 +1,38 @@
+#include "ctmc/digest.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace tags::ctmc {
+
+std::uint64_t pattern_digest(const linalg::CsrMatrix& m) noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  h = fnv1a64_u64(static_cast<std::uint64_t>(m.rows()), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(m.cols()), h);
+  for (linalg::index_t i = 0; i < m.rows(); ++i) {
+    const std::span<const linalg::index_t> cols = m.row_cols(i);
+    h = fnv1a64_u64(cols.size(), h);
+    for (const linalg::index_t c : cols) {
+      h = fnv1a64_u64(static_cast<std::uint64_t>(c), h);
+    }
+  }
+  return h;
+}
+
+std::uint64_t structure_digest(const GeneratorCtmc& engine) noexcept {
+  std::uint64_t h = pattern_digest(engine.generator());
+  h = fnv1a64_u64(engine.label_names().size(), h);
+  for (const std::string& name : engine.label_names()) {
+    h = fnv1a64_str(name, h);
+  }
+  return h;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, 16);
+}
+
+}  // namespace tags::ctmc

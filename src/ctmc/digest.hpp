@@ -1,0 +1,84 @@
+// Stable 64-bit FNV-1a digests over CTMC structure, the cache-key
+// primitive of the analysis server (src/serve) and the durable results
+// store. Two layers:
+//
+//  * fnv1a64 / mixers — the raw hash, byte-order-stable on every platform
+//    we build for (the repo targets little-endian; digests are documented
+//    as implementation identifiers, not portable checksums).
+//  * structure_digest — the frozen CSR sparsity pattern (dimensions,
+//    row extents, column indices) plus the interned label names of an
+//    assembled GeneratorCtmc. By the rebinding contract in
+//    generator_model.hpp this is invariant under rebind() (rates move on a
+//    frozen pattern) and changes whenever a structural parameter moves the
+//    state space or the emission pattern — exactly the property a
+//    rebind-aware solve cache needs from its key.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "ctmc/generator.hpp"
+#include "linalg/csr.hpp"
+
+namespace tags::ctmc {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Core FNV-1a: fold `len` bytes into `h`. Chain calls to digest
+/// heterogeneous records; start from kFnv1aOffset.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                              std::uint64_t h = kFnv1aOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Mix one unsigned 64-bit value (little-endian byte order, explicitly, so
+/// the digest does not depend on the host's integer layout).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_u64(std::uint64_t v,
+                                                  std::uint64_t h) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Mix one double by bit pattern. -0.0 is normalised to +0.0 so the two
+/// zero encodings of a rate cannot split the cache; NaNs are not expected
+/// in parameters and hash by whatever payload they carry.
+[[nodiscard]] inline std::uint64_t fnv1a64_double(double v, std::uint64_t h) noexcept {
+  if (v == 0.0) v = 0.0;  // collapses -0.0
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a64_u64(bits, h);
+}
+
+/// Mix a string including its length (so {"ab","c"} and {"a","bc"} differ).
+[[nodiscard]] inline std::uint64_t fnv1a64_str(std::string_view s,
+                                               std::uint64_t h) noexcept {
+  h = fnv1a64_u64(s.size(), h);
+  return fnv1a64(s.data(), s.size(), h);
+}
+
+/// Digest of a CSR matrix's sparsity pattern only: dimensions, per-row
+/// extents, and column indices — never the values. Rebinding rates on the
+/// frozen pattern preserves it; any dimension or pattern change alters it.
+[[nodiscard]] std::uint64_t pattern_digest(const linalg::CsrMatrix& m) noexcept;
+
+/// Digest of an assembled engine's structure: the generator's sparsity
+/// pattern plus the interned label names (two models with identical
+/// patterns but different label sets must not share cached answers).
+[[nodiscard]] std::uint64_t structure_digest(const GeneratorCtmc& engine) noexcept;
+
+/// Hex rendering ("%016x") for protocol messages and logs.
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+}  // namespace tags::ctmc

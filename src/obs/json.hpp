@@ -15,7 +15,11 @@ namespace tags::obs {
 
 class JsonWriter {
  public:
-  JsonWriter() { os_.precision(15); }
+  /// `precision` is the significant-digit count for doubles. The default
+  /// matches the historical telemetry output; pass 17 for exact double
+  /// round-trips (the serve line protocol relies on that for byte-identical
+  /// pi vectors).
+  explicit JsonWriter(int precision = 15) { os_.precision(precision); }
 
   void begin_object() {
     comma();

@@ -350,7 +350,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(2));
+  w.field("schema_version", static_cast<std::int64_t>(3));
   w.field("obs_level", static_cast<std::int64_t>(level()));
 
   w.key("timers");
@@ -452,6 +452,36 @@ std::string metrics_json(const std::string& id) {
   w.end_array();
   w.field("solves_dropped", static_cast<std::int64_t>(r.solves_dropped));
 
+  // Schema v3: the analysis-server section — the serve.* counters and
+  // gauges under stable field names, so the smoke harness and dashboards
+  // need not know the registry naming scheme. All-zero when no server ran
+  // in this process.
+  const auto counter_by_name = [&r](const char* name) -> std::int64_t {
+    for (std::size_t i = 0; i < r.counters.size(); ++i) {
+      if (r.counters[i]->name == name) {
+        return static_cast<std::int64_t>(counter_total(r, i));
+      }
+    }
+    return 0;
+  };
+  const auto gauge_by_name = [&r](const char* name) -> double {
+    for (const auto& g : r.gauges) {
+      if (g->name == name) return g->value.load(std::memory_order_relaxed);
+    }
+    return 0.0;
+  };
+  w.key("server");
+  w.begin_object();
+  w.field("requests", counter_by_name("serve.requests"));
+  w.field("cache_hit", counter_by_name("serve.cache_hit"));
+  w.field("cache_miss", counter_by_name("serve.cache_miss"));
+  w.field("cache_evicted", counter_by_name("serve.cache_evicted"));
+  w.field("jobs_shed", counter_by_name("serve.jobs_shed"));
+  w.field("deadline_missed", counter_by_name("serve.deadline_missed"));
+  w.field("queue_depth", gauge_by_name("serve.queue.depth"));
+  w.field("cache_size", gauge_by_name("serve.cache.size"));
+  w.end_object();
+
   w.end_object();
   return std::move(w).str();
 }
@@ -517,7 +547,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(2));
+  w.field("schema_version", static_cast<std::int64_t>(3));
   w.field("obs_level", static_cast<std::int64_t>(-1));
   w.key("timers");
   w.begin_object();
@@ -539,6 +569,17 @@ std::string metrics_json(const std::string& id) {
   w.begin_array();
   w.end_array();
   w.field("solves_dropped", static_cast<std::int64_t>(0));
+  w.key("server");
+  w.begin_object();
+  w.field("requests", static_cast<std::int64_t>(0));
+  w.field("cache_hit", static_cast<std::int64_t>(0));
+  w.field("cache_miss", static_cast<std::int64_t>(0));
+  w.field("cache_evicted", static_cast<std::int64_t>(0));
+  w.field("jobs_shed", static_cast<std::int64_t>(0));
+  w.field("deadline_missed", static_cast<std::int64_t>(0));
+  w.field("queue_depth", 0.0);
+  w.field("cache_size", 0.0);
+  w.end_object();
   w.end_object();
   return std::move(w).str();
 }

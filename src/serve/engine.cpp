@@ -1,0 +1,229 @@
+#include "serve/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/pool.hpp"
+#include "ctmc/digest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/solve_cache.hpp"
+
+namespace tags::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+Answer answer_from(const core::ScenarioRequest& scenario,
+                   const core::ScenarioOutcome& outcome) {
+  Answer a;
+  a.scenario = scenario;
+  a.metrics = outcome.metrics;
+  a.pi = outcome.pi;
+  a.structure_digest = outcome.structure_digest;
+  a.rate_digest = core::rate_digest(scenario);
+  a.pi_digest =
+      ctmc::fnv1a64(a.pi.data(), a.pi.size() * sizeof(double));
+  a.n_states = static_cast<std::int64_t>(a.pi.size());
+  a.certified = outcome.solve.certificate.ok();
+  a.converged = outcome.solve.converged;
+  a.method = a.pi.empty() ? std::string("closed-form")
+                          : std::string(ctmc::to_string(outcome.solve.method_used));
+  return a;
+}
+
+bool closed_form(core::PolicyKind policy) noexcept {
+  return policy == core::PolicyKind::kRandom || policy == core::PolicyKind::kRandomH2;
+}
+
+}  // namespace
+
+struct Engine::State {
+  explicit State(EngineOptions opts)
+      : opts(std::move(opts)),
+        pool(this->opts.threads),
+        queue(this->opts.queue_depth),
+        cache(this->opts.cache_capacity),
+        requests_counter("serve.requests") {}
+
+  const EngineOptions opts;
+  core::ThreadPool pool;
+  JobQueue queue;
+  SolveCache cache;
+
+  /// One warm-start slot per model structure, each behind its own mutex so
+  /// concurrent requests for different structures solve in parallel while
+  /// requests sharing a structure serialise (and dedupe via the cache
+  /// re-check below).
+  struct Slot {
+    std::mutex m;
+    core::ScenarioSlot slot;
+  };
+  std::mutex slots_m;
+  std::unordered_map<std::string, std::unique_ptr<Slot>> slots;
+  /// structure_key -> frozen-sparsity digest, learned at first assembly.
+  /// Lets submit() form the full cache key without touching a model.
+  std::unordered_map<std::string, std::uint64_t> structures;
+
+  std::atomic<std::uint64_t> requests{0};
+  obs::Counter requests_counter;
+
+  Slot& slot_for(const std::string& key) {
+    std::lock_guard<std::mutex> lock(slots_m);
+    auto& entry = slots[key];
+    if (!entry) entry = std::make_unique<Slot>();
+    return *entry;
+  }
+
+  std::optional<std::uint64_t> known_structure(const core::ScenarioRequest& scenario) {
+    if (closed_form(scenario.policy)) return 0;  // no chain, digest fixed at 0
+    std::lock_guard<std::mutex> lock(slots_m);
+    const auto it = structures.find(core::structure_key(scenario));
+    if (it == structures.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void learn_structure(const std::string& key, std::uint64_t digest) {
+    std::lock_guard<std::mutex> lock(slots_m);
+    structures.emplace(key, digest);
+  }
+
+  void execute(const Request& req, const Responder& respond, bool counted,
+               Clock::time_point admitted);
+};
+
+Engine::Engine(EngineOptions opts) : state_(std::make_unique<State>(std::move(opts))) {}
+
+Engine::~Engine() { drain(); }
+
+void Engine::submit(Request req, Responder respond) {
+  State& s = *state_;
+  s.requests.fetch_add(1, std::memory_order_relaxed);
+  s.requests_counter.add(1);
+  obs::Span span("serve/request");
+
+  // Fast path: with the structure digest already known (any structure seen
+  // before, or a closed-form policy), a cached answer is served from the
+  // submitting thread without queueing at all.
+  bool counted = false;
+  if (const auto structure = s.known_structure(req.scenario)) {
+    const CacheKey key{std::string(core::to_string(req.scenario.policy)), *structure,
+                       core::rate_digest(req.scenario)};
+    counted = true;
+    if (auto hit = s.cache.lookup(key)) {
+      respond(serialize_answer(req.id, *hit, Served{.cached = true}, req.want_pi));
+      return;
+    }
+  }
+
+  const auto admitted = Clock::now();
+  Job job;
+  job.priority = req.priority;
+  if (req.deadline_ms >= 0) {
+    job.deadline = admitted + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double, std::milli>(
+                                      req.deadline_ms));
+  }
+  const std::string id = req.id;
+  job.shed = [respond, id](ShedReason reason) { respond(serialize_shed(id, reason)); };
+  job.run = [this, req = std::move(req), respond, counted, admitted] {
+    state_->execute(req, respond, counted, admitted);
+  };
+  if (state_->queue.submit(std::move(job))) {
+    s.pool.post([st = state_.get()] { st->queue.run_next(); });
+  }
+}
+
+void Engine::State::execute(const Request& req, const Responder& respond, bool counted,
+                            Clock::time_point admitted) {
+  const double queue_ms = ms_since(admitted);
+  obs::Span span("serve/solve");
+  try {
+    const std::string skey = core::structure_key(req.scenario);
+    Slot& slot = slot_for(skey);
+    std::lock_guard<std::mutex> slot_lock(slot.m);
+
+    // Dedupe re-check: a concurrent identical request may have finished
+    // while this one was queued (or waiting on the slot). Serving its
+    // answer keeps identical requests bit-identical.
+    if (const auto structure = known_structure(req.scenario)) {
+      const CacheKey key{std::string(core::to_string(req.scenario.policy)), *structure,
+                         core::rate_digest(req.scenario)};
+      if (auto hit = cache.lookup(key, !counted)) {
+        respond(serialize_answer(req.id, *hit,
+                                 Served{.cached = true, .queue_ms = queue_ms},
+                                 req.want_pi));
+        return;
+      }
+    } else if (!counted) {
+      // Unknown structure: nothing with this structure was ever solved, so
+      // this request misses by construction.
+      cache.note_miss();
+    }
+
+    const auto t0 = Clock::now();
+    const std::uint64_t warm_before = slot.slot.warm().hits;
+    const core::ScenarioOutcome outcome = slot.slot.evaluate(req.scenario, opts.solve);
+    const double solve_ms = ms_since(t0);
+    const bool warm = slot.slot.warm().hits > warm_before;
+
+    if (!closed_form(req.scenario.policy)) {
+      learn_structure(skey, outcome.structure_digest);
+    }
+    const Answer answer = answer_from(req.scenario, outcome);
+    cache.insert(CacheKey{std::string(core::to_string(req.scenario.policy)),
+                          answer.structure_digest, answer.rate_digest},
+                 answer);
+    respond(serialize_answer(
+        req.id, answer,
+        Served{.cached = false, .warm = warm, .queue_ms = queue_ms, .solve_ms = solve_ms},
+        req.want_pi));
+  } catch (const std::exception& e) {
+    respond(serialize_error(req.id, e.what()));
+  } catch (...) {
+    respond(serialize_error(req.id, "unknown evaluation failure"));
+  }
+}
+
+Answer Engine::evaluate_now(const core::ScenarioRequest& scenario,
+                            const ctmc::SteadyStateOptions& opts) {
+  return answer_from(scenario, core::evaluate_scenario(scenario, opts));
+}
+
+StatsSnapshot Engine::stats() const {
+  State& s = *state_;
+  StatsSnapshot snap;
+  snap.requests = s.requests.load(std::memory_order_relaxed);
+  snap.cache_hits = s.cache.hits();
+  snap.cache_misses = s.cache.misses();
+  snap.cache_evicted = s.cache.evicted();
+  snap.jobs_shed = s.queue.shed_total();
+  snap.deadline_missed = s.queue.deadline_missed();
+  snap.cache_size = s.cache.size();
+  snap.queue_depth = s.queue.depth();
+  {
+    std::lock_guard<std::mutex> lock(s.slots_m);
+    snap.slots = s.slots.size();
+  }
+  snap.threads = s.pool.size();
+  return snap;
+}
+
+void Engine::drain() {
+  state_->queue.drain();
+  state_->pool.wait_idle();
+}
+
+}  // namespace tags::serve

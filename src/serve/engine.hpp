@@ -1,0 +1,66 @@
+// The analysis engine behind tags_server: a solve cache in front of a
+// prioritized job queue draining into the work-stealing core::ThreadPool,
+// with one warm-start ScenarioSlot per model structure. Transport-agnostic
+// — the socket server and any in-process test drive it identically through
+// submit(), and every response reaches the caller through the responder
+// callback exactly once (answer, shed, or error).
+//
+// Caching contract: repeated identical requests are answered bit-for-bit
+// identically (the first computed stationary vector is the one every later
+// hit serves), and a fresh engine's first solve of a scenario equals the
+// one-shot path (evaluate_now) byte-for-byte, because both run a cold
+// ScenarioSlot::evaluate with the same solver options.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "ctmc/steady_state.hpp"
+#include "serve/request.hpp"
+
+namespace tags::serve {
+
+struct EngineOptions {
+  unsigned threads = 0;             ///< solver workers; 0: ThreadPool default
+  std::size_t cache_capacity = 256; ///< retained answers (LRU); 0 disables
+  std::size_t queue_depth = 64;     ///< admission bound before shedding
+  ctmc::SteadyStateOptions solve;   ///< solver configuration for every request
+};
+
+class Engine {
+ public:
+  /// Receives one serialized protocol line per submitted request.
+  using Responder = std::function<void(std::string line)>;
+
+  explicit Engine(EngineOptions opts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submit one solve request. The responder is invoked exactly once: from
+  /// the calling thread on a cache hit or admission-time shed, from a pool
+  /// worker otherwise. Responders must be thread-safe against other
+  /// responses on the same connection.
+  void submit(Request req, Responder respond);
+
+  /// The one-shot path (tags_client --oneshot, figure drivers): a fresh
+  /// slot, a cold solve, the same Answer construction the server performs.
+  [[nodiscard]] static Answer evaluate_now(const core::ScenarioRequest& scenario,
+                                           const ctmc::SteadyStateOptions& opts = {});
+
+  [[nodiscard]] StatsSnapshot stats() const;
+
+  /// Block until every admitted job has completed or been shed. Callers
+  /// stop submitting first (the server closes its listener before this).
+  void drain();
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tags::serve

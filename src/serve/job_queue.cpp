@@ -1,0 +1,184 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tags::serve {
+
+namespace {
+
+struct Entry {
+  Priority priority;
+  std::chrono::steady_clock::time_point deadline;
+  std::uint64_t seq;
+  std::function<void()> run;
+  std::function<void(ShedReason)> shed;
+};
+
+/// Heap order: "a pops after b" — lower priority first loses, then later
+/// deadline, then later arrival. std::push_heap keeps the best job on top.
+bool pops_after(const Entry& a, const Entry& b) noexcept {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.deadline != b.deadline) return a.deadline > b.deadline;
+  return a.seq > b.seq;
+}
+
+/// The victim under overload is the job that would pop last.
+bool worse_victim(const Entry& a, const Entry& b) noexcept { return pops_after(a, b); }
+
+}  // namespace
+
+struct JobQueue::State {
+  explicit State(std::size_t max_depth)
+      : max_depth(std::max<std::size_t>(1, max_depth)),
+        depth_gauge("serve.queue.depth"),
+        shed_counter("serve.jobs_shed"),
+        deadline_counter("serve.deadline_missed") {}
+
+  const std::size_t max_depth;
+
+  std::mutex m;
+  std::condition_variable idle_cv;
+  std::vector<Entry> heap;
+  std::uint64_t next_seq = 0;
+  std::size_t running = 0;
+
+  std::atomic<std::uint64_t> shed_total{0};
+  std::atomic<std::uint64_t> deadline_missed{0};
+
+  obs::Gauge depth_gauge;
+  obs::Counter shed_counter;
+  obs::Counter deadline_counter;
+
+  void note_shed(ShedReason reason) noexcept {
+    shed_total.fetch_add(1, std::memory_order_relaxed);
+    shed_counter.add(1);
+    if (reason == ShedReason::kDeadline) {
+      deadline_missed.fetch_add(1, std::memory_order_relaxed);
+      deadline_counter.add(1);
+    }
+  }
+};
+
+JobQueue::JobQueue(std::size_t max_depth) : state_(std::make_unique<State>(max_depth)) {}
+
+JobQueue::~JobQueue() { drain(); }
+
+bool JobQueue::submit(Job job) {
+  State& s = *state_;
+  const auto now = std::chrono::steady_clock::now();
+
+  // Stale at admission: a deadline in the past can never be met.
+  if (job.deadline <= now) {
+    s.note_shed(ShedReason::kDeadline);
+    if (job.shed) job.shed(ShedReason::kDeadline);
+    return false;
+  }
+
+  Entry incoming{job.priority, job.deadline, 0, std::move(job.run), std::move(job.shed)};
+  std::function<void(ShedReason)> victim_shed;
+
+  {
+    std::unique_lock<std::mutex> lock(s.m);
+    if (s.heap.size() >= s.max_depth) {
+      // Full. Find the worst queued job; the incoming one is admitted only
+      // by strictly outranking it on priority class.
+      auto worst = std::max_element(s.heap.begin(), s.heap.end(), worse_victim);
+      if (worst == s.heap.end() || incoming.priority <= worst->priority) {
+        lock.unlock();
+        s.note_shed(ShedReason::kQueueFull);
+        if (incoming.shed) incoming.shed(ShedReason::kQueueFull);
+        return false;
+      }
+      victim_shed = std::move(worst->shed);
+      s.heap.erase(worst);
+      std::make_heap(s.heap.begin(), s.heap.end(), pops_after);
+    }
+    incoming.seq = s.next_seq++;
+    s.heap.push_back(std::move(incoming));
+    std::push_heap(s.heap.begin(), s.heap.end(), pops_after);
+    s.depth_gauge.set(static_cast<double>(s.heap.size()));
+  }
+
+  if (victim_shed) {
+    s.note_shed(ShedReason::kQueueFull);
+    victim_shed(ShedReason::kQueueFull);
+  }
+  return true;
+}
+
+bool JobQueue::run_next() {
+  State& s = *state_;
+  std::vector<std::function<void(ShedReason)>> expired;
+  Entry picked;
+  bool have = false;
+
+  {
+    std::unique_lock<std::mutex> lock(s.m);
+    const auto now = std::chrono::steady_clock::now();
+    while (!s.heap.empty()) {
+      std::pop_heap(s.heap.begin(), s.heap.end(), pops_after);
+      Entry e = std::move(s.heap.back());
+      s.heap.pop_back();
+      if (e.deadline <= now) {
+        expired.push_back(std::move(e.shed));
+        continue;
+      }
+      picked = std::move(e);
+      have = true;
+      break;
+    }
+    s.depth_gauge.set(static_cast<double>(s.heap.size()));
+    if (have) ++s.running;
+  }
+
+  for (auto& shed : expired) {
+    s.note_shed(ShedReason::kDeadline);
+    if (shed) shed(ShedReason::kDeadline);
+  }
+  if (!have) {
+    // Eviction or deadline expiry consumed the job this thunk was posted
+    // for; nothing to do, but drain() may be waiting on the expired sheds.
+    std::lock_guard<std::mutex> lock(s.m);
+    s.idle_cv.notify_all();
+    return false;
+  }
+
+  picked.run();
+
+  {
+    std::lock_guard<std::mutex> lock(s.m);
+    --s.running;
+    if (s.running == 0 && s.heap.empty()) s.idle_cv.notify_all();
+  }
+  return true;
+}
+
+void JobQueue::drain() {
+  State& s = *state_;
+  std::unique_lock<std::mutex> lock(s.m);
+  s.idle_cv.wait(lock, [&s] { return s.heap.empty() && s.running == 0; });
+}
+
+std::size_t JobQueue::depth() const {
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.m);
+  return s.heap.size();
+}
+
+std::uint64_t JobQueue::shed_total() const noexcept {
+  return state_->shed_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t JobQueue::deadline_missed() const noexcept {
+  return state_->deadline_missed.load(std::memory_order_relaxed);
+}
+
+}  // namespace tags::serve

@@ -1,0 +1,77 @@
+// Prioritized admission queue for the analysis server, in the spirit of
+// rippled's JobQueue: jobs carry a priority class and an optional deadline,
+// admission is bounded, and overload sheds work explicitly (the client gets
+// a "shed" response, never a hang). The queue does not own threads — the
+// engine posts one ThreadPool thunk per admitted job, and each thunk asks
+// run_next() for the best job at that moment, so high-priority arrivals are
+// served before earlier low-priority ones regardless of posting order.
+//
+// Shedding happens at three points:
+//   - admission, when the deadline has already passed (deadline_ms <= 0
+//     after queueing delays — the classic "stale request" case);
+//   - admission, when the queue is full: the incoming job is shed unless it
+//     strictly outranks the worst queued job, in which case that job is
+//     evicted instead (priority inversion under overload would otherwise
+//     starve urgent work);
+//   - dequeue, when the deadline expired while queued.
+// Every shed invokes the job's shed callback exactly once, outside the
+// queue lock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "serve/request.hpp"
+
+namespace tags::serve {
+
+/// One queued unit of work. `run` executes the solve and writes the
+/// response; `shed` writes the shed/overload response instead. Exactly one
+/// of the two is invoked per submitted job.
+struct Job {
+  Priority priority = Priority::kNormal;
+  /// Absolute expiry; jobs with no deadline use time_point::max().
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::function<void()> run;
+  std::function<void(ShedReason)> shed;
+};
+
+class JobQueue {
+ public:
+  /// `max_depth` bounds the number of queued (admitted, not yet running)
+  /// jobs; 0 is treated as 1.
+  explicit JobQueue(std::size_t max_depth);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admit one job. Returns true when the job was queued; false when it was
+  /// shed at admission (its shed callback has already run). May also shed a
+  /// previously queued lower-priority job to make room.
+  bool submit(Job job);
+
+  /// Dequeue and execute the best runnable job, shedding any expired ones
+  /// encountered first. Safe to call when the queue is empty (eviction can
+  /// leave more posted thunks than queued jobs); returns true when a job's
+  /// `run` was invoked.
+  bool run_next();
+
+  /// Block until every admitted job has finished or been shed. Callers must
+  /// ensure no new submissions race with drain (the server stops accepting
+  /// connections first).
+  void drain();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::uint64_t shed_total() const noexcept;
+  [[nodiscard]] std::uint64_t deadline_missed() const noexcept;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tags::serve

@@ -1,0 +1,77 @@
+// Minimal JSON value + recursive-descent parser for the tags_server line
+// protocol. Deliberately tiny: objects are ordered key/value vectors (the
+// protocol has a handful of keys per message, and preserving order keeps
+// round-trips byte-stable), numbers are doubles, and the only consumers
+// are serve/request.cpp and the client. The writer side reuses
+// obs::JsonWriter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tags::serve {
+
+class JsonValue;
+using JsonMember = std::pair<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept { return items_; }
+  [[nodiscard]] const std::vector<JsonMember>& members() const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  // Typed member accessors with defaults (protocol-friendly).
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const noexcept;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const noexcept;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::vector<JsonMember> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<JsonMember> members_;
+};
+
+/// Parse one JSON document. Returns nullopt on malformed input, with a
+/// human-readable reason (including the byte offset) in *error when given.
+/// Trailing non-whitespace after the document is an error — protocol lines
+/// carry exactly one message.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
+
+}  // namespace tags::serve

@@ -1,0 +1,331 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+
+#include "ctmc/digest.hpp"
+#include "obs/json.hpp"
+#include "serve/jsonv.hpp"
+
+namespace tags::serve {
+
+std::string_view to_string(RequestOp op) noexcept {
+  switch (op) {
+    case RequestOp::kSolve: return "solve";
+    case RequestOp::kStats: return "stats";
+    case RequestOp::kPing: return "ping";
+    case RequestOp::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string_view to_string(ShedReason reason) noexcept {
+  switch (reason) {
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parse_params(const JsonValue& params, core::ScenarioRequest& scenario,
+                  std::string* error) {
+  for (const auto& [key, value] : params.members()) {
+    if (value.kind() != JsonValue::Kind::kNumber) {
+      if (error != nullptr) *error = "param '" + key + "' must be a number";
+      return false;
+    }
+    const double v = value.as_number();
+    if (key == "lambda") {
+      scenario.lambda = v;
+    } else if (key == "mu") {
+      scenario.mu = v;
+    } else if (key == "t") {
+      scenario.t = v;
+    } else if (key == "alpha") {
+      scenario.alpha = v;
+    } else if (key == "mu1") {
+      scenario.mu1 = v;
+    } else if (key == "mu2") {
+      scenario.mu2 = v;
+    } else if (key == "n" || key == "k1" || key == "k2") {
+      if (v < 0 || v != std::floor(v) || v > 1e6) {
+        if (error != nullptr) {
+          *error = "param '" + key + "' must be a small non-negative integer";
+        }
+        return false;
+      }
+      const auto u = static_cast<unsigned>(v);
+      if (key == "n") {
+        scenario.n = u;
+      } else if (key == "k1") {
+        scenario.k1 = u;
+      } else {
+        scenario.k2 = u;
+      }
+    } else {
+      if (error != nullptr) *error = "unknown param '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_priority(const JsonValue& v, Priority& out, std::string* error) {
+  if (v.kind() == JsonValue::Kind::kString) {
+    const std::string& s = v.as_string();
+    if (s == "low") {
+      out = Priority::kLow;
+    } else if (s == "normal") {
+      out = Priority::kNormal;
+    } else if (s == "high") {
+      out = Priority::kHigh;
+    } else {
+      if (error != nullptr) *error = "unknown priority '" + s + "'";
+      return false;
+    }
+    return true;
+  }
+  if (v.kind() == JsonValue::Kind::kNumber) {
+    const double p = v.as_number();
+    if (p < 0 || p > 2 || p != std::floor(p)) {
+      if (error != nullptr) *error = "priority must be 0, 1, or 2";
+      return false;
+    }
+    out = static_cast<Priority>(static_cast<int>(p));
+    return true;
+  }
+  if (error != nullptr) *error = "priority must be a string or integer";
+  return false;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line, std::string* error) {
+  std::string parse_error;
+  const std::optional<JsonValue> doc = parse_json(line, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  Request req;
+  const std::string op = doc->string_or("op", "solve");
+  if (op == "solve") {
+    req.op = RequestOp::kSolve;
+  } else if (op == "stats") {
+    req.op = RequestOp::kStats;
+  } else if (op == "ping") {
+    req.op = RequestOp::kPing;
+  } else if (op == "shutdown") {
+    req.op = RequestOp::kShutdown;
+  } else {
+    if (error != nullptr) *error = "unknown op '" + op + "'";
+    return std::nullopt;
+  }
+  req.id = doc->string_or("id", "");
+
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "op" || key == "id") continue;
+    if (req.op != RequestOp::kSolve) {
+      if (error != nullptr) {
+        *error = "field '" + key + "' not allowed for op '" + op + "'";
+      }
+      return std::nullopt;
+    }
+    if (key == "model") {
+      if (value.kind() != JsonValue::Kind::kString) {
+        if (error != nullptr) *error = "model must be a string";
+        return std::nullopt;
+      }
+      const auto kind = core::policy_from_string(value.as_string());
+      if (!kind.has_value()) {
+        if (error != nullptr) *error = "unknown model '" + value.as_string() + "'";
+        return std::nullopt;
+      }
+      req.scenario.policy = *kind;
+    } else if (key == "params") {
+      if (!value.is_object()) {
+        if (error != nullptr) *error = "params must be an object";
+        return std::nullopt;
+      }
+      if (!parse_params(value, req.scenario, error)) return std::nullopt;
+    } else if (key == "deadline_ms") {
+      if (value.kind() != JsonValue::Kind::kNumber) {
+        if (error != nullptr) *error = "deadline_ms must be a number";
+        return std::nullopt;
+      }
+      req.deadline_ms = value.as_number();
+    } else if (key == "priority") {
+      if (!parse_priority(value, req.priority, error)) return std::nullopt;
+    } else if (key == "want_pi") {
+      if (value.kind() != JsonValue::Kind::kBool) {
+        if (error != nullptr) *error = "want_pi must be a boolean";
+        return std::nullopt;
+      }
+      req.want_pi = value.as_bool();
+    } else {
+      if (error != nullptr) *error = "unknown field '" + key + "'";
+      return std::nullopt;
+    }
+  }
+
+  if (req.op == RequestOp::kSolve && doc->find("model") == nullptr) {
+    if (error != nullptr) *error = "solve request missing 'model'";
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string serialize_request(const Request& req) {
+  obs::JsonWriter w(17);
+  w.begin_object();
+  w.field("op", std::string(to_string(req.op)));
+  if (!req.id.empty()) w.field("id", req.id);
+  if (req.op == RequestOp::kSolve) {
+    const core::ScenarioRequest& s = req.scenario;
+    w.field("model", std::string(core::to_string(s.policy)));
+    w.key("params");
+    w.begin_object();
+    w.field("lambda", s.lambda);
+    if (s.is_h2()) {
+      w.field("alpha", s.alpha);
+      w.field("mu1", s.mu1);
+      w.field("mu2", s.mu2);
+    } else {
+      w.field("mu", s.mu);
+    }
+    if (s.policy == core::PolicyKind::kTags || s.policy == core::PolicyKind::kTagsH2) {
+      w.field("t", s.t);
+      w.field("n", static_cast<std::int64_t>(s.n));
+    }
+    w.field("k1", static_cast<std::int64_t>(s.k1));
+    w.field("k2", static_cast<std::int64_t>(s.k2));
+    w.end_object();
+    if (req.deadline_ms >= 0) w.field("deadline_ms", req.deadline_ms);
+    if (req.priority != Priority::kNormal) {
+      w.field("priority",
+              std::string(req.priority == Priority::kHigh ? "high" : "low"));
+    }
+    if (req.want_pi) w.field("want_pi", true);
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+namespace {
+
+void write_metrics(obs::JsonWriter& w, const models::Metrics& m) {
+  w.key("metrics");
+  w.begin_object();
+  w.field("mean_q1", m.mean_q1);
+  w.field("mean_q2", m.mean_q2);
+  w.field("mean_total", m.mean_total);
+  w.field("throughput", m.throughput);
+  w.field("loss1_rate", m.loss1_rate);
+  w.field("loss2_rate", m.loss2_rate);
+  w.field("loss_rate", m.loss_rate);
+  w.field("response_time", m.response_time);
+  w.field("utilisation1", m.utilisation1);
+  w.field("utilisation2", m.utilisation2);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string serialize_answer(const std::string& id, const Answer& answer,
+                             const Served& served, bool want_pi) {
+  obs::JsonWriter w(17);
+  w.begin_object();
+  w.field("id", id);
+  w.field("ok", true);
+  w.field("op", "solve");
+  // Volatile server-side facts first; the deterministic payload is the
+  // self-contained "result" object below (byte-comparable across servers
+  // and the one-shot path).
+  w.field("cached", served.cached);
+  w.field("warm", served.warm);
+  w.field("queue_ms", served.queue_ms);
+  w.field("solve_ms", served.solve_ms);
+  w.key("result");
+  w.begin_object();
+  w.field("model", std::string(core::to_string(answer.scenario.policy)));
+  w.field("structure", ctmc::digest_hex(answer.structure_digest));
+  w.field("rates", ctmc::digest_hex(answer.rate_digest));
+  w.field("n_states", answer.n_states);
+  write_metrics(w, answer.metrics);
+  w.field("pi_digest", ctmc::digest_hex(answer.pi_digest));
+  w.field("certified", answer.certified);
+  w.field("converged", answer.converged);
+  w.field("method", answer.method);
+  if (want_pi) {
+    w.key("pi");
+    w.begin_array();
+    for (const double p : answer.pi) w.value(p);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string serialize_shed(const std::string& id, ShedReason reason) {
+  obs::JsonWriter w(17);
+  w.begin_object();
+  w.field("id", id);
+  w.field("ok", false);
+  w.field("op", "solve");
+  w.field("shed", true);
+  w.field("reason", std::string(to_string(reason)));
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string serialize_error(const std::string& id, const std::string& error) {
+  obs::JsonWriter w(17);
+  w.begin_object();
+  w.field("id", id);
+  w.field("ok", false);
+  w.field("error", error);
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string serialize_stats(const std::string& id, const StatsSnapshot& stats) {
+  obs::JsonWriter w(17);
+  w.begin_object();
+  w.field("id", id);
+  w.field("ok", true);
+  w.field("op", "stats");
+  w.key("stats");
+  w.begin_object();
+  w.field("requests", static_cast<std::int64_t>(stats.requests));
+  w.field("cache_hits", static_cast<std::int64_t>(stats.cache_hits));
+  w.field("cache_misses", static_cast<std::int64_t>(stats.cache_misses));
+  w.field("cache_evicted", static_cast<std::int64_t>(stats.cache_evicted));
+  w.field("jobs_shed", static_cast<std::int64_t>(stats.jobs_shed));
+  w.field("deadline_missed", static_cast<std::int64_t>(stats.deadline_missed));
+  w.field("cache_size", static_cast<std::int64_t>(stats.cache_size));
+  w.field("queue_depth", static_cast<std::int64_t>(stats.queue_depth));
+  w.field("slots", static_cast<std::int64_t>(stats.slots));
+  w.field("threads", static_cast<std::int64_t>(stats.threads));
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string serialize_ack(const std::string& id, RequestOp op) {
+  obs::JsonWriter w(17);
+  w.begin_object();
+  w.field("id", id);
+  w.field("ok", true);
+  w.field("op", std::string(to_string(op)));
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace tags::serve

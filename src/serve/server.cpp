@@ -1,0 +1,293 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace tags::serve {
+
+namespace {
+
+/// Shared per-connection write end: engine responders outlive the reader
+/// thread (a queued solve can complete after the client stops reading), so
+/// writes go through this refcounted, mutex-guarded wrapper and turn into
+/// no-ops once the socket is closed.
+struct Wire {
+  explicit Wire(int fd) : fd(fd) {}
+  /// The fd closes only here, after every holder (reader thread, engine
+  /// responders) has dropped its reference — a write error merely shuts the
+  /// socket down, so the fd number cannot be reused under a live reader.
+  ~Wire() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(m);
+    if (dead) return;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      // MSG_NOSIGNAL: a client that hung up yields EPIPE, not process death.
+      const ssize_t n =
+          ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::shutdown(fd, SHUT_RDWR);
+        dead = true;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Pop the reader thread out of recv() during teardown.
+  void shutdown_read() {
+    std::lock_guard<std::mutex> lock(m);
+    if (!dead) ::shutdown(fd, SHUT_RD);
+  }
+
+ private:
+  std::mutex m;
+  int fd;
+  bool dead = false;
+};
+
+}  // namespace
+
+struct Server::State {
+  explicit State(ServerOptions opts) : opts(std::move(opts)), engine(this->opts.engine) {}
+
+  const ServerOptions opts;
+  Engine engine;
+
+  int listen_fd = -1;
+  std::thread accept_thread;
+
+  std::mutex m;
+  std::condition_variable shutdown_cv;
+  bool shutdown_requested = false;
+  bool accepting = false;
+  std::vector<std::shared_ptr<Wire>> wires;
+  std::vector<std::thread> conn_threads;
+
+  obs::Counter connections{"serve.connections"};
+  obs::Counter bad_requests{"serve.requests_rejected"};
+
+  void serve_connection(std::shared_ptr<Wire> wire, int fd);
+  void handle_line(const std::string& line, const std::shared_ptr<Wire>& wire);
+  void accept_loop();
+};
+
+Server::Server(ServerOptions opts) : state_(std::make_unique<State>(std::move(opts))) {}
+
+Server::~Server() {
+  request_shutdown();
+  // wait() may already have run; it is safe to repeat the teardown.
+  wait();
+}
+
+bool Server::start(std::string* error) {
+  State& s = *state_;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (s.opts.socket_path.empty() ||
+      s.opts.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path empty or too long for AF_UNIX";
+    return false;
+  }
+  std::memcpy(addr.sun_path, s.opts.socket_path.c_str(), s.opts.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EADDRINUSE) {
+      // Distinguish a live server from a stale socket file: try connecting.
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 &&
+          ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+      if (probe >= 0) ::close(probe);
+      if (live) {
+        ::close(fd);
+        if (error != nullptr) {
+          *error = "another server is listening on " + s.opts.socket_path;
+        }
+        return false;
+      }
+      ::unlink(s.opts.socket_path.c_str());
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+      }
+    } else {
+      if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    ::unlink(s.opts.socket_path.c_str());
+    return false;
+  }
+
+  s.listen_fd = fd;
+  {
+    std::lock_guard<std::mutex> lock(s.m);
+    s.accepting = true;
+  }
+  s.accept_thread = std::thread([st = state_.get()] { st->accept_loop(); });
+  return true;
+}
+
+void Server::State::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed: shutdown
+    }
+    connections.add(1);
+    auto wire = std::make_shared<Wire>(fd);
+    std::lock_guard<std::mutex> lock(m);
+    if (shutdown_requested) {
+      // Raced with shutdown; refuse politely.
+      wire->write_line(serialize_error("", "server shutting down"));
+      continue;  // wire closes fd on destruction
+    }
+    wires.push_back(wire);
+    conn_threads.emplace_back(
+        [this, wire = std::move(wire), fd] { serve_connection(wire, fd); });
+  }
+}
+
+void Server::State::serve_connection(std::shared_ptr<Wire> wire, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, or shutdown_read() during teardown
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) handle_line(line, wire);
+    }
+    buffer.erase(0, start);
+    // A protocol line that never terminates is abuse, not a request.
+    if (buffer.size() > (1u << 20)) {
+      wire->write_line(serialize_error("", "request line too long"));
+      break;
+    }
+  }
+}
+
+void Server::State::handle_line(const std::string& line,
+                                const std::shared_ptr<Wire>& wire) {
+  std::string error;
+  std::optional<Request> req = parse_request(line, &error);
+  if (!req.has_value()) {
+    bad_requests.add(1);
+    wire->write_line(serialize_error("", error));
+    return;
+  }
+  switch (req->op) {
+    case RequestOp::kSolve:
+      engine.submit(std::move(*req),
+                    [wire](std::string response) { wire->write_line(response); });
+      return;
+    case RequestOp::kStats:
+      wire->write_line(serialize_stats(req->id, engine.stats()));
+      return;
+    case RequestOp::kPing:
+      wire->write_line(serialize_ack(req->id, RequestOp::kPing));
+      return;
+    case RequestOp::kShutdown: {
+      wire->write_line(serialize_ack(req->id, RequestOp::kShutdown));
+      std::lock_guard<std::mutex> lock(m);
+      shutdown_requested = true;
+      shutdown_cv.notify_all();
+      return;
+    }
+  }
+}
+
+void Server::wait() {
+  State& s = *state_;
+  {
+    std::unique_lock<std::mutex> lock(s.m);
+    s.shutdown_cv.wait(lock, [&s] { return s.shutdown_requested; });
+    if (!s.accepting) return;  // teardown already done by a previous wait()
+    s.accepting = false;
+  }
+
+  // Stop accepting. close() alone does not wake a thread already blocked in
+  // accept() on Linux; shutdown() pops it out with an error first.
+  if (s.listen_fd >= 0) {
+    ::shutdown(s.listen_fd, SHUT_RDWR);
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+  }
+  if (s.accept_thread.joinable()) s.accept_thread.join();
+
+  // Let queued work finish (responses still flow to open connections),
+  // then unblock readers and reap connection threads.
+  s.engine.drain();
+  std::vector<std::shared_ptr<Wire>> wires;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(s.m);
+    wires.swap(s.wires);
+    threads.swap(s.conn_threads);
+  }
+  for (const auto& w : wires) w->shutdown_read();
+  for (auto& t : threads) t.join();
+  wires.clear();  // last references: sockets close here
+
+  ::unlink(s.opts.socket_path.c_str());
+
+  if (!s.opts.telemetry_path.empty()) {
+    obs::write_telemetry_json(s.opts.telemetry_path, "tags_server");
+  }
+  if (!s.opts.prometheus_path.empty()) {
+    obs::write_prometheus(s.opts.prometheus_path);
+  }
+}
+
+void Server::request_shutdown() {
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.m);
+  s.shutdown_requested = true;
+  s.shutdown_cv.notify_all();
+}
+
+Engine& Server::engine() noexcept { return state_->engine; }
+
+const std::string& Server::socket_path() const noexcept {
+  return state_->opts.socket_path;
+}
+
+}  // namespace tags::serve

@@ -1,0 +1,54 @@
+// The tags_server transport: a Unix-domain stream listener speaking the
+// newline-delimited JSON line protocol (serve/request.hpp), one thread per
+// connection, responses correlated by request id (solve responses may
+// arrive out of submission order — the queue reorders by priority). The
+// server owns an Engine; everything protocol-independent lives there.
+//
+// Lifecycle: start() binds and spawns the accept loop; wait() blocks until
+// a shutdown request (protocol op or request_shutdown()) has been seen,
+// then stops accepting, drains the engine, closes connections and writes
+// the optional telemetry/Prometheus exports.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/engine.hpp"
+
+namespace tags::serve {
+
+struct ServerOptions {
+  std::string socket_path;      ///< AF_UNIX path; bound fresh (stale file unlinked)
+  EngineOptions engine;
+  std::string telemetry_path;   ///< write_telemetry_json here at shutdown ("" = skip)
+  std::string prometheus_path;  ///< write_prometheus here at shutdown ("" = skip)
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept loop. False (with *error filled)
+  /// on socket failure — an already-bound path is reported, not stolen.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Block until shutdown has been requested, then drain and tear down.
+  void wait();
+
+  /// Ask the server to stop (thread-safe, idempotent). wait() completes
+  /// after in-flight jobs drain.
+  void request_shutdown();
+
+  [[nodiscard]] Engine& engine() noexcept;
+  [[nodiscard]] const std::string& socket_path() const noexcept;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tags::serve

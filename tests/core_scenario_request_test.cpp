@@ -1,0 +1,192 @@
+// The scenario-request layer shared by the figure drivers and the analysis
+// server: policy naming, baseline derivation, the rate-digest contract
+// (hash only what the policy reads), and ScenarioSlot rebind/warm-start
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace tags;
+using core::PolicyKind;
+using core::ScenarioRequest;
+
+core::ScenarioRequest small_tags_request() {
+  core::ScenarioRequest req;
+  req.policy = PolicyKind::kTags;
+  req.lambda = 5.0;
+  req.mu = 10.0;
+  req.t = 50.0;
+  req.n = 2;
+  req.k1 = 3;
+  req.k2 = 3;
+  return req;
+}
+
+TEST(CoreScenarioRequest, PolicyNamesRoundTrip) {
+  const PolicyKind kinds[] = {
+      PolicyKind::kTags,          PolicyKind::kTagsH2,
+      PolicyKind::kRandom,        PolicyKind::kRandomH2,
+      PolicyKind::kRoundRobin,    PolicyKind::kShortestQueue,
+      PolicyKind::kShortestQueueH2};
+  for (PolicyKind kind : kinds) {
+    const auto name = core::to_string(kind);
+    const auto parsed = core::policy_from_string(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+  }
+  EXPECT_FALSE(core::policy_from_string("no_such_policy").has_value());
+  EXPECT_FALSE(core::policy_from_string("").has_value());
+}
+
+TEST(CoreScenarioRequest, RequestForLiftsParams) {
+  models::TagsParams p;
+  p.lambda = 7.0;
+  p.mu = 11.0;
+  p.t = 42.0;
+  p.n = 4;
+  p.k1 = 8;
+  p.k2 = 9;
+  const auto req = core::request_for(p);
+  EXPECT_EQ(req.policy, PolicyKind::kTags);
+  EXPECT_EQ(req.lambda, 7.0);
+  EXPECT_EQ(req.mu, 11.0);
+  EXPECT_EQ(req.t, 42.0);
+  EXPECT_EQ(req.n, 4u);
+  EXPECT_EQ(req.k1, 8u);
+  EXPECT_EQ(req.k2, 9u);
+
+  const auto h2 = models::TagsH2Params::from_ratio(11.0, 0.95, 100.0, 0.1, 20.0);
+  const auto req2 = core::request_for(h2);
+  EXPECT_EQ(req2.policy, PolicyKind::kTagsH2);
+  EXPECT_EQ(req2.lambda, h2.lambda);
+  EXPECT_EQ(req2.alpha, h2.alpha);
+  EXPECT_EQ(req2.mu1, h2.mu1);
+  EXPECT_EQ(req2.mu2, h2.mu2);
+  EXPECT_EQ(req2.t, h2.t);
+}
+
+TEST(CoreScenarioRequest, BaselineInheritsTheRightSlice) {
+  auto base = small_tags_request();
+  base.lambda = 6.5;
+  base.mu = 12.0;
+  base.k1 = 7;
+  const auto random = core::baseline_for(PolicyKind::kRandom, base);
+  EXPECT_EQ(random.policy, PolicyKind::kRandom);
+  EXPECT_EQ(random.lambda, 6.5);
+  EXPECT_EQ(random.mu, 12.0);
+  EXPECT_EQ(random.k1, 7u);
+
+  auto h2 = core::request_for(
+      models::TagsH2Params::from_ratio(11.0, 0.93, 10.0, 0.1, 25.0));
+  const auto sq = core::baseline_for(PolicyKind::kShortestQueueH2, h2);
+  EXPECT_EQ(sq.policy, PolicyKind::kShortestQueueH2);
+  EXPECT_EQ(sq.lambda, h2.lambda);
+  EXPECT_EQ(sq.alpha, h2.alpha);
+  EXPECT_EQ(sq.mu1, h2.mu1);
+  EXPECT_EQ(sq.mu2, h2.mu2);
+  EXPECT_EQ(sq.k1, h2.k1);
+}
+
+TEST(CoreScenarioRequest, RateDigestHashesOnlyWhatThePolicyReads) {
+  const auto base = small_tags_request();
+  const auto base_digest = core::rate_digest(base);
+
+  // A parameter the policy reads moves the digest.
+  auto changed = base;
+  changed.lambda = 5.5;
+  EXPECT_NE(core::rate_digest(changed), base_digest);
+  changed = base;
+  changed.t = 51.0;
+  EXPECT_NE(core::rate_digest(changed), base_digest);
+
+  // kRandom ignores the TAGS timer and H2 split entirely.
+  auto random = core::baseline_for(PolicyKind::kRandom, base);
+  const auto random_digest = core::rate_digest(random);
+  random.t = 99.0;
+  random.alpha = 0.5;
+  random.mu1 = 3.0;
+  random.mu2 = 1.0;
+  EXPECT_EQ(core::rate_digest(random), random_digest);
+  random.mu = 11.0;
+  EXPECT_NE(core::rate_digest(random), random_digest);
+
+  // Different policies at the same point never collide on the digest.
+  EXPECT_NE(core::rate_digest(core::baseline_for(PolicyKind::kRandom, base)),
+            core::rate_digest(core::baseline_for(PolicyKind::kRoundRobin, base)));
+}
+
+TEST(CoreScenarioRequest, StructureKeyNamesPolicyAndDimensions) {
+  const auto base = small_tags_request();
+  EXPECT_EQ(core::structure_key(base), "tags/n2/k3.3");
+  auto other = base;
+  other.t = 77.0;  // rates do not affect structural identity
+  EXPECT_EQ(core::structure_key(other), core::structure_key(base));
+  other.k2 = 4;
+  EXPECT_NE(core::structure_key(other), core::structure_key(base));
+}
+
+TEST(CoreScenarioRequest, OneShotMatchesDirectModelSolve) {
+  const auto req = small_tags_request();
+  const auto outcome = core::evaluate_scenario(req);
+  ASSERT_TRUE(outcome.solve.converged);
+  EXPECT_GT(outcome.metrics.throughput, 0.0);
+  EXPECT_FALSE(outcome.pi.empty());
+  EXPECT_NE(outcome.structure_digest, 0u);
+
+  models::TagsModel model(req.tags_params());
+  const auto direct = model.solve({});
+  const auto direct_metrics = model.metrics_from(direct.pi);
+  EXPECT_DOUBLE_EQ(outcome.metrics.throughput, direct_metrics.throughput);
+  EXPECT_DOUBLE_EQ(outcome.metrics.response_time, direct_metrics.response_time);
+}
+
+TEST(CoreScenarioRequest, ClosedFormPolicyHasNoChain) {
+  auto req = small_tags_request();
+  req.policy = PolicyKind::kRandom;
+  const auto outcome = core::evaluate_scenario(req);
+  EXPECT_TRUE(outcome.pi.empty());
+  EXPECT_EQ(outcome.structure_digest, 0u);
+  EXPECT_TRUE(outcome.solve.converged);
+  EXPECT_GT(outcome.metrics.throughput, 0.0);
+}
+
+TEST(CoreScenarioRequest, SlotRebindsAndWarmStartsOnSameStructure) {
+  core::ScenarioSlot slot;
+  auto req = small_tags_request();
+  const auto first = slot.evaluate(req);
+  ASSERT_TRUE(first.solve.converged);
+  EXPECT_EQ(slot.warm().hits, 0u);
+
+  req.t = 55.0;  // same structure key: rebind + warm start
+  const auto second = slot.evaluate(req);
+  ASSERT_TRUE(second.solve.converged);
+  EXPECT_EQ(second.structure_digest, first.structure_digest);
+  EXPECT_GE(slot.warm().hits, 1u);
+
+  // The warm-started answer agrees with a cold one-shot to solver tolerance.
+  const auto cold = core::evaluate_scenario(req);
+  EXPECT_NEAR(second.metrics.response_time, cold.metrics.response_time, 1e-6);
+  EXPECT_NEAR(second.metrics.throughput, cold.metrics.throughput, 1e-6);
+}
+
+TEST(CoreScenarioRequest, SlotRebuildsOnStructureChange) {
+  core::ScenarioSlot slot;
+  auto req = small_tags_request();
+  const auto first = slot.evaluate(req);
+  req.k1 = 4;
+  const auto second = slot.evaluate(req);
+  EXPECT_NE(second.structure_digest, first.structure_digest);
+  ASSERT_TRUE(second.solve.converged);
+}
+
+TEST(CoreScenarioRequest, InvalidParametersThrow) {
+  auto req = small_tags_request();
+  req.lambda = -1.0;
+  EXPECT_THROW((void)core::evaluate_scenario(req), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// The FNV-1a digest primitives and the structure digest over assembled
+// generators: known vectors, rate-rebind invariance (the cache-key
+// property the analysis server relies on), and sensitivity to every
+// structural parameter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ctmc/digest.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+namespace {
+
+using namespace tags;
+
+models::TagsParams small_tags(double t = 50.0, unsigned n = 2, unsigned k1 = 3,
+                              unsigned k2 = 3) {
+  models::TagsParams p;
+  p.lambda = 5.0;
+  p.mu = 10.0;
+  p.t = t;
+  p.n = n;
+  p.k1 = k1;
+  p.k2 = k2;
+  return p;
+}
+
+TEST(CtmcDigest, Fnv1aKnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(ctmc::fnv1a64("", 0), 14695981039346656037ull);
+  EXPECT_EQ(ctmc::fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(ctmc::fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(CtmcDigest, U64MixerIsOrderAndValueSensitive) {
+  const std::uint64_t h1 = ctmc::fnv1a64_u64(1, ctmc::fnv1a64_u64(2, ctmc::kFnv1aOffset));
+  const std::uint64_t h2 = ctmc::fnv1a64_u64(2, ctmc::fnv1a64_u64(1, ctmc::kFnv1aOffset));
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(ctmc::fnv1a64_u64(3, ctmc::kFnv1aOffset),
+            ctmc::fnv1a64_u64(4, ctmc::kFnv1aOffset));
+}
+
+TEST(CtmcDigest, DoubleMixerCollapsesSignedZeroOnly) {
+  EXPECT_EQ(ctmc::fnv1a64_double(0.0, ctmc::kFnv1aOffset),
+            ctmc::fnv1a64_double(-0.0, ctmc::kFnv1aOffset));
+  EXPECT_NE(ctmc::fnv1a64_double(1.0, ctmc::kFnv1aOffset),
+            ctmc::fnv1a64_double(-1.0, ctmc::kFnv1aOffset));
+  EXPECT_NE(ctmc::fnv1a64_double(1.0, ctmc::kFnv1aOffset),
+            ctmc::fnv1a64_double(1.0 + 1e-15, ctmc::kFnv1aOffset));
+}
+
+TEST(CtmcDigest, StringMixerIsLengthPrefixed) {
+  // Without the length prefix {"ab","c"} and {"a","bc"} would collide.
+  const std::uint64_t h1 =
+      ctmc::fnv1a64_str("c", ctmc::fnv1a64_str("ab", ctmc::kFnv1aOffset));
+  const std::uint64_t h2 =
+      ctmc::fnv1a64_str("bc", ctmc::fnv1a64_str("a", ctmc::kFnv1aOffset));
+  EXPECT_NE(h1, h2);
+}
+
+TEST(CtmcDigest, DigestHexIsFixedWidthLowercase) {
+  EXPECT_EQ(ctmc::digest_hex(0), "0000000000000000");
+  EXPECT_EQ(ctmc::digest_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(ctmc::digest_hex(~std::uint64_t{0}), "ffffffffffffffff");
+}
+
+TEST(CtmcDigest, RebindPreservesStructureDigest) {
+  models::TagsModel model(small_tags(50.0));
+  const std::uint64_t before = ctmc::structure_digest(model.chain());
+  ASSERT_NE(before, 0u);
+  // Rates move on the frozen sparsity pattern; the digest must not.
+  model.rebind(small_tags(60.0));
+  EXPECT_EQ(ctmc::structure_digest(model.chain()), before);
+  models::TagsParams faster = small_tags(50.0);
+  faster.lambda = 7.0;
+  faster.mu = 12.0;
+  model.rebind(faster);
+  EXPECT_EQ(ctmc::structure_digest(model.chain()), before);
+}
+
+TEST(CtmcDigest, DimensionChangeAltersStructureDigest) {
+  const std::uint64_t base =
+      ctmc::structure_digest(models::TagsModel(small_tags()).chain());
+  EXPECT_NE(ctmc::structure_digest(
+                models::TagsModel(small_tags(50.0, 3, 3, 3)).chain()),
+            base);
+  EXPECT_NE(ctmc::structure_digest(
+                models::TagsModel(small_tags(50.0, 2, 4, 3)).chain()),
+            base);
+  EXPECT_NE(ctmc::structure_digest(
+                models::TagsModel(small_tags(50.0, 2, 3, 4)).chain()),
+            base);
+}
+
+TEST(CtmcDigest, RebindInvarianceHoldsForH2) {
+  const auto params = [](double t, double alpha) {
+    return models::TagsH2Params::from_ratio(11.0, alpha, 100.0, 0.1, t, 2, 3, 3);
+  };
+  models::TagsH2Model model(params(20.0, 0.99));
+  const std::uint64_t before = ctmc::structure_digest(model.chain());
+  model.rebind(params(35.0, 0.95));
+  EXPECT_EQ(ctmc::structure_digest(model.chain()), before);
+}
+
+TEST(CtmcDigest, PatternDigestMatchesAcrossIdenticalAssemblies) {
+  const std::uint64_t a = ctmc::pattern_digest(
+      models::TagsModel(small_tags()).chain().generator());
+  const std::uint64_t b = ctmc::pattern_digest(
+      models::TagsModel(small_tags(90.0)).chain().generator());
+  // Same structural parameters, different rates: identical pattern.
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// The tags_server line protocol: the tiny JSON parser, strict request
+// parsing (typos are errors, not defaults), serializer round-trips, and
+// the response shapes the smoke test and client depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/jsonv.hpp"
+#include "serve/request.hpp"
+
+namespace {
+
+using namespace tags;
+using serve::JsonValue;
+using serve::parse_json;
+using serve::parse_request;
+
+// The deterministic payload is everything from "result": onward (it is the
+// final member of a solve response by construction).
+std::string result_part(const std::string& line) {
+  const auto pos = line.find("\"result\":");
+  EXPECT_NE(pos, std::string::npos) << line;
+  return line.substr(pos);
+}
+
+TEST(ServeProtocol, JsonParserHandlesScalarsAndNesting) {
+  std::string error;
+  const auto doc = parse_json(
+      R"({"a":1.5,"b":"x","c":true,"d":null,"e":[1,2],"f":{"g":-3e2}})", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_DOUBLE_EQ(doc->number_or("a", 0.0), 1.5);
+  EXPECT_EQ(doc->string_or("b", ""), "x");
+  EXPECT_TRUE(doc->bool_or("c", false));
+  ASSERT_NE(doc->find("d"), nullptr);
+  EXPECT_TRUE(doc->find("d")->is_null());
+  ASSERT_NE(doc->find("e"), nullptr);
+  ASSERT_EQ(doc->find("e")->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->find("e")->items()[1].as_number(), 2.0);
+  ASSERT_NE(doc->find("f"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->find("f")->number_or("g", 0.0), -300.0);
+}
+
+TEST(ServeProtocol, JsonParserUnescapesStrings) {
+  const auto doc = parse_json(R"({"s":"a\"b\\c\nA"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("s", ""), "a\"b\\c\nA");
+}
+
+TEST(ServeProtocol, JsonParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":+1}", &error).has_value());
+  EXPECT_FALSE(parse_json("nope", &error).has_value());
+}
+
+TEST(ServeProtocol, ParsesSolveRequest) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"op":"solve","id":"r1","model":"tags",)"
+      R"("params":{"lambda":5.5,"mu":10,"t":42,"n":2,"k1":3,"k2":4},)"
+      R"("deadline_ms":250,"priority":"high","want_pi":true})",
+      &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->op, serve::RequestOp::kSolve);
+  EXPECT_EQ(req->id, "r1");
+  EXPECT_EQ(req->scenario.policy, core::PolicyKind::kTags);
+  EXPECT_DOUBLE_EQ(req->scenario.lambda, 5.5);
+  EXPECT_DOUBLE_EQ(req->scenario.mu, 10.0);
+  EXPECT_DOUBLE_EQ(req->scenario.t, 42.0);
+  EXPECT_EQ(req->scenario.n, 2u);
+  EXPECT_EQ(req->scenario.k1, 3u);
+  EXPECT_EQ(req->scenario.k2, 4u);
+  EXPECT_DOUBLE_EQ(req->deadline_ms, 250.0);
+  EXPECT_EQ(req->priority, serve::Priority::kHigh);
+  EXPECT_TRUE(req->want_pi);
+}
+
+TEST(ServeProtocol, SolveDefaultsAreTheRequestDefaults) {
+  std::string error;
+  const auto req = parse_request(R"({"op":"solve","model":"random"})", &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->scenario.policy, core::PolicyKind::kRandom);
+  EXPECT_DOUBLE_EQ(req->deadline_ms, -1.0);
+  EXPECT_EQ(req->priority, serve::Priority::kNormal);
+  EXPECT_FALSE(req->want_pi);
+  // Numeric priorities are accepted too.
+  const auto low =
+      parse_request(R"({"op":"solve","model":"random","priority":0})", &error);
+  ASSERT_TRUE(low.has_value()) << error;
+  EXPECT_EQ(low->priority, serve::Priority::kLow);
+}
+
+TEST(ServeProtocol, StrictParsingRejectsTypos) {
+  std::string error;
+  // Unknown op.
+  EXPECT_FALSE(parse_request(R"({"op":"solv","model":"tags"})", &error));
+  EXPECT_NE(error.find("unknown op"), std::string::npos);
+  // Solve without a model.
+  EXPECT_FALSE(parse_request(R"({"op":"solve"})", &error));
+  EXPECT_NE(error.find("missing 'model'"), std::string::npos);
+  // Unknown model.
+  EXPECT_FALSE(parse_request(R"({"op":"solve","model":"tag"})", &error));
+  // Unknown top-level field.
+  EXPECT_FALSE(
+      parse_request(R"({"op":"solve","model":"tags","deadline":5})", &error));
+  EXPECT_NE(error.find("unknown field"), std::string::npos);
+  // Unknown parameter (a misspelling must not silently default).
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","model":"tags","params":{"lamda":5}})", &error));
+  EXPECT_NE(error.find("unknown param"), std::string::npos);
+  // Structural parameters must be small non-negative integers.
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","model":"tags","params":{"n":2.5}})", &error));
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","model":"tags","params":{"k1":-1}})", &error));
+  // Type errors.
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","model":"tags","want_pi":"yes"})", &error));
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","model":"tags","priority":"urgent"})", &error));
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","model":"tags","priority":7})", &error));
+  // Non-solve ops carry no solve fields.
+  EXPECT_FALSE(parse_request(R"({"op":"ping","model":"tags"})", &error));
+  EXPECT_NE(error.find("not allowed"), std::string::npos);
+  // Not an object at all.
+  EXPECT_FALSE(parse_request(R"([1,2,3])", &error));
+}
+
+TEST(ServeProtocol, SerializeRequestRoundTrips) {
+  serve::Request req;
+  req.op = serve::RequestOp::kSolve;
+  req.id = "round-trip";
+  req.scenario.policy = core::PolicyKind::kTagsH2;
+  req.scenario.lambda = 11.0;
+  req.scenario.alpha = 0.97;
+  req.scenario.mu1 = 19.9;
+  req.scenario.mu2 = 0.199;
+  req.scenario.t = 23.0;
+  req.scenario.n = 3;
+  req.scenario.k1 = 5;
+  req.scenario.k2 = 6;
+  req.deadline_ms = 1000.0;
+  req.priority = serve::Priority::kLow;
+  req.want_pi = true;
+
+  std::string error;
+  const auto back = parse_request(serve::serialize_request(req), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->id, req.id);
+  EXPECT_EQ(back->scenario.policy, req.scenario.policy);
+  EXPECT_DOUBLE_EQ(back->scenario.lambda, req.scenario.lambda);
+  EXPECT_DOUBLE_EQ(back->scenario.alpha, req.scenario.alpha);
+  EXPECT_DOUBLE_EQ(back->scenario.mu1, req.scenario.mu1);
+  EXPECT_DOUBLE_EQ(back->scenario.mu2, req.scenario.mu2);
+  EXPECT_DOUBLE_EQ(back->scenario.t, req.scenario.t);
+  EXPECT_EQ(back->scenario.n, req.scenario.n);
+  EXPECT_EQ(back->scenario.k1, req.scenario.k1);
+  EXPECT_EQ(back->scenario.k2, req.scenario.k2);
+  EXPECT_DOUBLE_EQ(back->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back->priority, req.priority);
+  EXPECT_TRUE(back->want_pi);
+  // Digest equality is the cache-key contract for a round-tripped request.
+  EXPECT_EQ(core::rate_digest(back->scenario), core::rate_digest(req.scenario));
+}
+
+serve::Answer sample_answer() {
+  serve::Answer a;
+  a.scenario.policy = core::PolicyKind::kTags;
+  a.metrics.mean_q1 = 1.25;
+  a.metrics.throughput = 4.875;
+  a.metrics.response_time = 0.3333333333333333;
+  a.pi = {0.5, 0.25, 0.25};
+  a.structure_digest = 0x1111u;
+  a.rate_digest = 0x2222u;
+  a.pi_digest = 0x3333u;
+  a.n_states = 3;
+  a.certified = true;
+  a.converged = true;
+  a.method = "power";
+  return a;
+}
+
+TEST(ServeProtocol, AnswerResultIsIndependentOfServerState) {
+  const auto answer = sample_answer();
+  serve::Served cold;
+  cold.cached = false;
+  cold.warm = false;
+  cold.queue_ms = 12.5;
+  cold.solve_ms = 3.25;
+  serve::Served hit;
+  hit.cached = true;
+  hit.warm = true;
+  hit.queue_ms = 0.125;
+  hit.solve_ms = 0.0;
+
+  const std::string a = serve::serialize_answer("x", answer, cold, false);
+  const std::string b = serve::serialize_answer("y", answer, hit, false);
+  EXPECT_NE(a, b);  // volatile fields differ...
+  EXPECT_EQ(result_part(a), result_part(b));  // ...the payload does not.
+
+  // The volatile fields are visible where the client expects them.
+  const auto doc = parse_json(b);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->bool_or("cached", false));
+  EXPECT_TRUE(doc->bool_or("ok", false));
+  EXPECT_EQ(doc->string_or("id", ""), "y");
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string_or("model", ""), "tags");
+  EXPECT_EQ(result->string_or("structure", ""), "0000000000001111");
+  EXPECT_DOUBLE_EQ(result->number_or("n_states", 0), 3.0);
+  EXPECT_EQ(result->string_or("method", ""), "power");
+  const JsonValue* metrics = result->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->number_or("throughput", 0.0), 4.875);
+  // Full precision survives the round trip.
+  EXPECT_DOUBLE_EQ(metrics->number_or("response_time", 0.0),
+                   0.3333333333333333);
+  EXPECT_EQ(result->find("pi"), nullptr);  // want_pi was false
+}
+
+TEST(ServeProtocol, AnswerIncludesPiOnlyOnRequest) {
+  const auto answer = sample_answer();
+  const std::string line =
+      serve::serialize_answer("p", answer, serve::Served{}, true);
+  const auto doc = parse_json(line);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* result = doc->find("result");
+  ASSERT_NE(result, nullptr);
+  const JsonValue* pi = result->find("pi");
+  ASSERT_NE(pi, nullptr);
+  ASSERT_EQ(pi->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(pi->items()[0].as_number(), 0.5);
+}
+
+TEST(ServeProtocol, ShedErrorStatsAndAckShapes) {
+  auto doc = parse_json(serve::serialize_shed("s1", serve::ShedReason::kDeadline));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(doc->bool_or("ok", true));
+  EXPECT_TRUE(doc->bool_or("shed", false));
+  EXPECT_EQ(doc->string_or("reason", ""), "deadline");
+
+  doc = parse_json(serve::serialize_shed("s2", serve::ShedReason::kQueueFull));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("reason", ""), "queue_full");
+
+  doc = parse_json(serve::serialize_error("e1", "bad \"input\""));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(doc->bool_or("ok", true));
+  EXPECT_EQ(doc->string_or("error", ""), "bad \"input\"");
+
+  serve::StatsSnapshot stats;
+  stats.requests = 7;
+  stats.cache_hits = 3;
+  stats.queue_depth = 2;
+  stats.threads = 4;
+  doc = parse_json(serve::serialize_stats("st", stats));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* body = doc->find("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_DOUBLE_EQ(body->number_or("requests", 0), 7.0);
+  EXPECT_DOUBLE_EQ(body->number_or("cache_hits", 0), 3.0);
+  EXPECT_DOUBLE_EQ(body->number_or("queue_depth", 0), 2.0);
+  EXPECT_DOUBLE_EQ(body->number_or("threads", 0), 4.0);
+
+  doc = parse_json(serve::serialize_ack("a", serve::RequestOp::kShutdown));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->bool_or("ok", false));
+  EXPECT_EQ(doc->string_or("op", ""), "shutdown");
+}
+
+}  // namespace

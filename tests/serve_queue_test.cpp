@@ -1,0 +1,179 @@
+// The prioritized admission queue: priority/deadline/FIFO ordering,
+// admission-time and dequeue-time shedding, eviction under overload, and
+// drain(). Suite name matters: "Serve" keeps these under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pool.hpp"
+#include "serve/job_queue.hpp"
+
+namespace {
+
+using namespace tags;
+using serve::Job;
+using serve::JobQueue;
+using serve::Priority;
+using serve::ShedReason;
+using Clock = std::chrono::steady_clock;
+
+Job job_named(std::vector<std::string>& ran, std::vector<std::string>& shed,
+              std::string name, Priority priority = Priority::kNormal) {
+  Job j;
+  j.priority = priority;
+  j.run = [&ran, name] { ran.push_back(name); };
+  j.shed = [&shed, name](ShedReason) { shed.push_back(name); };
+  return j;
+}
+
+TEST(ServeQueue, RunsHighestPriorityFirstThenFifo) {
+  JobQueue q(16);
+  std::vector<std::string> ran, shed;
+  ASSERT_TRUE(q.submit(job_named(ran, shed, "low", Priority::kLow)));
+  ASSERT_TRUE(q.submit(job_named(ran, shed, "n1", Priority::kNormal)));
+  ASSERT_TRUE(q.submit(job_named(ran, shed, "high", Priority::kHigh)));
+  ASSERT_TRUE(q.submit(job_named(ran, shed, "n2", Priority::kNormal)));
+  EXPECT_EQ(q.depth(), 4u);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(ran, (std::vector<std::string>{"high", "n1", "n2", "low"}));
+  EXPECT_TRUE(shed.empty());
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(ServeQueue, EarlierDeadlineWinsWithinPriority) {
+  JobQueue q(16);
+  std::vector<std::string> ran, shed;
+  const auto now = Clock::now();
+  Job late = job_named(ran, shed, "late");
+  late.deadline = now + std::chrono::hours(2);
+  Job soon = job_named(ran, shed, "soon");
+  soon.deadline = now + std::chrono::hours(1);
+  ASSERT_TRUE(q.submit(std::move(late)));
+  ASSERT_TRUE(q.submit(std::move(soon)));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(ran, (std::vector<std::string>{"soon", "late"}));
+}
+
+TEST(ServeQueue, ShedsExpiredJobAtAdmission) {
+  JobQueue q(16);
+  std::vector<std::string> ran, shed;
+  std::vector<ShedReason> reasons;
+  Job stale = job_named(ran, shed, "stale");
+  stale.deadline = Clock::now() - std::chrono::milliseconds(1);
+  stale.shed = [&](ShedReason r) {
+    shed.push_back("stale");
+    reasons.push_back(r);
+  };
+  EXPECT_FALSE(q.submit(std::move(stale)));
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(shed, (std::vector<std::string>{"stale"}));
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], ShedReason::kDeadline);
+  EXPECT_EQ(q.shed_total(), 1u);
+  EXPECT_EQ(q.deadline_missed(), 1u);
+}
+
+TEST(ServeQueue, ShedsExpiredJobAtDequeue) {
+  JobQueue q(16);
+  std::vector<std::string> ran, shed;
+  Job brief = job_named(ran, shed, "brief");
+  brief.deadline = Clock::now() + std::chrono::milliseconds(5);
+  ASSERT_TRUE(q.submit(std::move(brief)));
+  ASSERT_TRUE(q.submit(job_named(ran, shed, "steady")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(ran, (std::vector<std::string>{"steady"}));
+  EXPECT_EQ(shed, (std::vector<std::string>{"brief"}));
+  EXPECT_EQ(q.deadline_missed(), 1u);
+}
+
+TEST(ServeQueue, FullQueueShedsIncomingUnlessItOutranks) {
+  JobQueue q(1);
+  std::vector<std::string> ran, shed;
+  ASSERT_TRUE(q.submit(job_named(ran, shed, "first", Priority::kNormal)));
+
+  // Equal priority does not displace: the incoming job is shed.
+  EXPECT_FALSE(q.submit(job_named(ran, shed, "equal", Priority::kNormal)));
+  EXPECT_EQ(shed, (std::vector<std::string>{"equal"}));
+
+  // Lower priority is shed too.
+  EXPECT_FALSE(q.submit(job_named(ran, shed, "lesser", Priority::kLow)));
+  EXPECT_EQ(shed, (std::vector<std::string>{"equal", "lesser"}));
+
+  // Strictly higher priority evicts the queued job instead.
+  EXPECT_TRUE(q.submit(job_named(ran, shed, "urgent", Priority::kHigh)));
+  EXPECT_EQ(shed, (std::vector<std::string>{"equal", "lesser", "first"}));
+  EXPECT_EQ(q.depth(), 1u);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(ran, (std::vector<std::string>{"urgent"}));
+  EXPECT_EQ(q.shed_total(), 3u);
+}
+
+TEST(ServeQueue, RunNextOnEmptyQueueIsANoOp) {
+  JobQueue q(4);
+  EXPECT_FALSE(q.run_next());
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(ServeQueue, DrainWaitsForPoolWorkers) {
+  JobQueue q(64);
+  core::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kJobs = 32;
+  for (int i = 0; i < kJobs; ++i) {
+    Job j;
+    j.run = [&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    };
+    j.shed = [](ShedReason) {};
+    ASSERT_TRUE(q.submit(std::move(j)));
+    pool.post([&q] { q.run_next(); });
+  }
+  q.drain();
+  EXPECT_EQ(done.load(), kJobs);
+  EXPECT_EQ(q.depth(), 0u);
+  pool.wait_idle();
+}
+
+TEST(ServeQueue, ConcurrentSubmitAndRunKeepsEveryJobAccountedFor) {
+  JobQueue q(256);
+  core::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> shed{0};
+  constexpr int kPerThread = 64;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Job j;
+        j.priority = static_cast<Priority>(i % 3);
+        j.run = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
+        j.shed = [&shed](ShedReason) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        };
+        if (q.submit(std::move(j))) {
+          pool.post([&q] { q.run_next(); });
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  q.drain();
+  pool.wait_idle();
+  // Exactly-once semantics: every submitted job either ran or was shed.
+  EXPECT_EQ(ran.load() + shed.load(), kThreads * kPerThread);
+  EXPECT_EQ(static_cast<std::uint64_t>(shed.load()), q.shed_total());
+}
+
+}  // namespace

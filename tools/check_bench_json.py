@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Validate a bench telemetry JSON file against the v1/v2 schema.
+"""Validate a bench telemetry JSON file against the v1/v2/v3 schema.
 
-Usage: check_bench_json.py [--require-gauge NAME[=VALUE]] <telemetry.json> [...]
+Usage: check_bench_json.py [--require-gauge NAME[=VALUE]]
+                           [--require-server-counter NAME[=VALUE]]
+                           <telemetry.json> [...]
 
 --require-gauge (repeatable) additionally asserts that every file defines
 the named gauge; with =VALUE it must also equal VALUE (within 1e-9). Used
@@ -13,9 +15,14 @@ requirement, since such builds legitimately emit empty documents.
 Stdlib only. Exit 0 when every file conforms, 1 otherwise with one line per
 problem. The schema (see README "Observability"):
 
+--require-server-counter (repeatable, v3 files) asserts a field of the
+"server" section is present; with =VALUE it must equal VALUE exactly, and
+with =+N (e.g. =+1) it must be at least N. Skipped for obs-off files like
+--require-gauge.
+
   {
     "id": str,
-    "schema_version": 2,         # 1 accepted for pre-span files
+    "schema_version": 3,         # 1/2 accepted for pre-span/pre-server files
     "obs_level": int,            # -1 when compiled out, else 0..3
     "timers": {path: {"count": int, "total_ms": num, "self_ms": num}},
     "spans": [{"id": int, "parent": int, "thread": int, "name": str,
@@ -31,6 +38,10 @@ problem. The schema (see README "Observability"):
                 "diverged": bool, "certified": bool, "wall_ms": num,
                 "condition": num?, ...}],
     "solves_dropped": int,
+    "server": {"requests": int, "cache_hit": int, "cache_miss": int,
+               "cache_evicted": int, "jobs_shed": int,
+               "deadline_missed": int, "queue_depth": num,
+               "cache_size": num},                         # v3 only
   }
 
 Span entries are additionally checked for causal consistency: ids unique
@@ -49,7 +60,19 @@ import sys
 NUMBER = (int, float)
 
 
-def check(path, required_gauges=()):
+SERVER_FIELDS = (
+    ("requests", int),
+    ("cache_hit", int),
+    ("cache_miss", int),
+    ("cache_evicted", int),
+    ("jobs_shed", int),
+    ("deadline_missed", int),
+    ("queue_depth", NUMBER),
+    ("cache_size", NUMBER),
+)
+
+
+def check(path, required_gauges=(), required_server=()):
     problems = []
 
     def err(msg):
@@ -75,7 +98,7 @@ def check(path, required_gauges=()):
 
     field("id", str)
     version = field("schema_version", int)
-    if version not in (None, 1, 2):
+    if version not in (None, 1, 2, 3):
         err(f"unsupported schema_version {doc['schema_version']}")
     field("obs_level", int)
     field("solves_dropped", int)
@@ -89,7 +112,7 @@ def check(path, required_gauges=()):
             if not isinstance(stat.get(key), types) or isinstance(stat.get(key), bool):
                 err(f"timer '{tpath}' field '{key}' missing or wrong type")
 
-    if version == 2:
+    if version in (2, 3):
         field("spans_dropped", int)
         spans = field("spans", list)
         seen = {}  # id -> record, in listed (parent-before-child) order
@@ -204,6 +227,14 @@ def check(path, required_gauges=()):
         if cond is not None and (not isinstance(cond, NUMBER) or isinstance(cond, bool)):
             err(f"solves[{i}] field 'condition' wrong type")
 
+    server = None
+    if version == 3:
+        server = field("server", dict)
+        for key, types in SERVER_FIELDS:
+            v = (server or {}).get(key)
+            if not isinstance(v, types) or isinstance(v, bool):
+                err(f"server field '{key}' missing or wrong type")
+
     if doc.get("obs_level", -1) >= 0:
         for spec in required_gauges:
             name, _, want = spec.partition("=")
@@ -211,12 +242,23 @@ def check(path, required_gauges=()):
                 err(f"required gauge '{name}' missing")
             elif want and abs(gauges[name] - float(want)) > 1e-9:
                 err(f"required gauge '{name}' is {gauges[name]}, expected {want}")
+        for spec in required_server:
+            name, _, want = spec.partition("=")
+            v = (server or {}).get(name)
+            if not isinstance(v, NUMBER) or isinstance(v, bool):
+                err(f"required server field '{name}' missing")
+            elif want.startswith("+"):
+                if v < float(want[1:]):
+                    err(f"server field '{name}' is {v}, expected at least {want[1:]}")
+            elif want and abs(v - float(want)) > 1e-9:
+                err(f"server field '{name}' is {v}, expected {want}")
 
     return problems
 
 
 def main(argv):
     required_gauges = []
+    required_server = []
     paths = []
     i = 1
     while i < len(argv):
@@ -226,6 +268,12 @@ def main(argv):
         elif argv[i].startswith("--require-gauge="):
             required_gauges.append(argv[i].split("=", 1)[1])
             i += 1
+        elif argv[i] == "--require-server-counter" and i + 1 < len(argv):
+            required_server.append(argv[i + 1])
+            i += 2
+        elif argv[i].startswith("--require-server-counter="):
+            required_server.append(argv[i].split("=", 1)[1])
+            i += 1
         else:
             paths.append(argv[i])
             i += 1
@@ -234,7 +282,7 @@ def main(argv):
         return 2
     all_problems = []
     for path in paths:
-        all_problems += check(path, required_gauges)
+        all_problems += check(path, required_gauges, required_server)
     for p in all_problems:
         print(p, file=sys.stderr)
     if not all_problems:

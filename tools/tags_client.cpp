@@ -1,0 +1,183 @@
+// tags_client: command-line client for tags_server, plus the --oneshot
+// reference path that evaluates the same request in-process (no daemon)
+// through the identical Answer construction — the smoke test compares the
+// two "result" objects byte-for-byte.
+//
+//   tags_client --socket=PATH --request='{"op":"solve",...}'   one request
+//   tags_client --socket=PATH --stats | --ping | --shutdown    control ops
+//   tags_client --socket=PATH -                                stdin mode:
+//       each input line is sent as one request; one response line is
+//       printed per request, in request order.
+//   tags_client --oneshot --request='{...}'                    local solve
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH (--request=JSON | --stats | --ping | "
+               "--shutdown | -)\n"
+               "       %s --oneshot --request=JSON\n",
+               argv0, argv0);
+  return 2;
+}
+
+int connect_to(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path empty or too long for AF_UNIX";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect ") + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_line(int fd, std::string line) {
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one newline-terminated response (the trailing newline is dropped).
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int run_oneshot(const std::string& request_json) {
+  std::string error;
+  const auto req = tags::serve::parse_request(request_json, &error);
+  if (!req.has_value()) {
+    std::fprintf(stderr, "tags_client: bad request: %s\n", error.c_str());
+    return 1;
+  }
+  if (req->op != tags::serve::RequestOp::kSolve) {
+    std::fprintf(stderr, "tags_client: --oneshot only evaluates solve requests\n");
+    return 1;
+  }
+  try {
+    const tags::serve::Answer answer = tags::serve::Engine::evaluate_now(req->scenario);
+    std::printf("%s\n", tags::serve::serialize_answer(req->id, answer,
+                                                      tags::serve::Served{},
+                                                      req->want_pi)
+                            .c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tags_client: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request_json;
+  bool oneshot = false;
+  bool stdin_mode = false;
+  std::vector<std::string> control_ops;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--request=", 0) == 0) {
+      request_json = arg.substr(10);
+    } else if (arg == "--oneshot") {
+      oneshot = true;
+    } else if (arg == "--stats" || arg == "--ping" || arg == "--shutdown") {
+      control_ops.push_back("{\"op\":\"" + arg.substr(2) + "\"}");
+    } else if (arg == "-") {
+      stdin_mode = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (oneshot) {
+    if (request_json.empty()) return usage(argv[0]);
+    return run_oneshot(request_json);
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  std::vector<std::string> requests = control_ops;
+  if (!request_json.empty()) requests.insert(requests.begin(), request_json);
+  if (requests.empty() && !stdin_mode) return usage(argv[0]);
+
+  if (stdin_mode) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+
+  std::string error;
+  const int fd = connect_to(socket_path, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "tags_client: %s\n", error.c_str());
+    return 1;
+  }
+
+  int status = 0;
+  std::string buffer;
+  for (const std::string& req : requests) {
+    if (!send_line(fd, req)) {
+      std::fprintf(stderr, "tags_client: send failed: %s\n", std::strerror(errno));
+      status = 1;
+      break;
+    }
+    std::string response;
+    if (!read_line(fd, buffer, response)) {
+      std::fprintf(stderr, "tags_client: connection closed before response\n");
+      status = 1;
+      break;
+    }
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  ::close(fd);
+  return status;
+}

@@ -1,0 +1,72 @@
+// tags_server: the long-lived analysis daemon. Listens on a Unix-domain
+// socket for newline-delimited JSON scenario requests (see serve/request.hpp
+// and DESIGN.md "The analysis server"), schedules them through a prioritized
+// job queue onto the work-stealing thread pool, and answers from a
+// rebind-aware solve cache. Runs until a client sends {"op":"shutdown"}.
+//
+//   tags_server --socket=/tmp/tags.sock [--threads=N] [--cache-capacity=N]
+//               [--queue-depth=N] [--telemetry-out=PATH] [--metrics-prom=PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+bool flag_value(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--threads=N] [--cache-capacity=N]\n"
+               "          [--queue-depth=N] [--telemetry-out=PATH] "
+               "[--metrics-prom=PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tags::serve::ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "--socket", value)) {
+      opts.socket_path = value;
+    } else if (flag_value(arg, "--threads", value)) {
+      opts.engine.threads = static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (flag_value(arg, "--cache-capacity", value)) {
+      opts.engine.cache_capacity = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag_value(arg, "--queue-depth", value)) {
+      opts.engine.queue_depth = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag_value(arg, "--telemetry-out", value)) {
+      opts.telemetry_path = value;
+    } else if (flag_value(arg, "--metrics-prom", value)) {
+      opts.prometheus_path = value;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (opts.socket_path.empty()) return usage(argv[0]);
+
+  tags::serve::Server server(std::move(opts));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "tags_server: %s\n", error.c_str());
+    return 1;
+  }
+  // The smoke harness waits for this exact line before connecting.
+  std::printf("tags_server listening on %s\n", server.socket_path().c_str());
+  std::fflush(stdout);
+
+  server.wait();
+  std::printf("tags_server stopped\n");
+  return 0;
+}
