@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   const models::TagsParams base = scenario.tags_at(scenario.t_values.front());
   const core::SweepPlan plan = bench::sweep_plan_from_args(argc, argv);
   core::SweepStats stats;
-  const auto sweep = core::tags_t_sweep(base, scenario.t_values, plan, &stats);
+  const auto sweep = core::tags_t_sweep(base, scenario.t_values, plan, &stats,
+                                        bench::store_from_args(argc, argv));
   bench::print_sweep_stats(stats);
 
   const core::ScenarioRequest base_req = core::request_for(base);

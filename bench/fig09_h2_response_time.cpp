@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
 
   const core::SweepPlan plan = bench::sweep_plan_from_args(argc, argv);
   core::SweepStats stats;
-  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats);
+  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats,
+                                           bench::store_from_args(argc, argv));
   bench::print_sweep_stats(stats);
   const core::ScenarioRequest base_req = core::request_for(base);
   const auto sq = core::scenario_metrics(

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   const models::TagsH2Params base = scenario.tags_at(scenario.t_values.front());
   const core::SweepPlan plan = bench::sweep_plan_from_args(argc, argv);
   core::SweepStats stats;
-  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats);
+  const auto sweep = core::tags_h2_t_sweep(base, scenario.t_values, plan, &stats,
+                                           bench::store_from_args(argc, argv));
   bench::print_sweep_stats(stats);
   const auto sq = core::scenario_metrics(core::baseline_for(
       core::PolicyKind::kShortestQueueH2, core::request_for(base)));

@@ -2,6 +2,8 @@
 // scenario point, with warm-started t-sweeps for the TAGS families.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -46,5 +48,33 @@ struct PolicyComparison {
 [[nodiscard]] std::vector<models::Metrics> tags_h2_t_sweep(
     const models::TagsH2Params& base, const std::vector<double>& t_values,
     const SweepPlan& plan, SweepStats* stats = nullptr);
+
+/// Journaled sharded t-sweeps: every completed shard is committed to
+/// `store` as one durable record before the sweep moves on, and a rerun of
+/// the same sweep (same base parameters, grid, and shard plan — captured
+/// in the sweep digest) replays the committed shards bit-exactly instead
+/// of re-evaluating them. `store == nullptr` degrades to the plain sweep.
+[[nodiscard]] std::vector<models::Metrics> tags_t_sweep(
+    const models::TagsParams& base, const std::vector<double>& t_values,
+    const SweepPlan& plan, SweepStats* stats, store::SolveStore* store);
+
+[[nodiscard]] std::vector<models::Metrics> tags_h2_t_sweep(
+    const models::TagsH2Params& base, const std::vector<double>& t_values,
+    const SweepPlan& plan, SweepStats* stats, store::SolveStore* store);
+
+/// Digest identifying a journaled sweep: name, base parameters, grid
+/// values (by bit pattern), and the resolved shard size. Exposed so tests
+/// and tools/store_query can recompute the key of a campaign's records.
+[[nodiscard]] std::uint64_t sweep_digest(const models::TagsParams& base,
+                                         const std::vector<double>& t_values,
+                                         const SweepPlan& plan);
+[[nodiscard]] std::uint64_t sweep_digest(const models::TagsH2Params& base,
+                                         const std::vector<double>& t_values,
+                                         const SweepPlan& plan);
+
+/// The store codec for models::Metrics: all ten fields by f64 bit pattern,
+/// in declaration order (the byte-identity of resumed sweeps rests on it).
+void encode_metrics(std::span<const models::Metrics> ms, store::BufWriter& w);
+[[nodiscard]] bool decode_metrics(store::BufReader& rd, std::span<models::Metrics> out);
 
 }  // namespace tags::core

@@ -19,6 +19,7 @@
 // thread count only changes which worker executes a shard and when.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <span>
@@ -27,6 +28,8 @@
 #include "core/pool.hpp"
 #include "ctmc/steady_state.hpp"
 #include "obs/obs.hpp"
+#include "store/codec.hpp"
+#include "store/sweep_journal.hpp"
 
 namespace tags::core {
 
@@ -107,6 +110,24 @@ struct SweepStats {
   std::size_t points = 0;
   std::size_t shards = 0;
   unsigned threads = 1;
+  /// Shards replayed from a sweep journal instead of being evaluated
+  /// (always 0 without a store binding; see SweepJournalBinding).
+  std::size_t resumed = 0;
+};
+
+/// Binding between a sharded sweep and the durable store: the journal that
+/// persists completed shards plus the result codec. `decode` must fill the
+/// whole span and return false on any mismatch (a failed decode falls back
+/// to evaluating the shard — resume is best-effort, correctness is not).
+/// Encoding doubles by bit pattern (store::BufWriter::put_f64) is what
+/// makes a resumed sweep byte-identical to an uninterrupted one.
+template <class R>
+struct SweepJournalBinding {
+  store::SweepJournal* journal = nullptr;
+  std::function<void(std::span<const R>, store::BufWriter&)> encode;
+  std::function<bool(store::BufReader&, std::span<R>)> decode;
+
+  [[nodiscard]] bool active() const noexcept { return journal != nullptr; }
 };
 
 /// The parallel sweep driver. `eval` is invoked once per shard — from
@@ -119,12 +140,14 @@ struct SweepStats {
 template <class R, class ShardEval>
 [[nodiscard]] std::vector<R> sharded_sweep(std::size_t n_points, const SweepPlan& plan,
                                            ShardEval&& eval,
-                                           SweepStats* stats = nullptr) {
+                                           SweepStats* stats = nullptr,
+                                           const SweepJournalBinding<R>* binding = nullptr) {
   const std::vector<ShardRange> shards = plan_shards(n_points, plan.shard_size);
   const unsigned threads =
       plan.threads > 0 ? plan.threads : ThreadPool::default_threads();
   std::vector<R> results(n_points);
   std::vector<ctmc::WarmStartState> warm(shards.size());
+  std::vector<unsigned char> resumed(shards.size(), 0);
 
   const obs::ScopedTimer timer("core/sharded_sweep");
   obs::Span sweep_span("core/sharded_sweep");
@@ -142,7 +165,41 @@ template <class R, class ShardEval>
     span.attr("shard", static_cast<double>(s));
     const ShardRange range = shards[s];
     span.attr("points", static_cast<double>(range.size()));
-    eval(range, std::span<R>(results.data() + range.begin, range.size()), warm[s]);
+    const std::span<R> out(results.data() + range.begin, range.size());
+
+    // Resume path: a shard the journal already holds is replayed (payload
+    // decoded bit-exactly, warm counters restored from the record) instead
+    // of evaluated; any decode mismatch falls through to evaluation.
+    if (binding != nullptr && binding->active()) {
+      store::WarmCounters wc{};
+      if (const auto payload = binding->journal->load_shard(s, &wc)) {
+        store::BufReader rd(*payload);
+        if (binding->decode(rd, out) && rd.ok() && rd.at_end()) {
+          warm[s].hits = wc[0];
+          warm[s].misses = wc[1];
+          warm[s].cleared = wc[2];
+          warm[s].uncertified = wc[3];
+          resumed[s] = 1;
+          span.attr("resumed", 1.0);
+          return;
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      eval(range, out, warm[s]);
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                    t0)
+              .count();
+      store::BufWriter w;
+      binding->encode(std::span<const R>(out.data(), out.size()), w);
+      binding->journal->commit_shard(
+          s, w.bytes(),
+          store::WarmCounters{warm[s].hits, warm[s].misses, warm[s].cleared,
+                              warm[s].uncertified},
+          elapsed_ms);
+      return;
+    }
+    eval(range, out, warm[s]);
   };
   if (threads <= 1 || shards.size() <= 1) {
     for (std::size_t s = 0; s < shards.size(); ++s) run_shard(s);
@@ -161,6 +218,7 @@ template <class R, class ShardEval>
     stats->shards = shards.size();
     stats->threads = threads;
     for (const ctmc::WarmStartState& w : warm) stats->warm.merge(w);
+    for (const unsigned char r : resumed) stats->resumed += r;
   }
   return results;
 }

@@ -1,9 +1,13 @@
 #include "core/table.hpp"
 
+#include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
+#include <span>
+#include <sstream>
 #include <stdexcept>
+
+#include "store/io.hpp"
 
 namespace tags::core {
 
@@ -73,10 +77,15 @@ void Table::write_csv(std::ostream& os) const {
 }
 
 bool Table::save_csv(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  write_csv(f);
-  return static_cast<bool>(f);
+  // Rendered in memory and published temp-then-rename: an interrupted run
+  // (the crash-safe sweep resume case) leaves either the previous CSV or
+  // the complete new one, never a truncated file.
+  std::ostringstream body;
+  write_csv(body);
+  const std::string text = body.str();
+  return store::atomic_write_file(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
 }  // namespace tags::core

@@ -15,18 +15,36 @@
 
 namespace tags::obs {
 
-namespace {
-
-bool write_text_file(const std::string& path, const std::string& body) {
+bool write_text_file_atomic(const std::string& path, const std::string& body) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(p.parent_path(), ec);
   }
-  std::ofstream out(path);
-  if (!out) return false;
-  out << body;
-  return static_cast<bool>(out);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << body;
+    if (!out.flush()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  return write_text_file_atomic(path, body);
 }
 
 /// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.

@@ -30,4 +30,10 @@ namespace tags::obs {
 bool write_chrome_trace(const std::string& path, const std::string& process_name);
 bool write_prometheus(const std::string& path);
 
+/// Write `body` to `path` via a temp file + rename in the same directory,
+/// creating parent directories as needed — a reader (or a crash mid-write)
+/// can never observe a partial or zero-length artifact. Shared by every
+/// results/ exporter (telemetry JSON, Chrome trace, Prometheus text).
+bool write_text_file_atomic(const std::string& path, const std::string& body);
+
 }  // namespace tags::obs

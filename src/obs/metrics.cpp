@@ -1,9 +1,8 @@
 #include "obs/metrics.hpp"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/span.hpp"
 #include "obs/timer.hpp"
@@ -350,7 +349,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(3));
+  w.field("schema_version", static_cast<std::int64_t>(4));
   w.field("obs_level", static_cast<std::int64_t>(level()));
 
   w.key("timers");
@@ -482,6 +481,24 @@ std::string metrics_json(const std::string& id) {
   w.field("cache_size", gauge_by_name("serve.cache.size"));
   w.end_object();
 
+  // Schema v4: the durable-store section — the store.* counters and gauges
+  // under stable field names (all-zero when no store was opened).
+  w.key("store");
+  w.begin_object();
+  w.field("records_appended", counter_by_name("store.records_appended"));
+  w.field("commits", counter_by_name("store.commits"));
+  w.field("records_dropped", counter_by_name("store.records_dropped"));
+  w.field("records_recovered", counter_by_name("store.records_recovered"));
+  w.field("decode_failures", counter_by_name("store.decode_failures"));
+  w.field("lookups", counter_by_name("store.lookups"));
+  w.field("lookup_hits", counter_by_name("store.lookup_hits"));
+  w.field("shards_journaled", counter_by_name("store.shards_journaled"));
+  w.field("shards_resumed", counter_by_name("store.shards_resumed"));
+  w.field("cache_loaded", counter_by_name("store.cache_loaded"));
+  w.field("records", gauge_by_name("store.records"));
+  w.field("bytes", gauge_by_name("store.bytes"));
+  w.end_object();
+
   w.end_object();
   return std::move(w).str();
 }
@@ -547,7 +564,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(3));
+  w.field("schema_version", static_cast<std::int64_t>(4));
   w.field("obs_level", static_cast<std::int64_t>(-1));
   w.key("timers");
   w.begin_object();
@@ -580,21 +597,30 @@ std::string metrics_json(const std::string& id) {
   w.field("queue_depth", 0.0);
   w.field("cache_size", 0.0);
   w.end_object();
+  w.key("store");
+  w.begin_object();
+  w.field("records_appended", static_cast<std::int64_t>(0));
+  w.field("commits", static_cast<std::int64_t>(0));
+  w.field("records_dropped", static_cast<std::int64_t>(0));
+  w.field("records_recovered", static_cast<std::int64_t>(0));
+  w.field("decode_failures", static_cast<std::int64_t>(0));
+  w.field("lookups", static_cast<std::int64_t>(0));
+  w.field("lookup_hits", static_cast<std::int64_t>(0));
+  w.field("shards_journaled", static_cast<std::int64_t>(0));
+  w.field("shards_resumed", static_cast<std::int64_t>(0));
+  w.field("cache_loaded", static_cast<std::int64_t>(0));
+  w.field("records", 0.0);
+  w.field("bytes", 0.0);
+  w.end_object();
   w.end_object();
   return std::move(w).str();
 }
 #endif  // !TAGS_OBS_ENABLED
 
 bool write_telemetry_json(const std::string& path, const std::string& id) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  if (!out) return false;
-  out << metrics_json(id) << "\n";
-  return static_cast<bool>(out);
+  // Temp-then-rename so a crash mid-export (or a concurrent reader) never
+  // sees a truncated JSON; check_bench_json.py rejects empty artifacts.
+  return write_text_file_atomic(path, metrics_json(id) + "\n");
 }
 
 }  // namespace tags::obs

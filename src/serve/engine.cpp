@@ -15,6 +15,8 @@
 #include "obs/span.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/solve_cache.hpp"
+#include "serve/store_codec.hpp"
+#include "store/store.hpp"
 
 namespace tags::serve {
 
@@ -56,12 +58,21 @@ struct Engine::State {
         pool(this->opts.threads),
         queue(this->opts.queue_depth),
         cache(this->opts.cache_capacity),
-        requests_counter("serve.requests") {}
+        requests_counter("serve.requests"),
+        cache_loaded_counter("store.cache_loaded") {
+    if (!this->opts.store_path.empty()) {
+      store = std::make_unique<store::SolveStore>(this->opts.store_path);
+      warm_load();
+    }
+  }
 
   const EngineOptions opts;
   core::ThreadPool pool;
   JobQueue queue;
   SolveCache cache;
+  /// Durable answer store (null when persistence is off). SolveStore is
+  /// internally synchronised; workers append concurrently.
+  std::unique_ptr<store::SolveStore> store;
 
   /// One warm-start slot per model structure, each behind its own mutex so
   /// concurrent requests for different structures solve in parallel while
@@ -79,6 +90,39 @@ struct Engine::State {
 
   std::atomic<std::uint64_t> requests{0};
   obs::Counter requests_counter;
+  obs::Counter cache_loaded_counter;
+
+  /// Replay every valid kAnswer record into the solve cache and structure
+  /// map, so a restarted engine serves known scenarios from cache (cached:
+  /// true, byte-identical result). Rotten records are skipped by the store
+  /// itself; a payload that fails the answer codec is skipped here.
+  void warm_load() {
+    store->scan([this](const store::Record& rec) {
+      if (rec.key.kind != store::RecordKind::kAnswer) return true;
+      store::BufReader rd(rec.payload);
+      const auto answer = decode_answer(rd);
+      if (!answer) return true;
+      if (!closed_form(answer->scenario.policy)) {
+        learn_structure(core::structure_key(answer->scenario),
+                        answer->structure_digest);
+      }
+      cache.insert(CacheKey{std::string(core::to_string(answer->scenario.policy)),
+                            answer->structure_digest, answer->rate_digest},
+                   *answer);
+      cache_loaded_counter.add(1);
+      return true;
+    });
+  }
+
+  /// Commit one freshly solved answer (no-op when persistence is off).
+  void persist(const Answer& answer, const core::ScenarioOutcome& outcome,
+               double solve_ms) {
+    if (!store) return;
+    const linalg::Certificate& c = outcome.solve.certificate;
+    const store::CertSummary cert{answer.certified, answer.converged, c.residual,
+                                  c.mass_error, c.condition};
+    store->append_commit(answer_record(answer, cert, solve_ms));
+  }
 
   Slot& slot_for(const std::string& key) {
     std::lock_guard<std::mutex> lock(slots_m);
@@ -186,6 +230,9 @@ void Engine::State::execute(const Request& req, const Responder& respond, bool c
     cache.insert(CacheKey{std::string(core::to_string(req.scenario.policy)),
                           answer.structure_digest, answer.rate_digest},
                  answer);
+    // Durability before visibility: the record is fsync'd before the
+    // response leaves, so any answer a client ever saw survives a crash.
+    persist(answer, outcome, solve_ms);
     respond(serialize_answer(
         req.id, answer,
         Served{.cached = false, .warm = warm, .queue_ms = queue_ms, .solve_ms = solve_ms},

@@ -1,0 +1,106 @@
+#include "serve/store_codec.hpp"
+
+#include <string>
+#include <utility>
+
+namespace tags::serve {
+
+void encode_answer(const Answer& answer, store::BufWriter& w) {
+  w.put_str(std::string(core::to_string(answer.scenario.policy)));
+  w.put_f64(answer.scenario.lambda);
+  w.put_f64(answer.scenario.mu);
+  w.put_f64(answer.scenario.t);
+  w.put_f64(answer.scenario.alpha);
+  w.put_f64(answer.scenario.mu1);
+  w.put_f64(answer.scenario.mu2);
+  w.put_u64(answer.scenario.n);
+  w.put_u64(answer.scenario.k1);
+  w.put_u64(answer.scenario.k2);
+
+  const models::Metrics& m = answer.metrics;
+  w.put_f64(m.mean_q1);
+  w.put_f64(m.mean_q2);
+  w.put_f64(m.mean_total);
+  w.put_f64(m.throughput);
+  w.put_f64(m.loss1_rate);
+  w.put_f64(m.loss2_rate);
+  w.put_f64(m.loss_rate);
+  w.put_f64(m.response_time);
+  w.put_f64(m.utilisation1);
+  w.put_f64(m.utilisation2);
+
+  w.put_u64(answer.pi.size());
+  for (const double v : answer.pi) w.put_f64(v);
+
+  w.put_u64(answer.structure_digest);
+  w.put_u64(answer.rate_digest);
+  w.put_u64(answer.pi_digest);
+  w.put_u64(static_cast<std::uint64_t>(answer.n_states));
+  w.put_u8(answer.certified ? 1 : 0);
+  w.put_u8(answer.converged ? 1 : 0);
+  w.put_str(answer.method);
+}
+
+std::optional<Answer> decode_answer(store::BufReader& rd) {
+  Answer a;
+  const std::string policy = rd.get_str();
+  const auto kind = core::policy_from_string(policy);
+  if (!kind) return std::nullopt;
+  a.scenario.policy = *kind;
+  a.scenario.lambda = rd.get_f64();
+  a.scenario.mu = rd.get_f64();
+  a.scenario.t = rd.get_f64();
+  a.scenario.alpha = rd.get_f64();
+  a.scenario.mu1 = rd.get_f64();
+  a.scenario.mu2 = rd.get_f64();
+  a.scenario.n = static_cast<unsigned>(rd.get_u64());
+  a.scenario.k1 = static_cast<unsigned>(rd.get_u64());
+  a.scenario.k2 = static_cast<unsigned>(rd.get_u64());
+
+  models::Metrics& m = a.metrics;
+  m.mean_q1 = rd.get_f64();
+  m.mean_q2 = rd.get_f64();
+  m.mean_total = rd.get_f64();
+  m.throughput = rd.get_f64();
+  m.loss1_rate = rd.get_f64();
+  m.loss2_rate = rd.get_f64();
+  m.loss_rate = rd.get_f64();
+  m.response_time = rd.get_f64();
+  m.utilisation1 = rd.get_f64();
+  m.utilisation2 = rd.get_f64();
+
+  const std::uint64_t n_pi = rd.get_u64();
+  if (!rd.ok() || n_pi * sizeof(double) > rd.remaining()) return std::nullopt;
+  a.pi.resize(static_cast<std::size_t>(n_pi));
+  for (double& v : a.pi) v = rd.get_f64();
+
+  a.structure_digest = rd.get_u64();
+  a.rate_digest = rd.get_u64();
+  a.pi_digest = rd.get_u64();
+  a.n_states = static_cast<std::int64_t>(rd.get_u64());
+  a.certified = rd.get_u8() != 0;
+  a.converged = rd.get_u8() != 0;
+  a.method = rd.get_str();
+  if (!rd.ok() || !rd.at_end()) return std::nullopt;
+  return a;
+}
+
+store::RecordKey answer_key(const Answer& answer) {
+  return store::RecordKey{store::RecordKind::kAnswer,
+                          std::string(core::to_string(answer.scenario.policy)),
+                          answer.structure_digest, answer.rate_digest};
+}
+
+store::Record answer_record(const Answer& answer, const store::CertSummary& cert,
+                            double solve_ms) {
+  store::Record r;
+  r.key = answer_key(answer);
+  r.cert = cert;
+  r.solve_ms = solve_ms;
+  store::BufWriter w;
+  encode_answer(answer, w);
+  r.payload = std::move(w).take();
+  return r;
+}
+
+}  // namespace tags::serve

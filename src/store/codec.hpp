@@ -1,0 +1,134 @@
+// Little-endian binary encoding for store records and index segments —
+// explicitly byte-ordered so a log written on any supported platform reads
+// back identically, and doubles round-trip bit-exactly (the store's
+// byte-identity contract rides on this). Header-only; also used by the
+// higher layers (core, serve) to encode their record payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tags::store {
+
+class BufWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v));
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Bit-pattern encoding: NaNs and signed zeros round-trip exactly.
+  void put_f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  void put_str(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_bytes(std::span<const std::uint8_t> b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader. Any out-of-range read latches ok() == false and
+/// returns zero values; callers check ok() once at the end, so a truncated
+/// or corrupt payload decodes to "invalid", never to a crash.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    if (pos_ + 1 > data_.size()) return fail_u8();
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t get_u16() {
+    std::uint16_t v = get_u8();
+    v |= static_cast<std::uint16_t>(get_u8()) << 8;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8()) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::string get_str() {
+    const std::uint32_t n = get_u32();
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> get_bytes() {
+    const std::uint32_t n = get_u32();
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::uint8_t fail_u8() noexcept {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace tags::store

@@ -1,0 +1,17 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82F63B78) —
+// the per-record checksum of the durable solve-record store. Software
+// table implementation: the store's logs are a few megabytes, so a
+// byte-at-a-time table walk is nowhere near the I/O cost around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tags::store {
+
+/// Incremental CRC32C: fold `len` bytes into a running crc. Start from 0
+/// and pass the previous return value to chain buffers.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t len,
+                                   std::uint32_t crc = 0) noexcept;
+
+}  // namespace tags::store

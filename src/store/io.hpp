@@ -1,0 +1,28 @@
+// POSIX file plumbing for the store: fsync wrappers and the
+// write-temp-then-rename primitive the index segments (and anything else
+// that must never be seen half-written) are published with.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tags::store {
+
+/// fsync the directory containing `path` (best effort: after a rename the
+/// directory entry itself must reach disk for the rename to be durable).
+void fsync_parent_dir(const std::string& path) noexcept;
+
+/// Write `bytes` to a temporary file next to `path`, fsync it, and rename
+/// it over `path` (then fsync the directory). A reader concurrently
+/// opening `path` sees either the old contents or the new, never a tear.
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     std::span<const std::uint8_t> bytes) noexcept;
+
+/// Slurp a whole file; nullopt when it does not exist or cannot be read.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path);
+
+}  // namespace tags::store

@@ -1,0 +1,208 @@
+#include "store/log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "store/crc32c.hpp"
+#include "store/io.hpp"
+
+namespace tags::store {
+
+namespace {
+
+std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+[[noreturn]] void io_fail(const std::string& path, const char* what) {
+  throw std::runtime_error("store log " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len, std::uint64_t offset) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ::ssize_t n =
+        ::pwrite(fd, data + done, len - done, static_cast<::off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// pread exactly len bytes; false on EOF-before-len or error.
+bool read_all(int fd, std::uint8_t* data, std::size_t len, std::uint64_t offset) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ::ssize_t n =
+        ::pread(fd, data + done, len - done, static_cast<::off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_header() {
+  std::vector<std::uint8_t> h(kLogHeaderBytes);
+  std::memcpy(h.data(), kLogMagic, sizeof(kLogMagic));
+  store_u32(h.data() + 8, kLogFormatVersion);
+  store_u32(h.data() + 12, crc32c(h.data(), 12));
+  return h;
+}
+
+}  // namespace
+
+LogFile::LogFile(std::string path, bool read_only, const FrameFn& on_frame)
+    : path_(std::move(path)), read_only_(read_only) {
+  const int flags = (read_only_ ? O_RDONLY : O_RDWR | O_CREAT) | O_CLOEXEC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) io_fail(path_, "open");
+
+  const ::off_t raw_size = ::lseek(fd_, 0, SEEK_END);
+  if (raw_size < 0) io_fail(path_, "lseek");
+  std::uint64_t file_size = static_cast<std::uint64_t>(raw_size);
+
+  // Fresh file: stamp the header and we are done.
+  if (file_size == 0 && !read_only_) {
+    const auto header = encode_header();
+    if (!write_all(fd_, header.data(), header.size(), 0)) io_fail(path_, "write header");
+    if (::fsync(fd_) != 0) io_fail(path_, "fsync header");
+    durable_end_ = write_end_ = kLogHeaderBytes;
+    recover_.bytes = kLogHeaderBytes;
+    return;
+  }
+
+  // Header check. A corrupt header means no frame can be trusted: the whole
+  // file is dropped and the log reinitialized (counted as one drop event).
+  bool header_ok = false;
+  if (file_size >= kLogHeaderBytes) {
+    std::uint8_t h[kLogHeaderBytes];
+    if (!read_all(fd_, h, sizeof(h), 0)) io_fail(path_, "read header");
+    header_ok = std::memcmp(h, kLogMagic, sizeof(kLogMagic)) == 0 &&
+                load_u32(h + 8) == kLogFormatVersion &&
+                load_u32(h + 12) == crc32c(h, 12);
+  }
+  if (!header_ok) {
+    recover_.dropped_bytes = file_size;
+    recover_.drop_events = file_size > 0 ? 1 : 0;
+    recover_.reinitialized = true;
+    if (read_only_) {
+      durable_end_ = write_end_ = 0;
+      recover_.bytes = 0;
+      return;
+    }
+    if (::ftruncate(fd_, 0) != 0) io_fail(path_, "truncate");
+    const auto header = encode_header();
+    if (!write_all(fd_, header.data(), header.size(), 0)) io_fail(path_, "write header");
+    if (::fsync(fd_) != 0) io_fail(path_, "fsync header");
+    durable_end_ = write_end_ = kLogHeaderBytes;
+    recover_.bytes = kLogHeaderBytes;
+    return;
+  }
+
+  // Frame scan: advance while every frame verifies; stop (and truncate) at
+  // the first byte that does not.
+  std::uint64_t offset = kLogHeaderBytes;
+  std::vector<std::uint8_t> payload;
+  while (offset + kFrameHeaderBytes <= file_size) {
+    std::uint8_t fh[kFrameHeaderBytes];
+    if (!read_all(fd_, fh, sizeof(fh), offset)) io_fail(path_, "read frame header");
+    const std::uint32_t magic = load_u32(fh);
+    const std::uint32_t len = load_u32(fh + 4);
+    const std::uint32_t crc = load_u32(fh + 8);
+    if (magic != kFrameMagic || len > kMaxFrameBytes ||
+        offset + kFrameHeaderBytes + len > file_size) {
+      break;
+    }
+    payload.resize(len);
+    if (len > 0 && !read_all(fd_, payload.data(), len, offset + kFrameHeaderBytes)) {
+      io_fail(path_, "read frame payload");
+    }
+    if (crc32c(payload.data(), len) != crc) break;
+    if (on_frame) on_frame(offset, payload);
+    ++recover_.frames;
+    offset += kFrameHeaderBytes + len;
+  }
+
+  if (offset < file_size) {
+    recover_.dropped_bytes = file_size - offset;
+    recover_.drop_events = 1;
+    if (!read_only_) {
+      if (::ftruncate(fd_, static_cast<::off_t>(offset)) != 0) io_fail(path_, "truncate");
+      if (::fsync(fd_) != 0) io_fail(path_, "fsync after truncate");
+    }
+  }
+  durable_end_ = write_end_ = offset;
+  recover_.bytes = offset;
+}
+
+LogFile::~LogFile() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+std::uint64_t LogFile::append(std::span<const std::uint8_t> payload) {
+  if (read_only_) throw std::logic_error("store log: append on read-only log");
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("store log: record exceeds kMaxFrameBytes");
+  }
+  const std::uint64_t offset = write_end_;
+  std::uint8_t fh[kFrameHeaderBytes];
+  store_u32(fh, kFrameMagic);
+  store_u32(fh + 4, static_cast<std::uint32_t>(payload.size()));
+  store_u32(fh + 8, crc32c(payload.data(), payload.size()));
+  buffer_.insert(buffer_.end(), fh, fh + sizeof(fh));
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  write_end_ += kFrameHeaderBytes + payload.size();
+  ++pending_;
+  return offset;
+}
+
+void LogFile::commit() {
+  if (buffer_.empty()) return;
+  if (!write_all(fd_, buffer_.data(), buffer_.size(), durable_end_)) {
+    io_fail(path_, "write");
+  }
+  if (::fsync(fd_) != 0) io_fail(path_, "fsync");
+  durable_end_ = write_end_;
+  buffer_.clear();
+  pending_ = 0;
+}
+
+std::optional<std::vector<std::uint8_t>> LogFile::read_frame(
+    std::uint64_t offset) const {
+  if (offset + kFrameHeaderBytes > durable_end_) return std::nullopt;
+  std::uint8_t fh[kFrameHeaderBytes];
+  if (!read_all(fd_, fh, sizeof(fh), offset)) return std::nullopt;
+  const std::uint32_t magic = load_u32(fh);
+  const std::uint32_t len = load_u32(fh + 4);
+  const std::uint32_t crc = load_u32(fh + 8);
+  if (magic != kFrameMagic || len > kMaxFrameBytes ||
+      offset + kFrameHeaderBytes + len > durable_end_) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0 && !read_all(fd_, payload.data(), len, offset + kFrameHeaderBytes)) {
+    return std::nullopt;
+  }
+  if (crc32c(payload.data(), len) != crc) return std::nullopt;
+  return payload;
+}
+
+}  // namespace tags::store

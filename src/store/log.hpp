@@ -1,0 +1,97 @@
+// The append-only checksummed log under the solve-record store. Layout:
+//
+//   header (16 bytes): magic "TSLOG01\0" | u32 format version | u32 CRC32C
+//                      of the preceding 12 bytes
+//   frame  (12 + n):   u32 frame magic | u32 payload length n | u32 CRC32C
+//                      of the payload | payload bytes
+//
+// all integers little-endian. Appends are buffered; commit() writes the
+// buffered frames with one pwrite per frame and fsyncs — a batch is either
+// fully durable or recoverable to the previous commit. Reopen always runs
+// recovery: every frame is re-verified in order and the file is truncated
+// at the first invalid byte (bad magic, impossible length, CRC mismatch,
+// torn tail), so the survivors are exactly the committed prefix. There is
+// deliberately no resync-after-corruption: once framing is broken nothing
+// after it can be trusted, and the recovery invariant ("the committed
+// prefix, nothing else") stays provable. See DESIGN.md "Durable
+// solve-record store".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tags::store {
+
+inline constexpr char kLogMagic[8] = {'T', 'S', 'L', 'O', 'G', '0', '1', '\0'};
+inline constexpr std::uint32_t kLogFormatVersion = 1;
+inline constexpr std::size_t kLogHeaderBytes = 16;
+inline constexpr std::uint32_t kFrameMagic = 0x52465354u;  // "TSFR"
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Upper bound on one frame's payload: anything larger is corruption by
+/// definition (a full fig09 H2 answer with pi is ~100 KB).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
+/// What recovery found and did on open.
+struct RecoverStats {
+  std::uint64_t frames = 0;         ///< valid frames surviving recovery
+  std::uint64_t bytes = 0;          ///< durable file size after recovery
+  std::uint64_t dropped_bytes = 0;  ///< corrupt/torn tail bytes truncated away
+  std::uint64_t drop_events = 0;    ///< 1 when a truncation happened, else 0
+  bool reinitialized = false;       ///< header was corrupt: log reset to empty
+};
+
+class LogFile {
+ public:
+  /// Called for each valid frame during open: (file offset of the frame
+  /// header, payload bytes).
+  using FrameFn = std::function<void(std::uint64_t offset,
+                                     std::span<const std::uint8_t> payload)>;
+
+  /// Open `path` (created empty with a fresh header when absent), run
+  /// recovery, and report every surviving frame through `on_frame`.
+  /// `read_only` opens without write access and skips the truncation (the
+  /// scan still stops at the first invalid frame). Throws
+  /// std::runtime_error on I/O failure (not on corruption — corruption is
+  /// recovered, I/O errors are not).
+  LogFile(std::string path, bool read_only, const FrameFn& on_frame);
+  ~LogFile();
+
+  LogFile(const LogFile&) = delete;
+  LogFile& operator=(const LogFile&) = delete;
+
+  /// Buffer one frame for the next commit. Returns the file offset the
+  /// frame will occupy (usable as an index entry immediately — the index
+  /// is only published after the commit that makes the offset real).
+  std::uint64_t append(std::span<const std::uint8_t> payload);
+
+  /// Write all buffered frames and fsync the file. Throws
+  /// std::runtime_error on I/O failure. No-op when nothing is buffered.
+  void commit();
+
+  /// Re-read and verify one frame (by the offset append/open reported).
+  /// nullopt when the frame fails verification — a reader-side guard for
+  /// corruption that happened after open (see SolveStore::lookup).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> read_frame(
+      std::uint64_t offset) const;
+
+  [[nodiscard]] std::uint64_t durable_bytes() const noexcept { return durable_end_; }
+  [[nodiscard]] std::uint64_t pending_frames() const noexcept { return pending_; }
+  [[nodiscard]] const RecoverStats& recovery() const noexcept { return recover_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool read_only_ = false;
+  std::uint64_t durable_end_ = 0;  ///< fsync'd high-water mark
+  std::uint64_t write_end_ = 0;    ///< durable_end_ + buffered bytes
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t pending_ = 0;
+  RecoverStats recover_;
+};
+
+}  // namespace tags::store

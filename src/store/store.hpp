@@ -1,0 +1,111 @@
+// The durable solve-record store: an append-only CRC32C-framed log of
+// Records (store/record.hpp, store/log.hpp) plus an atomically-renamed
+// index segment for point lookup. One store is a directory:
+//
+//   <dir>/log.tsl    the record log (append-only, fsync'd commit batches)
+//   <dir>/index.tsi  key -> offset of the latest record, rewritten via
+//                    write-temp-then-rename after every commit
+//
+// Durability contract: a record is durable once the commit() that carried
+// it returns — the log is fsync'd before the index is published, so the
+// index can only ever lag the log, never lead it. Reopen runs log recovery
+// (truncate to the committed prefix, bumping store.records_dropped when
+// anything was cut) and rebuilds the in-memory index from the surviving
+// frames; the on-disk segment is a read-side accelerator (StoreOptions::
+// use_index skips the full scan), never the source of truth.
+//
+// Thread-safe: append/commit/lookup/scan serialize on one mutex (the store
+// is I/O-bound; shard workers committing concurrently is the design load).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "store/record.hpp"
+
+namespace tags::store {
+
+struct StoreOptions {
+  /// Open without write access (no recovery truncation — the scan still
+  /// stops at the first invalid frame, so readers see the same committed
+  /// prefix a writer would recover).
+  bool read_only = false;
+  /// Readers only: trust a valid, exactly-current index segment instead of
+  /// scanning the whole log (point lookups then pread + CRC-verify single
+  /// records). Falls back to the full scan when the segment is missing,
+  /// invalid, or lags the log. An index-served open sees the *live* view
+  /// only — the segment maps each key to its latest record, so scan() and
+  /// stats().total_records cover live records, not superseded history.
+  bool use_index = false;
+  /// Fault-injection hooks (also settable via the environment variables
+  /// TAGS_STORE_CRASH_AFTER_COMMITS / TAGS_STORE_CRASH_BEFORE_INDEX, so
+  /// child processes in the kill-resume tests can be armed externally):
+  /// raise SIGKILL after the Nth commit completes (-1: never)...
+  int crash_after_commits = -1;
+  /// ...and when set, die after the log fsync but *before* the index
+  /// segment is published — the index-lags-log recovery case.
+  bool crash_before_index = false;
+};
+
+struct StoreStats {
+  std::uint64_t live_records = 0;    ///< distinct keys (latest record each)
+  std::uint64_t total_records = 0;   ///< committed records incl. superseded
+  std::uint64_t bytes = 0;           ///< durable log bytes
+  std::uint64_t appended = 0;        ///< records appended by this handle
+  std::uint64_t commits = 0;         ///< commits issued by this handle
+  std::uint64_t dropped_events = 0;  ///< recovery truncations (this open)
+  std::uint64_t dropped_bytes = 0;   ///< bytes cut by recovery (this open)
+  std::uint64_t decode_failures = 0; ///< CRC-valid frames that failed decode
+  bool reinitialized = false;        ///< log header was corrupt: started empty
+  bool index_used = false;           ///< open served by the index segment
+};
+
+class SolveStore {
+ public:
+  /// Open (creating when writable) the store directory. Throws
+  /// std::runtime_error on I/O failure; corruption never throws — it is
+  /// recovered and reported through stats().
+  explicit SolveStore(std::string dir, StoreOptions opts = {});
+  ~SolveStore();
+
+  SolveStore(const SolveStore&) = delete;
+  SolveStore& operator=(const SolveStore&) = delete;
+
+  /// Buffer one record for the next commit. Visible to lookup()
+  /// immediately (from this handle), durable only after commit().
+  void append(const Record& r);
+
+  /// Make every buffered record durable: write + fsync the log, then
+  /// publish the refreshed index segment atomically.
+  void commit();
+
+  /// append + commit as one single-record batch.
+  void append_commit(const Record& r);
+
+  /// Latest record for a key: pending-but-uncommitted first, then the
+  /// committed log (re-read and CRC-verified — a record that rotted on
+  /// disk after open returns nullopt and counts store.records_dropped,
+  /// never corrupt bytes).
+  [[nodiscard]] std::optional<Record> lookup(const RecordKey& key) const;
+
+  /// Iterate every committed record in append order (superseded records
+  /// included — this is the history view). Return false to stop early.
+  /// Records failing re-verification are skipped (counted as dropped).
+  void scan(const std::function<bool(const Record&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const;  ///< live (distinct-key) records
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const std::string& directory() const noexcept;
+
+  [[nodiscard]] static std::string log_path(const std::string& dir);
+  [[nodiscard]] static std::string index_path(const std::string& dir);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tags::store

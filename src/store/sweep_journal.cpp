@@ -1,0 +1,52 @@
+#include "store/sweep_journal.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace tags::store {
+
+namespace {
+
+obs::Counter& journaled_counter() {
+  static obs::Counter c("store.shards_journaled");
+  return c;
+}
+
+obs::Counter& resumed_counter() {
+  static obs::Counter c("store.shards_resumed");
+  return c;
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(SolveStore& store, std::string sweep_name,
+                           std::uint64_t sweep_digest)
+    : store_(store), name_(std::move(sweep_name)), digest_(sweep_digest) {}
+
+std::optional<std::vector<std::uint8_t>> SweepJournal::load_shard(
+    std::size_t shard, WarmCounters* warm, double* elapsed_ms) const {
+  const RecordKey key{RecordKind::kShard, name_, digest_,
+                      static_cast<std::uint64_t>(shard)};
+  auto record = store_.lookup(key);
+  if (!record) return std::nullopt;
+  if (warm != nullptr) *warm = record->warm;
+  if (elapsed_ms != nullptr) *elapsed_ms = record->solve_ms;
+  resumed_counter().add(1);
+  return std::move(record->payload);
+}
+
+void SweepJournal::commit_shard(std::size_t shard,
+                                std::span<const std::uint8_t> payload,
+                                const WarmCounters& warm, double elapsed_ms) {
+  Record r;
+  r.key = RecordKey{RecordKind::kShard, name_, digest_,
+                    static_cast<std::uint64_t>(shard)};
+  r.warm = warm;
+  r.solve_ms = elapsed_ms;
+  r.payload.assign(payload.begin(), payload.end());
+  store_.append_commit(r);
+  journaled_counter().add(1);
+}
+
+}  // namespace tags::store

@@ -1,0 +1,44 @@
+// Crash-safe sweep journalling on top of SolveStore: one kShard record per
+// completed shard, keyed by (sweep name, sweep digest, shard index). A
+// resumed sweep loads the committed shards (payload + the shard's
+// warm-start counter snapshot) and re-evaluates only the rest — the sweep
+// digest covers the grid, base parameters, and shard plan, so a journal
+// can never be replayed against a different sweep.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/store.hpp"
+
+namespace tags::store {
+
+class SweepJournal {
+ public:
+  /// `sweep_digest` must be a digest of everything that determines the
+  /// shard payloads: policy, base parameters, grid values, shard plan.
+  SweepJournal(SolveStore& store, std::string sweep_name, std::uint64_t sweep_digest);
+
+  /// Committed payload of one shard, with its warm-start counter snapshot;
+  /// nullopt when the shard was never committed (or failed verification).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load_shard(
+      std::size_t shard, WarmCounters* warm, double* elapsed_ms = nullptr) const;
+
+  /// Journal one completed shard: append + fsync commit (one durable batch
+  /// per shard — the commit boundary *is* the resume point).
+  void commit_shard(std::size_t shard, std::span<const std::uint8_t> payload,
+                    const WarmCounters& warm, double elapsed_ms);
+
+  [[nodiscard]] std::uint64_t sweep_digest() const noexcept { return digest_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  SolveStore& store_;
+  std::string name_;
+  std::uint64_t digest_;
+};
+
+}  // namespace tags::store

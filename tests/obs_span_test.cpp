@@ -263,14 +263,14 @@ TEST_F(ObsSpanTest, PrometheusExportCoversMetricFamilies) {
   EXPECT_NE(text.find("obs_span_test/prom"), std::string::npos);
 }
 
-TEST_F(ObsSpanTest, TelemetryJsonV3CarriesTheSpanSection) {
+TEST_F(ObsSpanTest, TelemetryJsonV4CarriesTheSpanSection) {
   {
     obs::Span span("t/v2_span");
     span.attr("n", 3.0);
   }
   const std::string json = obs::metrics_json("span_unit");
   // The writer emits compact JSON (no spaces), so exact substrings work.
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"spans\":["), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"t/v2_span\""), std::string::npos);
   EXPECT_NE(json.find("\"spans_dropped\":0"), std::string::npos);

@@ -1,0 +1,310 @@
+// Fault-injection battery for the durable solve-record store: truncated
+// tails, torn mid-log writes, and single bit-flips are injected directly
+// into log.tsl, and every case must recover to exactly the committed
+// prefix — records before the damage bit-identical, records at/after it
+// gone (nullopt, never corrupt bytes), StoreStats reporting the drop, and
+// no crash anywhere on the way.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "store/log.hpp"
+#include "store/record.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace tags;
+using store::Record;
+using store::RecordKey;
+using store::RecordKind;
+using store::SolveStore;
+using store::StoreOptions;
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::path(testing::TempDir()) / ("tags_store_fault_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Deterministic record #i: payload length varies with i so frame offsets
+/// exercise unaligned cuts.
+Record make_record(std::uint64_t i) {
+  Record r;
+  r.key = {RecordKind::kShard, "fault_battery", 0xfeedfaceu, i};
+  r.cert = {true, true, 1e-12 * static_cast<double>(i + 1), 2e-15, 100.0};
+  r.solve_ms = 0.25 * static_cast<double>(i);
+  r.warm = {i, i + 1, 0, 0};
+  r.payload.resize(16 + (i * 7) % 64);
+  for (std::size_t b = 0; b < r.payload.size(); ++b) {
+    r.payload[b] = static_cast<std::uint8_t>((i * 131 + b * 17) & 0xff);
+  }
+  return r;
+}
+
+bool record_eq(const Record& a, const Record& b) {
+  return store::encode_record(a) == store::encode_record(b);
+}
+
+/// Byte offset of record i's frame header in log.tsl (header + preceding
+/// frames). Mirrors the on-disk layout documented in store/log.hpp.
+std::uint64_t frame_offset(std::uint64_t i) {
+  std::uint64_t off = store::kLogHeaderBytes;
+  for (std::uint64_t j = 0; j < i; ++j) {
+    off += store::kFrameHeaderBytes + store::encode_record(make_record(j)).size();
+  }
+  return off;
+}
+
+/// Build a store of n committed records and close it.
+void seed_store(const std::string& dir, std::uint64_t n) {
+  SolveStore s(dir);
+  for (std::uint64_t i = 0; i < n; ++i) s.append(make_record(i));
+  s.commit();
+}
+
+void truncate_log(const std::string& dir, std::uint64_t new_size) {
+  std::filesystem::resize_file(SolveStore::log_path(dir), new_size);
+}
+
+std::uint64_t log_size(const std::string& dir) {
+  return std::filesystem::file_size(SolveStore::log_path(dir));
+}
+
+void flip_bit(const std::string& path, std::uint64_t offset, int bit) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ (1 << bit));
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+/// Assert the reopened store holds exactly records [0, keep) bit-identically
+/// and nothing at or past `keep`.
+void expect_prefix(SolveStore& s, std::uint64_t keep, std::uint64_t seeded) {
+  EXPECT_EQ(s.stats().total_records, keep);
+  for (std::uint64_t i = 0; i < keep; ++i) {
+    const auto got = s.lookup(make_record(i).key);
+    ASSERT_TRUE(got.has_value()) << "record " << i << " missing";
+    EXPECT_TRUE(record_eq(*got, make_record(i))) << "record " << i << " mutated";
+  }
+  for (std::uint64_t i = keep; i < seeded; ++i) {
+    EXPECT_FALSE(s.lookup(make_record(i).key).has_value())
+        << "record " << i << " survived past the damage";
+  }
+}
+
+TEST(StoreFault, TruncatedTailDropsOnlyTheCutRecord) {
+  const auto dir = fresh_dir("trunc_tail");
+  seed_store(dir, 8);
+  const auto full = log_size(dir);
+  truncate_log(dir, full - 5);  // cut into record 7's payload
+
+  SolveStore s(dir);
+  const auto st = s.stats();
+  EXPECT_EQ(st.dropped_events, 1u);
+  EXPECT_GT(st.dropped_bytes, 0u);
+  EXPECT_FALSE(st.reinitialized);
+  expect_prefix(s, 7, 8);
+
+  // Recovery truncated the file back to the committed prefix exactly.
+  EXPECT_EQ(log_size(dir), frame_offset(7));
+}
+
+TEST(StoreFault, TruncateMidFrameHeaderKeepsPrefix) {
+  const auto dir = fresh_dir("trunc_header");
+  seed_store(dir, 6);
+  truncate_log(dir, frame_offset(4) + 5);  // only 5 of record 4's 12 header bytes
+
+  SolveStore s(dir);
+  EXPECT_EQ(s.stats().dropped_events, 1u);
+  expect_prefix(s, 4, 6);
+}
+
+TEST(StoreFault, TornMidLogWriteTruncatesFromTheTear) {
+  const auto dir = fresh_dir("torn");
+  seed_store(dir, 8);
+  // Simulate a torn multi-frame batch: garbage over record 3's frame.
+  const auto off = frame_offset(3);
+  {
+    std::fstream f(SolveStore::log_path(dir),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(off));
+    const char garbage[16] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X',
+                              'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+    f.write(garbage, sizeof garbage);
+  }
+  const auto full = log_size(dir);
+
+  SolveStore s(dir);
+  const auto st = s.stats();
+  EXPECT_EQ(st.dropped_events, 1u);
+  // No resync after corruption: everything from the tear to EOF is cut,
+  // even though records 4..7 were individually intact.
+  EXPECT_EQ(st.dropped_bytes, full - off);
+  expect_prefix(s, 3, 8);
+}
+
+TEST(StoreFault, PayloadBitFlipTruncatesFromTheFlippedRecord) {
+  const auto dir = fresh_dir("bitflip_payload");
+  seed_store(dir, 8);
+  // One bit inside record 5's payload bytes.
+  flip_bit(SolveStore::log_path(dir),
+           frame_offset(5) + store::kFrameHeaderBytes + 3, 2);
+
+  SolveStore s(dir);
+  EXPECT_EQ(s.stats().dropped_events, 1u);
+  expect_prefix(s, 5, 8);
+}
+
+TEST(StoreFault, LengthFieldBitFlipTruncatesFromThatFrame) {
+  const auto dir = fresh_dir("bitflip_len");
+  seed_store(dir, 8);
+  // One bit in record 2's length field (frame header bytes 4..7).
+  flip_bit(SolveStore::log_path(dir), frame_offset(2) + 4, 7);
+
+  SolveStore s(dir);
+  EXPECT_EQ(s.stats().dropped_events, 1u);
+  expect_prefix(s, 2, 8);
+}
+
+TEST(StoreFault, CorruptFileHeaderReinitializesEmpty) {
+  const auto dir = fresh_dir("bad_header");
+  seed_store(dir, 4);
+  flip_bit(SolveStore::log_path(dir), 3, 0);  // inside the magic
+
+  SolveStore s(dir);
+  const auto st = s.stats();
+  EXPECT_TRUE(st.reinitialized);
+  EXPECT_EQ(st.total_records, 0u);
+  EXPECT_EQ(s.size(), 0u);
+
+  // The reinitialized log is a working store again.
+  s.append_commit(make_record(42));
+  SolveStore reopened(dir);
+  const auto got = reopened.lookup(make_record(42).key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(record_eq(*got, make_record(42)));
+  EXPECT_FALSE(reopened.stats().reinitialized);
+}
+
+TEST(StoreFault, GarbageAppendedAfterValidLogIsCutExactly) {
+  const auto dir = fresh_dir("garbage_tail");
+  seed_store(dir, 5);
+  const auto full = log_size(dir);
+  {
+    std::mt19937 rng(1234);
+    std::ofstream f(SolveStore::log_path(dir),
+                    std::ios::app | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    for (int i = 0; i < 200; ++i) {
+      const char b = static_cast<char>(rng() & 0xff);
+      f.write(&b, 1);
+    }
+  }
+
+  SolveStore s(dir);
+  const auto st = s.stats();
+  EXPECT_EQ(st.dropped_events, 1u);
+  EXPECT_EQ(st.dropped_bytes, 200u);
+  expect_prefix(s, 5, 5);
+  EXPECT_EQ(log_size(dir), full);
+
+  // A writer can keep appending after recovery and the result survives.
+  s.append_commit(make_record(5));
+  SolveStore reopened(dir);
+  EXPECT_EQ(reopened.stats().dropped_events, 0u);
+  expect_prefix(reopened, 6, 6);
+}
+
+TEST(StoreFault, RotAfterOpenIsCaughtAtLookupNotServed) {
+  const auto dir = fresh_dir("rot_after_open");
+  seed_store(dir, 4);
+
+  SolveStore s(dir);
+  ASSERT_TRUE(s.lookup(make_record(1).key).has_value());
+  // The disk rots underneath the open handle: lookup re-verifies the frame
+  // CRC on every read, so the damaged record yields nullopt, never bytes.
+  flip_bit(SolveStore::log_path(dir),
+           frame_offset(1) + store::kFrameHeaderBytes + 1, 4);
+  EXPECT_FALSE(s.lookup(make_record(1).key).has_value());
+
+  // Undamaged neighbours still serve, and scan skips the bad record.
+  EXPECT_TRUE(s.lookup(make_record(0).key).has_value());
+  EXPECT_TRUE(s.lookup(make_record(3).key).has_value());
+  std::size_t scanned = 0;
+  s.scan([&](const Record&) {
+    ++scanned;
+    return true;
+  });
+  EXPECT_EQ(scanned, 3u);
+}
+
+TEST(StoreFault, ReadOnlyOpenSeesTheSamePrefixWithoutTruncating) {
+  const auto dir = fresh_dir("ro_prefix");
+  seed_store(dir, 6);
+  const auto full = log_size(dir);
+  flip_bit(SolveStore::log_path(dir),
+           frame_offset(4) + store::kFrameHeaderBytes, 0);
+
+  SolveStore ro(dir, StoreOptions{.read_only = true});
+  EXPECT_EQ(ro.stats().dropped_events, 1u);
+  expect_prefix(ro, 4, 6);
+  // Read-only recovery must not modify the file.
+  EXPECT_EQ(log_size(dir), full);
+}
+
+TEST(StoreFault, RandomTailFuzzNeverCrashesAndKeepsAPrefix) {
+  std::mt19937 rng(20260809);
+  for (int round = 0; round < 24; ++round) {
+    const auto dir = fresh_dir("fuzz_" + std::to_string(round));
+    const std::uint64_t seeded = 1 + rng() % 7;
+    seed_store(dir, seeded);
+    const auto full = log_size(dir);
+
+    // Random single fault: a truncation, a bit-flip, or a garbage tail.
+    switch (rng() % 3) {
+      case 0:
+        truncate_log(dir, store::kLogHeaderBytes + rng() % (full - store::kLogHeaderBytes + 1));
+        break;
+      case 1:
+        flip_bit(SolveStore::log_path(dir), store::kLogHeaderBytes + rng() % (full - store::kLogHeaderBytes),
+                 static_cast<int>(rng() % 8));
+        break;
+      default: {
+        std::ofstream f(SolveStore::log_path(dir), std::ios::app | std::ios::binary);
+        const char b = static_cast<char>(rng() & 0xff);
+        f.write(&b, 1);
+        break;
+      }
+    }
+
+    SolveStore s(dir);
+    const auto st = s.stats();
+    ASSERT_LE(st.total_records, seeded);
+    // Whatever survived is a bit-identical prefix of what was committed.
+    for (std::uint64_t i = 0; i < st.total_records; ++i) {
+      const auto got = s.lookup(make_record(i).key);
+      ASSERT_TRUE(got.has_value()) << "round " << round << " record " << i;
+      ASSERT_TRUE(record_eq(*got, make_record(i)))
+          << "round " << round << " record " << i;
+    }
+    for (std::uint64_t i = st.total_records; i < seeded; ++i) {
+      ASSERT_FALSE(s.lookup(make_record(i).key).has_value());
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Serve-layer persistence: an Engine opened with a store_path commits
+// every fresh answer before responding and warm-loads the cache on
+// construction — so a restarted server answers known scenarios cached,
+// with a result object byte-identical to the run that computed it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "store/record.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace tags;
+using serve::Engine;
+using serve::EngineOptions;
+using serve::Request;
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::path(testing::TempDir()) / ("tags_store_serve_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+core::ScenarioRequest small_scenario(double t = 50.0) {
+  core::ScenarioRequest s;
+  s.policy = core::PolicyKind::kTags;
+  s.lambda = 5.0;
+  s.mu = 10.0;
+  s.t = t;
+  s.n = 2;
+  s.k1 = 3;
+  s.k2 = 3;
+  return s;
+}
+
+Request solve_request(const core::ScenarioRequest& scenario, std::string id,
+                      bool want_pi = true) {
+  Request req;
+  req.op = serve::RequestOp::kSolve;
+  req.id = std::move(id);
+  req.scenario = scenario;
+  req.want_pi = want_pi;
+  return req;
+}
+
+std::string submit_and_wait(Engine& engine, Request req) {
+  std::promise<std::string> promise;
+  auto future = promise.get_future();
+  engine.submit(std::move(req), [&promise](std::string line) {
+    promise.set_value(std::move(line));
+  });
+  return future.get();
+}
+
+/// The deterministic part of a response line: everything from "result":
+/// onward (id/served timings before it vary run to run).
+std::string result_part(const std::string& line) {
+  const auto pos = line.find("\"result\":");
+  EXPECT_NE(pos, std::string::npos) << line;
+  return pos == std::string::npos ? std::string() : line.substr(pos);
+}
+
+EngineOptions with_store(const std::string& dir, unsigned threads = 2) {
+  EngineOptions opts;
+  opts.threads = threads;
+  opts.store_path = dir;
+  return opts;
+}
+
+TEST(StoreServe, RestartServesCachedByteIdenticalAnswer) {
+  const auto dir = fresh_dir("restart");
+  const auto scenario = small_scenario();
+
+  std::string first_result;
+  {
+    Engine engine(with_store(dir));
+    const std::string first =
+        submit_and_wait(engine, solve_request(scenario, "a"));
+    EXPECT_NE(first.find("\"cached\":false"), std::string::npos) << first;
+    first_result = result_part(first);
+  }  // engine destroyed: only the store survives
+
+  // The answer is durable: one kAnswer record committed before the
+  // response was sent.
+  {
+    store::SolveStore peek(dir, store::StoreOptions{.read_only = true});
+    EXPECT_EQ(peek.size(), 1u);
+    std::size_t answers = 0;
+    peek.scan([&](const store::Record& r) {
+      if (r.key.kind == store::RecordKind::kAnswer) ++answers;
+      return true;
+    });
+    EXPECT_EQ(answers, 1u);
+  }
+
+  Engine restarted(with_store(dir));
+  EXPECT_EQ(restarted.stats().cache_size, 1u);
+  const std::string replay =
+      submit_and_wait(restarted, solve_request(scenario, "b"));
+  // Cached on the FIRST request after restart — no re-solve — and the
+  // result object is byte-identical to the original computation.
+  EXPECT_NE(replay.find("\"cached\":true"), std::string::npos) << replay;
+  EXPECT_EQ(restarted.stats().cache_misses, 0u);
+  EXPECT_EQ(result_part(replay), first_result);
+}
+
+TEST(StoreServe, ManyScenariosPersistAcrossRestart) {
+  const auto dir = fresh_dir("many");
+  const std::vector<double> ts = {30.0, 50.0, 70.0, 90.0};
+
+  std::map<double, std::string> results;
+  {
+    Engine engine(with_store(dir));
+    for (const double t : ts) {
+      const auto line =
+          submit_and_wait(engine, solve_request(small_scenario(t), "w"));
+      EXPECT_NE(line.find("\"cached\":false"), std::string::npos) << line;
+      results[t] = result_part(line);
+    }
+  }
+
+  Engine restarted(with_store(dir));
+  EXPECT_EQ(restarted.stats().cache_size, ts.size());
+  for (const double t : ts) {
+    const auto line =
+        submit_and_wait(restarted, solve_request(small_scenario(t), "r"));
+    EXPECT_NE(line.find("\"cached\":true"), std::string::npos) << line;
+    EXPECT_EQ(result_part(line), results[t]);
+  }
+  EXPECT_EQ(restarted.stats().cache_misses, 0u);
+}
+
+TEST(StoreServe, ConcurrentSubmitsCommitEveryDistinctScenario) {
+  const auto dir = fresh_dir("concurrent");
+  const std::vector<double> ts = {20.0, 40.0, 60.0, 80.0};
+  {
+    Engine engine(with_store(dir, /*threads=*/3));
+    // Distinct scenarios plus duplicates, all in flight at once: the store
+    // commit path runs concurrently from the pool workers (the TSan
+    // matrix runs this suite).
+    std::vector<std::future<std::string>> pending;
+    std::vector<std::promise<std::string>> promises(ts.size() * 2);
+    for (std::size_t i = 0; i < promises.size(); ++i) {
+      pending.push_back(promises[i].get_future());
+      auto& promise = promises[i];
+      std::string id = "c";
+      id += std::to_string(i);
+      engine.submit(
+          solve_request(small_scenario(ts[i % ts.size()]), std::move(id)),
+          [&promise](std::string line) { promise.set_value(std::move(line)); });
+    }
+    for (auto& f : pending) EXPECT_NE(f.get().find("\"result\":"), std::string::npos);
+  }
+
+  // One durable answer per distinct scenario, none lost or duplicated as
+  // live records.
+  store::SolveStore peek(dir, store::StoreOptions{.read_only = true});
+  EXPECT_EQ(peek.size(), ts.size());
+
+  Engine restarted(with_store(dir));
+  EXPECT_EQ(restarted.stats().cache_size, ts.size());
+  for (const double t : ts) {
+    const auto line =
+        submit_and_wait(restarted, solve_request(small_scenario(t), "z"));
+    EXPECT_NE(line.find("\"cached\":true"), std::string::npos) << line;
+  }
+}
+
+TEST(StoreServe, CorruptStoreTailStillServesTheSurvivingPrefix) {
+  const auto dir = fresh_dir("corrupt_tail");
+  std::string first_result;
+  {
+    Engine engine(with_store(dir));
+    first_result = result_part(
+        submit_and_wait(engine, solve_request(small_scenario(30.0), "a")));
+    submit_and_wait(engine, solve_request(small_scenario(60.0), "b"));
+  }
+  // Chop into the second record's frame: the warm load must keep answer
+  // one and drop answer two without refusing to start.
+  const auto log = store::SolveStore::log_path(dir);
+  std::filesystem::resize_file(log, std::filesystem::file_size(log) - 9);
+
+  Engine restarted(with_store(dir));
+  EXPECT_EQ(restarted.stats().cache_size, 1u);
+  const auto hit =
+      submit_and_wait(restarted, solve_request(small_scenario(30.0), "c"));
+  EXPECT_NE(hit.find("\"cached\":true"), std::string::npos) << hit;
+  EXPECT_EQ(result_part(hit), first_result);
+  const auto miss =
+      submit_and_wait(restarted, solve_request(small_scenario(60.0), "d"));
+  EXPECT_NE(miss.find("\"cached\":false"), std::string::npos) << miss;
+}
+
+TEST(StoreServe, EngineWithoutStorePathPersistsNothing) {
+  const auto dir = fresh_dir("disabled");
+  {
+    EngineOptions opts;
+    opts.threads = 2;
+    Engine engine(opts);
+    submit_and_wait(engine, solve_request(small_scenario(), "a"));
+  }
+  EXPECT_FALSE(std::filesystem::exists(store::SolveStore::log_path(dir)));
+}
+
+}  // namespace

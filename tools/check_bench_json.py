@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Validate a bench telemetry JSON file against the v1/v2/v3 schema.
+"""Validate a bench telemetry JSON file against the v1/v2/v3/v4 schema.
 
 Usage: check_bench_json.py [--require-gauge NAME[=VALUE]]
                            [--require-server-counter NAME[=VALUE]]
+                           [--require-store-counter NAME[=VALUE]]
                            <telemetry.json> [...]
 
 --require-gauge (repeatable) additionally asserts that every file defines
@@ -15,14 +16,19 @@ requirement, since such builds legitimately emit empty documents.
 Stdlib only. Exit 0 when every file conforms, 1 otherwise with one line per
 problem. The schema (see README "Observability"):
 
---require-server-counter (repeatable, v3 files) asserts a field of the
+--require-server-counter (repeatable, v3+ files) asserts a field of the
 "server" section is present; with =VALUE it must equal VALUE exactly, and
 with =+N (e.g. =+1) it must be at least N. Skipped for obs-off files like
---require-gauge.
+--require-gauge. --require-store-counter does the same for the v4 "store"
+section.
+
+Zero-length files are rejected outright: every writer in the repo
+publishes via write-temp-then-rename, so an empty artifact always means a
+failed or interrupted export, never a legitimate document.
 
   {
     "id": str,
-    "schema_version": 3,         # 1/2 accepted for pre-span/pre-server files
+    "schema_version": 4,         # 1/2/3 accepted for earlier files
     "obs_level": int,            # -1 when compiled out, else 0..3
     "timers": {path: {"count": int, "total_ms": num, "self_ms": num}},
     "spans": [{"id": int, "parent": int, "thread": int, "name": str,
@@ -41,7 +47,12 @@ with =+N (e.g. =+1) it must be at least N. Skipped for obs-off files like
     "server": {"requests": int, "cache_hit": int, "cache_miss": int,
                "cache_evicted": int, "jobs_shed": int,
                "deadline_missed": int, "queue_depth": num,
-               "cache_size": num},                         # v3 only
+               "cache_size": num},                         # v3+
+    "store": {"records_appended": int, "commits": int,
+              "records_dropped": int, "records_recovered": int,
+              "decode_failures": int, "lookups": int, "lookup_hits": int,
+              "shards_journaled": int, "shards_resumed": int,
+              "cache_loaded": int, "records": num, "bytes": num},  # v4 only
   }
 
 Span entries are additionally checked for causal consistency: ids unique
@@ -71,8 +82,23 @@ SERVER_FIELDS = (
     ("cache_size", NUMBER),
 )
 
+STORE_FIELDS = (
+    ("records_appended", int),
+    ("commits", int),
+    ("records_dropped", int),
+    ("records_recovered", int),
+    ("decode_failures", int),
+    ("lookups", int),
+    ("lookup_hits", int),
+    ("shards_journaled", int),
+    ("shards_resumed", int),
+    ("cache_loaded", int),
+    ("records", NUMBER),
+    ("bytes", NUMBER),
+)
 
-def check(path, required_gauges=(), required_server=()):
+
+def check(path, required_gauges=(), required_server=(), required_store=()):
     problems = []
 
     def err(msg):
@@ -80,9 +106,15 @@ def check(path, required_gauges=(), required_server=()):
 
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return [f"{path}: unreadable or invalid JSON: {e}"]
+            raw = f.read()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    if not raw.strip():
+        return [f"{path}: zero-length artifact (failed or interrupted export)"]
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        return [f"{path}: invalid JSON: {e}"]
 
     if not isinstance(doc, dict):
         return [f"{path}: top level must be an object"]
@@ -98,7 +130,7 @@ def check(path, required_gauges=(), required_server=()):
 
     field("id", str)
     version = field("schema_version", int)
-    if version not in (None, 1, 2, 3):
+    if version not in (None, 1, 2, 3, 4):
         err(f"unsupported schema_version {doc['schema_version']}")
     field("obs_level", int)
     field("solves_dropped", int)
@@ -112,7 +144,7 @@ def check(path, required_gauges=(), required_server=()):
             if not isinstance(stat.get(key), types) or isinstance(stat.get(key), bool):
                 err(f"timer '{tpath}' field '{key}' missing or wrong type")
 
-    if version in (2, 3):
+    if version in (2, 3, 4):
         field("spans_dropped", int)
         spans = field("spans", list)
         seen = {}  # id -> record, in listed (parent-before-child) order
@@ -228,12 +260,20 @@ def check(path, required_gauges=(), required_server=()):
             err(f"solves[{i}] field 'condition' wrong type")
 
     server = None
-    if version == 3:
+    if version in (3, 4):
         server = field("server", dict)
         for key, types in SERVER_FIELDS:
             v = (server or {}).get(key)
             if not isinstance(v, types) or isinstance(v, bool):
                 err(f"server field '{key}' missing or wrong type")
+
+    store = None
+    if version == 4:
+        store = field("store", dict)
+        for key, types in STORE_FIELDS:
+            v = (store or {}).get(key)
+            if not isinstance(v, types) or isinstance(v, bool):
+                err(f"store field '{key}' missing or wrong type")
 
     if doc.get("obs_level", -1) >= 0:
         for spec in required_gauges:
@@ -252,6 +292,16 @@ def check(path, required_gauges=(), required_server=()):
                     err(f"server field '{name}' is {v}, expected at least {want[1:]}")
             elif want and abs(v - float(want)) > 1e-9:
                 err(f"server field '{name}' is {v}, expected {want}")
+        for spec in required_store:
+            name, _, want = spec.partition("=")
+            v = (store or {}).get(name)
+            if not isinstance(v, NUMBER) or isinstance(v, bool):
+                err(f"required store field '{name}' missing")
+            elif want.startswith("+"):
+                if v < float(want[1:]):
+                    err(f"store field '{name}' is {v}, expected at least {want[1:]}")
+            elif want and abs(v - float(want)) > 1e-9:
+                err(f"store field '{name}' is {v}, expected {want}")
 
     return problems
 
@@ -259,6 +309,7 @@ def check(path, required_gauges=(), required_server=()):
 def main(argv):
     required_gauges = []
     required_server = []
+    required_store = []
     paths = []
     i = 1
     while i < len(argv):
@@ -274,6 +325,12 @@ def main(argv):
         elif argv[i].startswith("--require-server-counter="):
             required_server.append(argv[i].split("=", 1)[1])
             i += 1
+        elif argv[i] == "--require-store-counter" and i + 1 < len(argv):
+            required_store.append(argv[i + 1])
+            i += 2
+        elif argv[i].startswith("--require-store-counter="):
+            required_store.append(argv[i].split("=", 1)[1])
+            i += 1
         else:
             paths.append(argv[i])
             i += 1
@@ -282,7 +339,7 @@ def main(argv):
         return 2
     all_problems = []
     for path in paths:
-        all_problems += check(path, required_gauges, required_server)
+        all_problems += check(path, required_gauges, required_server, required_store)
     for p in all_problems:
         print(p, file=sys.stderr)
     if not all_problems:

@@ -1,0 +1,156 @@
+// store_query: inspect a durable solve-record store (src/store) offline.
+//
+//   store_query --store=DIR                  list records (append order)
+//   store_query --store=DIR --stats          store-level counters
+//   store_query --store=DIR --verify         full CRC scan; exit 1 on any
+//                                            dropped bytes / decode failure
+//   store_query --store=DIR --dump-bench=ID  print the latest kBench CSV
+//   store_query --store=DIR --kind=answer|shard|bench   filter the listing
+//
+// Opens the store read-only. The listing and --dump-bench use the index
+// segment when valid (point lookups without scanning the log); --verify
+// always re-reads and CRC-checks every frame.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "store/store.hpp"
+
+namespace {
+
+bool flag_value(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --store=DIR [--stats] [--verify] [--dump-bench=ID]\n"
+               "          [--kind=answer|shard|bench]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<tags::store::RecordKind> kind_from(const std::string& name) {
+  using tags::store::RecordKind;
+  if (name == "answer") return RecordKind::kAnswer;
+  if (name == "shard") return RecordKind::kShard;
+  if (name == "bench") return RecordKind::kBench;
+  return std::nullopt;
+}
+
+void print_record(const tags::store::Record& r) {
+  std::printf("%-6s  %-16s  structure=%016" PRIx64 "  point=%" PRIu64
+              "  payload=%zuB  certified=%d converged=%d  solve_ms=%.3f\n",
+              tags::store::to_string(r.key.kind), r.key.name.c_str(),
+              r.key.structure, r.key.point, r.payload.size(),
+              r.cert.certified ? 1 : 0, r.cert.converged ? 1 : 0, r.solve_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string dump_bench;
+  std::string kind_filter;
+  bool stats = false;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "--store", value)) {
+      dir = value;
+    } else if (flag_value(arg, "--dump-bench", value)) {
+      dump_bench = value;
+    } else if (flag_value(arg, "--kind", value)) {
+      kind_filter = value;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (dir.empty()) return usage(argv[0]);
+
+  std::optional<tags::store::RecordKind> kind;
+  if (!kind_filter.empty()) {
+    kind = kind_from(kind_filter);
+    if (!kind) {
+      std::fprintf(stderr, "unknown --kind: %s\n", kind_filter.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    // --verify must witness every byte; the other modes may trust the index.
+    tags::store::StoreOptions opts;
+    opts.read_only = true;
+    opts.use_index = !verify;
+    const tags::store::SolveStore store(dir, opts);
+
+    if (verify) {
+      std::uint64_t scanned = 0;
+      store.scan([&](const tags::store::Record&) {
+        ++scanned;
+        return true;
+      });
+      const auto st = store.stats();
+      std::printf("verify: %" PRIu64 " records ok, %" PRIu64
+                  " truncation(s) dropping %" PRIu64 " bytes, %" PRIu64
+                  " decode failure(s)%s\n",
+                  scanned, st.dropped_events, st.dropped_bytes, st.decode_failures,
+                  st.reinitialized ? " [log header was corrupt]" : "");
+      return (st.dropped_events > 0 || st.decode_failures > 0 || st.reinitialized)
+                 ? 1
+                 : 0;
+    }
+
+    if (!dump_bench.empty()) {
+      const tags::store::RecordKey key{tags::store::RecordKind::kBench, dump_bench, 0,
+                                       0};
+      const auto rec = store.lookup(key);
+      if (!rec) {
+        std::fprintf(stderr, "no bench record named %s\n", dump_bench.c_str());
+        return 1;
+      }
+      std::fwrite(rec->payload.data(), 1, rec->payload.size(), stdout);
+      return 0;
+    }
+
+    if (stats) {
+      const auto st = store.stats();
+      std::printf("records=%" PRIu64 " (live keys %" PRIu64 "), bytes=%" PRIu64
+                  ", index_used=%d\n",
+                  st.total_records, st.live_records, st.bytes,
+                  st.index_used ? 1 : 0);
+      std::printf("recovery: dropped_events=%" PRIu64 " dropped_bytes=%" PRIu64
+                  " decode_failures=%" PRIu64 " reinitialized=%d\n",
+                  st.dropped_events, st.dropped_bytes, st.decode_failures,
+                  st.reinitialized ? 1 : 0);
+      return 0;
+    }
+
+    std::uint64_t shown = 0;
+    store.scan([&](const tags::store::Record& r) {
+      if (!kind || r.key.kind == *kind) {
+        print_record(r);
+        ++shown;
+      }
+      return true;
+    });
+    std::printf("[%" PRIu64 " record(s)]\n", shown);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "store_query: %s\n", e.what());
+    return 1;
+  }
+}

@@ -6,6 +6,12 @@
 //
 //   tags_server --socket=/tmp/tags.sock [--threads=N] [--cache-capacity=N]
 //               [--queue-depth=N] [--telemetry-out=PATH] [--metrics-prom=PATH]
+//               [--store=DIR]
+//
+// --store=DIR makes answers durable: every fresh solve is committed to the
+// store before its response is sent, and a restarted server warm-loads the
+// store into its solve cache (known scenarios answer cached:true with the
+// byte-identical result object).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,7 +31,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--threads=N] [--cache-capacity=N]\n"
                "          [--queue-depth=N] [--telemetry-out=PATH] "
-               "[--metrics-prom=PATH]\n",
+               "[--metrics-prom=PATH] [--store=DIR]\n",
                argv0);
   return 2;
 }
@@ -45,6 +51,8 @@ int main(int argc, char** argv) {
       opts.engine.cache_capacity = std::strtoul(value.c_str(), nullptr, 10);
     } else if (flag_value(arg, "--queue-depth", value)) {
       opts.engine.queue_depth = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag_value(arg, "--store", value)) {
+      opts.engine.store_path = value;
     } else if (flag_value(arg, "--telemetry-out", value)) {
       opts.telemetry_path = value;
     } else if (flag_value(arg, "--metrics-prom", value)) {
