@@ -23,6 +23,12 @@
 #include "core/pool.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+#include "ctmc/steady_state.hpp"
+#include "linalg/batch.hpp"
+#include "models/tags.hpp"
+#include "models/tags_h2.hpp"
+
+#include <optional>
 
 namespace {
 
@@ -108,6 +114,150 @@ int run_sweep_report(unsigned parallel_threads) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched multi-point solves: scalar warm-started chain vs
+// steady_state_batch over the same points (see DESIGN.md "Batched
+// multi-point sweeps").
+// ---------------------------------------------------------------------------
+
+struct BatchProbe {
+  double scalar_ms = 0.0;
+  double batched_ms = 0.0;
+  bool identical = false;   ///< batched pi bit-identical to scalar, per point
+  bool certified = false;   ///< every result (both paths) passed its certificate
+  [[nodiscard]] double speedup() const noexcept {
+    return batched_ms > 0.0 ? scalar_ms / batched_ms : 0.0;
+  }
+};
+
+bool identical_pis(const std::vector<linalg::Vec>& a,
+                   const std::vector<linalg::Vec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    if (std::memcmp(a[i].data(), b[i].data(), a[i].size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+/// Time one sweep configuration both ways. The scalar side is exactly what
+/// a sweep shard runs today: one warm-start-chained direct solve per point.
+/// The batched side packs `batch` adjacent points into a CsrValueBatch and
+/// solves them in lockstep; the tail chunk exercises the partial-width
+/// path. Both sides force kLevelQbd so the comparison times the solver,
+/// not the method-selection heuristics.
+template <class Model, class Params>
+BatchProbe probe_batched(const std::vector<Params>& points, std::size_t batch) {
+  using clock = std::chrono::steady_clock;
+  ctmc::SteadyStateOptions opts;
+  opts.method = ctmc::SteadyStateMethod::kLevelQbd;
+
+  BatchProbe out;
+  std::vector<linalg::Vec> scalar_pi, batched_pi;
+  bool scalar_cert = true, batched_cert = true;
+
+  // Best of two per side: one multi-second rep is still at the mercy of a
+  // noisy-neighbour scheduler; the min is the honest kernel cost.
+  for (int rep = 0; rep < 2; ++rep) {
+    std::vector<linalg::Vec> pis;
+    bool cert = true;
+    ctmc::WarmStartState warm;
+    warm.opts = opts;
+    Model m(points.front());
+    const auto t0 = clock::now();
+    for (const Params& p : points) {
+      m.rebind(p);
+      warm.reconcile(static_cast<linalg::index_t>(m.n_states()));
+      auto r = m.solve(warm.opts);
+      cert = cert && r.certificate.ok();
+      warm.accept(r);
+      pis.push_back(std::move(r.pi));
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (rep == 0 || ms < out.scalar_ms) out.scalar_ms = ms;
+    scalar_pi = std::move(pis);
+    scalar_cert = cert;
+  }
+
+  for (int rep = 0; rep < 2; ++rep) {
+    std::vector<linalg::Vec> pis;
+    bool cert = true;
+    Model m(points.front());
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < points.size(); i += batch) {
+      const std::size_t bw = std::min(batch, points.size() - i);
+      std::optional<linalg::CsrValueBatch> vals;
+      for (std::size_t b = 0; b < bw; ++b) {
+        m.rebind(points[i + b]);
+        const linalg::CsrMatrix& q = m.chain().generator();
+        if (!vals) vals.emplace(q, bw);
+        vals->load_lane(b, q);
+      }
+      for (auto& r : ctmc::steady_state_batch(*vals, opts)) {
+        cert = cert && r.certificate.ok();
+        pis.push_back(std::move(r.pi));
+      }
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (rep == 0 || ms < out.batched_ms) out.batched_ms = ms;
+    batched_pi = std::move(pis);
+    batched_cert = cert;
+  }
+
+  out.identical = identical_pis(scalar_pi, batched_pi);
+  out.certified = scalar_cert && batched_cert;
+  return out;
+}
+
+/// Batched-vs-scalar report on the largest fig08 and fig11 sweep
+/// configurations. Gauges: batched_identical must be 1 (the determinism
+/// contract: batched direct solves are bit-identical to the scalar chain at
+/// any width), batched_speedup is the smaller of the two configs' ratios.
+int run_batch_report(std::size_t batch) {
+  // fig08's largest column: lambda = 11, t swept 30..75 — the paper grid's
+  // heaviest direct-solve chain (n up to ~4900 states, QBD levels to 284).
+  core::Fig8Scenario s8;
+  std::vector<models::TagsParams> pts8;
+  for (double t = 30.0; t <= 75.0; t += 1.0) pts8.push_back(s8.tags_at(11.0, t));
+
+  // fig11's heaviest alpha: 0.99 at ratio 10, t swept over the coarse-scan
+  // grid the optimiser actually visits.
+  const auto s11 = core::Fig11Scenario::make();
+  std::vector<models::TagsH2Params> pts11;
+  for (double t = 4.0; t <= 100.0; t += 6.0) pts11.push_back(s11.tags_at(0.99, t));
+
+  const BatchProbe p8 = probe_batched<models::TagsModel>(pts8, batch);
+  const BatchProbe p11 = probe_batched<models::TagsH2Model>(pts11, batch);
+
+  const bool identical = p8.identical && p11.identical;
+  const bool certified = p8.certified && p11.certified;
+  const double speedup = std::min(p8.speedup(), p11.speedup());
+
+  std::printf("batched solves (width %zu): fig08 %zu pts scalar %.0f ms batched "
+              "%.0f ms (%.2fx); fig11 %zu pts scalar %.0f ms batched %.0f ms "
+              "(%.2fx)\n",
+              batch, pts8.size(), p8.scalar_ms, p8.batched_ms, p8.speedup(),
+              pts11.size(), p11.scalar_ms, p11.batched_ms, p11.speedup());
+  std::printf("batched pi bit-identical to scalar: %s; all solves certified: "
+              "%s\n",
+              identical ? "yes" : "NO", certified ? "yes" : "NO");
+
+  obs::gauge_set("bench.micro_sweep.batch_width", static_cast<double>(batch));
+  obs::gauge_set("bench.micro_sweep.fig08_scalar_ms", p8.scalar_ms);
+  obs::gauge_set("bench.micro_sweep.fig08_batched_ms", p8.batched_ms);
+  obs::gauge_set("bench.micro_sweep.fig08_batched_speedup", p8.speedup());
+  obs::gauge_set("bench.micro_sweep.fig11_scalar_ms", p11.scalar_ms);
+  obs::gauge_set("bench.micro_sweep.fig11_batched_ms", p11.batched_ms);
+  obs::gauge_set("bench.micro_sweep.fig11_batched_speedup", p11.speedup());
+  obs::gauge_set("bench.micro_sweep.batched_speedup", speedup);
+  obs::gauge_set("bench.micro_sweep.batched_identical",
+                 identical && certified ? 1.0 : 0.0);
+  return identical && certified ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // google-benchmark scaling curves
 // ---------------------------------------------------------------------------
 
@@ -154,6 +304,7 @@ BENCHMARK(BM_PoolDispatchOverhead)->Arg(1)->Arg(4)->Arg(8);
 int main(int argc, char** argv) {
   bool report_only = false;
   unsigned threads = 8;
+  std::size_t batch = 8;
   // Consume our own flags so google-benchmark does not reject them.
   tags::bench::consume_export_flags(argc, argv);
   int kept = 1;
@@ -163,12 +314,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       const long v = std::strtol(argv[i] + 10, nullptr, 10);
       if (v > 0) threads = static_cast<unsigned>(v);
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      const long v = std::strtol(argv[i] + 8, nullptr, 10);
+      if (v > 0 && v <= 64) batch = static_cast<std::size_t>(v);
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
-  const int rc = run_sweep_report(threads);
+  // The batch report runs first so its gauges land in the telemetry JSON
+  // that run_sweep_report emits.
+  const int batch_rc = run_batch_report(batch);
+  const int rc = run_sweep_report(threads) | batch_rc;
   if (report_only) return rc;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

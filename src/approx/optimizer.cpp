@@ -2,8 +2,10 @@
 
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "approx/roots.hpp"
+#include "models/batch_sweep.hpp"
 
 namespace tags::approx {
 
@@ -26,59 +28,55 @@ bool score_is_better(const models::Metrics& a, const models::Metrics& b,
   return score(a, obj) < score(b, obj);
 }
 
-/// Warm-started integer scan shared by both model families.
+/// Warm-started integer scan shared by both model families. `batch > 1`
+/// solves that many adjacent grid points per batched factorisation
+/// (models::batched_t_chain); the scan result is identical at any width —
+/// the scored metrics come out of the same per-point solves.
 template <class Model, class Params>
-ExactOptimum integer_scan(Params p, Objective obj, unsigned t_lo, unsigned t_hi,
-                          unsigned stride = 1) {
+ExactOptimum integer_scan(const Params& p, Objective obj, unsigned t_lo, unsigned t_hi,
+                          unsigned stride = 1, std::size_t batch = 1) {
   ExactOptimum best;
   double best_score = std::numeric_limits<double>::infinity();
-  std::optional<Model> model;
+  std::vector<double> ts;
+  for (unsigned t = t_lo; t <= t_hi; t += stride) ts.push_back(static_cast<double>(t));
   ctmc::WarmStartState warm;
-  for (unsigned t = t_lo; t <= t_hi; t += stride) {
-    p.t = static_cast<double>(t);
-    // Only t varies: rebind rates onto the frozen pattern after the first
-    // construction instead of re-enumerating the state space.
-    if (model) {
-      model->rebind(p);
-    } else {
-      model.emplace(p);
-    }
-    warm.reconcile(model->n_states());
-    const auto solved = model->solve(warm.opts);
-    ++best.solves;
-    warm.accept(solved);
-    if (!solved.converged) continue;
-    const models::Metrics m = model->metrics_from(solved.pi);
-    const double s = score(m, obj);
-    if (s < best_score) {
-      best_score = s;
-      best.t = p.t;
-      best.metrics = m;
-    }
-  }
+  models::batched_t_chain<Model>(
+      p, ts, 0, ts.size(), batch, warm,
+      [&](std::size_t i, const ctmc::SteadyStateResult& solved, Model& model) {
+        ++best.solves;
+        if (!solved.converged) return;
+        const models::Metrics m = model.metrics_from(solved.pi);
+        const double s = score(m, obj);
+        if (s < best_score) {
+          best_score = s;
+          best.t = ts[i];
+          best.metrics = m;
+        }
+      });
   return best;
 }
 
 }  // namespace
 
 ExactOptimum optimise_tags_t_integer(models::TagsParams p, Objective obj, unsigned t_lo,
-                                     unsigned t_hi) {
-  return integer_scan<models::TagsModel>(p, obj, t_lo, t_hi);
+                                     unsigned t_hi, std::size_t batch) {
+  return integer_scan<models::TagsModel>(p, obj, t_lo, t_hi, 1, batch);
 }
 
 ExactOptimum optimise_tags_h2_t_integer(models::TagsH2Params p, Objective obj,
-                                        unsigned t_lo, unsigned t_hi) {
-  return integer_scan<models::TagsH2Model>(p, obj, t_lo, t_hi);
+                                        unsigned t_lo, unsigned t_hi, std::size_t batch) {
+  return integer_scan<models::TagsH2Model>(p, obj, t_lo, t_hi, 1, batch);
 }
 
 ExactOptimum optimise_tags_h2_t_coarse(const models::TagsH2Params& p, Objective obj,
-                                       unsigned t_lo, unsigned t_hi, unsigned stride) {
-  const ExactOptimum coarse =
-      integer_scan<models::TagsH2Model>(p, obj, t_lo, t_hi, std::max(1u, stride));
+                                       unsigned t_lo, unsigned t_hi, unsigned stride,
+                                       std::size_t batch) {
+  const ExactOptimum coarse = integer_scan<models::TagsH2Model>(
+      p, obj, t_lo, t_hi, std::max(1u, stride), batch);
   const auto center = static_cast<unsigned>(coarse.t);
   const unsigned lo = center > t_lo + stride ? center - stride + 1 : t_lo;
   const unsigned hi = std::min(t_hi, center + stride - 1);
-  ExactOptimum fine = integer_scan<models::TagsH2Model>(p, obj, lo, hi);
+  ExactOptimum fine = integer_scan<models::TagsH2Model>(p, obj, lo, hi, 1, batch);
   fine.solves += coarse.solves;
   if (score_is_better(coarse.metrics, fine.metrics, obj)) return coarse;
   return fine;

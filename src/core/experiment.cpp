@@ -6,6 +6,7 @@
 
 #include "core/sweep.hpp"
 #include "ctmc/digest.hpp"
+#include "models/batch_sweep.hpp"
 #include "obs/obs.hpp"
 
 namespace tags::core {
@@ -39,33 +40,19 @@ namespace {
 
 /// One warm-started t-chain over [range): the body shared by the legacy
 /// sequential sweeps (one chain across the whole grid) and the sharded
-/// engine (one chain per shard, thread-local model instance).
+/// engine (one chain per shard, thread-local model instance). `batch > 1`
+/// packs that many adjacent points per solve (models::batched_t_chain);
+/// batch width never enters the shard plan or journal digest, so it is an
+/// execution knob like the thread count, not part of a sweep's identity.
 template <class Model, class Params>
 void eval_t_chain(const Params& base, const std::vector<double>& t_values,
                   ShardRange range, std::span<models::Metrics> out,
-                  ctmc::WarmStartState& warm) {
-  std::optional<Model> model;
-  for (std::size_t i = range.begin; i < range.end; ++i) {
-    Params p = base;
-    p.t = t_values[i];
-    {
-      // Only t moves within the sweep: the sparsity pattern is frozen, so
-      // every point after the first is a rate rebind, not a rebuild.
-      const obs::ScopedTimer build_timer("build");
-      if (model) {
-        model->rebind(p);
-      } else {
-        model.emplace(p);
-      }
-    }
-    warm.reconcile(model->n_states());
-    const auto solved = [&] {
-      const obs::ScopedTimer solve_timer("solve");
-      return model->solve(warm.opts);
-    }();
-    warm.accept(solved);
-    out[i - range.begin] = model->metrics_from(solved.pi);
-  }
+                  ctmc::WarmStartState& warm, std::size_t batch = 1) {
+  models::batched_t_chain<Model>(
+      base, t_values, range.begin, range.end, batch, warm,
+      [&](std::size_t i, const ctmc::SteadyStateResult& solved, Model& model) {
+        out[i - range.begin] = model.metrics_from(solved.pi);
+      });
 }
 
 template <class Model, class Params>
@@ -74,11 +61,12 @@ std::vector<models::Metrics> model_t_sweep(const Params& base,
                                            const SweepPlan& plan, SweepStats* stats,
                                            const SweepJournalBinding<models::Metrics>*
                                                binding = nullptr) {
+  const std::size_t batch = plan.batch > 0 ? plan.batch : default_batch_width();
   return sharded_sweep<models::Metrics>(
       t_values.size(), plan,
       [&](ShardRange range, std::span<models::Metrics> out,
           ctmc::WarmStartState& warm) {
-        eval_t_chain<Model>(base, t_values, range, out, warm);
+        eval_t_chain<Model>(base, t_values, range, out, warm, batch);
       },
       stats, binding);
 }

@@ -1,12 +1,12 @@
 #include "core/table.hpp"
 
 #include <cstdint>
-#include <cstdio>
 #include <ostream>
 #include <span>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/numio.hpp"
 #include "store/io.hpp"
 
 namespace tags::core {
@@ -19,10 +19,11 @@ void Table::add_row(const std::vector<double>& values) {
   }
   std::vector<std::string> cells;
   cells.reserve(values.size());
-  char buf[48];
   for (double v : values) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision_, v);
-    cells.emplace_back(buf);
+    // to_chars(general, precision) renders exactly like %.*g in the C
+    // locale, so golden CSV files keep their bytes while a comma-decimal
+    // global locale can no longer corrupt the table.
+    cells.push_back(numio::format_g(v, precision_));
   }
   rows_.push_back(std::move(cells));
 }

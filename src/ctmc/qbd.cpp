@@ -170,4 +170,231 @@ bool qbd_steady_state(const CsrMatrix& q, const QbdStructure& s, Vec& pi_out) {
   return true;
 }
 
+QbdPlan make_qbd_plan(const CsrMatrix& q, const QbdStructure& s) {
+  QbdPlan plan;
+  if (!s.block_tridiagonal) return plan;
+  const linalg::LevelDecomposition& L = s.levels;
+  const index_t n = q.rows();
+  if (n == 0 || L.perm.order.size() != static_cast<std::size_t>(n)) return plan;
+  const std::size_t nlev = L.levels();
+  const std::vector<index_t> pos = L.perm.inverse();
+  plan.A.resize(nlev);
+  plan.B.resize(nlev);
+  plan.C.resize(nlev);
+  // Same traversal as the scalar solver's triplet build: rows ascending,
+  // entries within a row ascending. vidx is the entry's global offset into
+  // the (contiguous) CSR value array.
+  const double* vbase = n > 0 ? q.row_vals(0).data() : nullptr;
+  for (index_t u = 0; u < n; ++u) {
+    const int l = L.level_of[static_cast<std::size_t>(u)];
+    const index_t lr =
+        pos[static_cast<std::size_t>(u)] - L.level_ptr[static_cast<std::size_t>(l)];
+    const auto cs = q.row_cols(u);
+    const auto vs = q.row_vals(u);
+    const std::size_t base = static_cast<std::size_t>(vs.data() - vbase);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const int lc = L.level_of[static_cast<std::size_t>(cs[k])];
+      const index_t cc = pos[static_cast<std::size_t>(cs[k])] -
+                         L.level_ptr[static_cast<std::size_t>(lc)];
+      if (lc == l) {
+        plan.A[static_cast<std::size_t>(l)].push_back({base + k, lr, cc});
+      } else if (lc == l + 1) {
+        plan.B[static_cast<std::size_t>(l)].push_back({base + k, lr, cc});
+      } else if (lc == l - 1) {
+        plan.C[static_cast<std::size_t>(l)].push_back({base + k, lr, cc});
+      } else {
+        return plan;  // ok stays false
+      }
+    }
+  }
+  // Pre-assign packed columns for each level's C block in first-appearance
+  // order — identical to the scalar solver's per-call assignment, but the
+  // assignment depends only on the pattern so it is shared by every lane.
+  plan.nzcols.resize(nlev);
+  plan.nnz_cols.assign(nlev, 0);
+  for (std::size_t l = 1; l < nlev; ++l) {
+    const std::size_t mprev =
+        static_cast<std::size_t>(L.level_ptr[l] - L.level_ptr[l - 1]);
+    plan.nzcols[l].assign(mprev, -1);
+    index_t next = 0;
+    for (const QbdPlan::Entry& e : plan.C[l]) {
+      if (plan.nzcols[l][static_cast<std::size_t>(e.c)] < 0)
+        plan.nzcols[l][static_cast<std::size_t>(e.c)] = next++;
+    }
+    plan.nnz_cols[l] = next;
+  }
+  plan.ok = true;
+  return plan;
+}
+
+std::vector<unsigned char> qbd_steady_state_batch(const QbdStructure& s,
+                                                  const QbdPlan& plan,
+                                                  const linalg::CsrValueBatch& vals,
+                                                  std::vector<Vec>& pis) {
+  const std::size_t w = vals.width();
+  std::vector<unsigned char> ok(w, 0);
+  if (!plan.ok || !s.block_tridiagonal || w == 0) return ok;
+  const obs::ScopedTimer timer("ctmc/qbd_solve_batch");
+  const linalg::LevelDecomposition& L = s.levels;
+  const index_t n = vals.pattern().rows();
+  const std::size_t nlev = L.levels();
+  const auto bs = [&](std::size_t l) {
+    return static_cast<std::size_t>(L.level_ptr[l + 1] - L.level_ptr[l]);
+  };
+  const double* v = vals.values().data();
+  if (pis.size() != w) pis.resize(w);
+  std::fill(ok.begin(), ok.end(), 1);
+
+  // Backward sweep, all lanes in lockstep: assemble S_l lane-interleaved,
+  // factor with the batched LU, solve the packed multi-RHS X system. Every
+  // per-lane arithmetic sequence (assembly += order, B-coupling update
+  // order, substitutions) matches the scalar solver exactly.
+  std::vector<linalg::BatchLuFactorization> facts(nlev);
+  {
+    obs::Span factor_span("qbd/factor_batch");
+    factor_span.attr("levels", static_cast<double>(nlev));
+    factor_span.attr("max_block", static_cast<double>(s.max_block));
+    factor_span.attr("width", static_cast<double>(w));
+    std::vector<double> x_next;  // X_{l+1}: bs(l+1) x bs(l) x w
+    std::vector<double> x_buf;   // reused backing store for the next X
+    for (std::size_t l = nlev; l-- > 0;) {
+      const std::size_t m = bs(l);
+      std::vector<double> sl(m * m * w, 0.0);
+      for (const QbdPlan::Entry& e : plan.A[l]) {
+        double* d = sl.data() + (static_cast<std::size_t>(e.r) * m +
+                                 static_cast<std::size_t>(e.c)) *
+                                    w;
+        const double* ev = v + e.vidx * w;
+        for (std::size_t b = 0; b < w; ++b) d[b] += ev[b];
+      }
+      if (l + 1 < nlev) {
+        double evl[16];
+        for (const QbdPlan::Entry& e : plan.B[l]) {
+          double* srow = sl.data() + static_cast<std::size_t>(e.r) * m * w;
+          const double* xrow =
+              x_next.data() + static_cast<std::size_t>(e.c) * m * w;
+          // Stack copy of the invariant multiplier lane group: a bare
+          // pointer into the value batch cannot be proven disjoint from
+          // the S stores, and a per-j reload defeats the vectoriser.
+          const double* ev = v + e.vidx * w;
+          if (w <= 16) {
+            for (std::size_t b = 0; b < w; ++b) evl[b] = ev[b];
+            ev = evl;
+          }
+          for (std::size_t j = 0; j < m; ++j) {
+            double* d = srow + j * w;
+            const double* xr = xrow + j * w;
+            for (std::size_t b = 0; b < w; ++b) d[b] -= ev[b] * xr[b];
+          }
+        }
+      }
+      if (l == 0) {
+        std::vector<double> mt(m * m * w);
+        for (std::size_t i = 0; i < m; ++i)
+          for (std::size_t j = 0; j < m; ++j) {
+            const double* srcv = sl.data() + (i * m + j) * w;
+            double* dst = mt.data() + (j * m + i) * w;
+            for (std::size_t b = 0; b < w; ++b) dst[b] = srcv[b];
+          }
+        double* last = mt.data() + (m - 1) * m * w;
+        for (std::size_t j = 0; j < m * w; ++j) last[j] = 1.0;
+        facts[0].factor_packed(m, w, std::move(mt));
+        break;
+      }
+      facts[l].factor_packed(m, w, std::move(sl));
+      const std::size_t mprev = bs(l - 1);
+      const std::size_t nc = static_cast<std::size_t>(plan.nnz_cols[l]);
+      std::vector<double> packed(m * nc * w, 0.0);
+      for (const QbdPlan::Entry& e : plan.C[l]) {
+        const std::size_t pj =
+            static_cast<std::size_t>(plan.nzcols[l][static_cast<std::size_t>(e.c)]);
+        double* d = packed.data() + (static_cast<std::size_t>(e.r) * nc + pj) * w;
+        const double* ev = v + e.vidx * w;
+        for (std::size_t b = 0; b < w; ++b) d[b] += ev[b];
+      }
+      facts[l].solve_in_place_multi_batch(packed, nc);
+      // Unpack into the reused X buffer, i-outer so both the packed row
+      // and the destination row stream contiguously (j-outer strides
+      // nc*w per step and thrashes). Every entry is written — copies for
+      // journalled columns, explicit zeros for the rest — so the buffer
+      // never needs a fresh zero-filled allocation. The values are
+      // identical to the scalar unpack, only the write order changes.
+      x_buf.resize(m * mprev * w);
+      const index_t* nz = plan.nzcols[l].data();
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* prow = packed.data() + i * nc * w;
+        double* xrow = x_buf.data() + i * mprev * w;
+        for (std::size_t j = 0; j < mprev; ++j) {
+          double* dst = xrow + j * w;
+          if (nz[j] < 0) {
+            for (std::size_t b = 0; b < w; ++b) dst[b] = 0.0;
+          } else {
+            const double* srcv = prow + static_cast<std::size_t>(nz[j]) * w;
+            for (std::size_t b = 0; b < w; ++b) dst[b] = srcv[b];
+          }
+        }
+      }
+      std::swap(x_next, x_buf);
+    }
+  }
+  // A singular Schur complement fails only its own lane (the scalar path
+  // would have returned false there); the batched substitutions leave
+  // garbage confined to singular lanes, which we never read back.
+  for (std::size_t l = 0; l < nlev; ++l)
+    for (std::size_t b = 0; b < w; ++b)
+      if (facts[l].singular(b)) ok[b] = 0;
+
+  obs::Span substitute_span("qbd/substitute_batch");
+  substitute_span.attr("levels", static_cast<double>(nlev));
+  substitute_span.attr("width", static_cast<double>(w));
+  // All lanes run the forward pass in lockstep over lane-interleaved
+  // blocks; per lane the arithmetic is solve_in_place / solve_transpose
+  // verbatim, so each lane's bits equal the scalar forward pass. Failed
+  // lanes ride along (their garbage stays in their own lanes) and are
+  // simply never scattered out.
+  const std::size_t m0 = bs(0);
+  std::vector<Vec> pi_out(w);
+  for (std::size_t b = 0; b < w; ++b)
+    if (ok[b]) pi_out[b].assign(static_cast<std::size_t>(n), 0.0);
+  const auto scatter = [&](std::size_t l, const std::vector<double>& block,
+                           std::size_t bsz) {
+    for (std::size_t b = 0; b < w; ++b) {
+      if (!ok[b]) continue;
+      Vec& pi = pi_out[b];
+      for (std::size_t i = 0; i < bsz; ++i)
+        pi[static_cast<std::size_t>(
+            L.perm.order[static_cast<std::size_t>(L.level_ptr[l]) + i])] =
+            block[i * w + b];
+    }
+  };
+  std::vector<double> pil(m0 * w, 0.0);
+  for (std::size_t b = 0; b < w; ++b) pil[(m0 - 1) * w + b] = 1.0;
+  facts[0].solve_all_lanes(pil);
+  scatter(0, pil, m0);
+  for (std::size_t l = 0; l + 1 < nlev; ++l) {
+    const std::size_t mn = bs(l + 1);
+    std::vector<double> acc(mn * w, 0.0);
+    for (const QbdPlan::Entry& e : plan.B[l]) {
+      double* d = acc.data() + static_cast<std::size_t>(e.c) * w;
+      const double* ev = v + e.vidx * w;
+      const double* pr = pil.data() + static_cast<std::size_t>(e.r) * w;
+      for (std::size_t b = 0; b < w; ++b) d[b] -= ev[b] * pr[b];
+    }
+    facts[l + 1].solve_transpose_all_lanes(acc);
+    pil = std::move(acc);
+    scatter(l + 1, pil, mn);
+  }
+  for (std::size_t b = 0; b < w; ++b) {
+    if (!ok[b]) continue;
+    Vec& pi = pi_out[b];
+    for (double& x : pi) x = std::max(x, 0.0);
+    if (linalg::normalize_l1(pi) <= 0.0) {
+      ok[b] = 0;
+      continue;
+    }
+    pis[b] = std::move(pi);
+  }
+  return ok;
+}
+
 }  // namespace tags::ctmc

@@ -19,6 +19,9 @@
 // misdetection degrades to the generic chain instead of a wrong answer.
 #pragma once
 
+#include <vector>
+
+#include "linalg/batch.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/reorder.hpp"
 
@@ -62,5 +65,38 @@ struct QbdStructure {
 /// certifies it independently.
 [[nodiscard]] bool qbd_steady_state(const linalg::CsrMatrix& q, const QbdStructure& s,
                                     linalg::Vec& pi);
+
+/// Pattern-only splitting of a level-structured generator into per-level
+/// blocks. Because a sweep freezes the sparsity pattern and only rebinds
+/// values, this can be built once per batch (from any lane) and replayed
+/// against every lane's value array: each entry records WHERE a nonzero
+/// lands (level list, local row/column) plus its index into the CSR value
+/// array, in exactly the order the scalar solver visits it.
+struct QbdPlan {
+  struct Entry {
+    std::size_t vidx;       // index into the CSR value array
+    linalg::index_t r, c;   // local (within-block) coordinates
+  };
+  bool ok = false;  // false: an edge skips a level (not block tridiagonal)
+  std::vector<std::vector<Entry>> A, B, C;  // per level, scalar trip order
+  // Packing of the nonzero columns of C[l] (first-appearance order, exactly
+  // as the scalar solver assigns them), for the X_l = S_l^{-1} C_l solve.
+  std::vector<std::vector<linalg::index_t>> nzcols;  // size bs(l-1), -1 = zero col
+  std::vector<linalg::index_t> nnz_cols;             // packed column count
+};
+
+[[nodiscard]] QbdPlan make_qbd_plan(const linalg::CsrMatrix& q, const QbdStructure& s);
+
+/// Batched direct solve: one block-tridiagonal elimination over W value
+/// lanes sharing the pattern `plan` was built from. Per-level Schur
+/// complements are factored in SIMD lockstep (BatchLuFactorization) and the
+/// X blocks solved as lane-interleaved multi-RHS systems; every arithmetic
+/// step mirrors qbd_steady_state per lane, so lane b's pi is bit-identical
+/// to a scalar solve of that lane's matrix. Returns one flag per lane
+/// (0 = that lane failed: singular complement or zero mass; its pi slot is
+/// untouched). Lane failures are independent — other lanes are unaffected.
+[[nodiscard]] std::vector<unsigned char> qbd_steady_state_batch(
+    const QbdStructure& s, const QbdPlan& plan, const linalg::CsrValueBatch& vals,
+    std::vector<linalg::Vec>& pis);
 
 }  // namespace tags::ctmc

@@ -1,5 +1,6 @@
 #include "ctmc/steady_state.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -512,6 +513,229 @@ SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOpti
 SteadyStateResult steady_state(const Ctmc& chain, const SteadyStateOptions& opts) {
   assert(chain.n_states() > 0);
   return steady_state(chain.generator(), opts);
+}
+
+namespace {
+
+/// Finish one lane of a batched direct solve exactly the way the scalar
+/// solver finishes: clamp/normalise, recompute the balance residual from
+/// the lane's own transpose, apply the convergence test, stamp the
+/// per-point certificate. `lane_q` is the lane's standalone matrix, so
+/// every downstream bit equals the scalar path's.
+void finish_direct_lane(SteadyStateResult& res, const CsrMatrix& lane_q,
+                        const System& sys, const SteadyStateOptions& opts,
+                        double condition) {
+  Vec scratch(res.pi.size());
+  const CsrMatrix& qt = lane_q.transpose_cache();
+  res.residual = balance_residual(qt, res.pi, scratch);
+  res.converged = std::isfinite(res.residual) &&
+                  res.residual <= 1e-6 * std::max(1.0, sys.max_exit);
+  res.iterations = 1;
+  certify_result(res, qt, sys, opts, condition);
+  note_attempt(res);
+}
+
+/// Mirror of the public steady_state()'s SolveRecord emission for one lane
+/// of a batched solve; wall time covers the lane's own finishing work (the
+/// shared factorisation is amortised across the batch and not attributed).
+void record_batch_lane(const SteadyStateResult& res, index_t n, double max_exit,
+                       std::uint64_t start_ns) {
+  if (!obs::metrics_on()) return;
+  obs::count("ctmc.steady_state.solves");
+  obs::SolveRecord rec;
+  rec.context = "steady_state";
+  rec.method = to_string(res.method_used);
+  rec.n = n;
+  rec.iterations = res.iterations;
+  rec.residual = res.residual;
+  rec.relative_residual = res.residual / std::max(1.0, max_exit);
+  rec.converged = res.converged;
+  rec.diverged = !std::isfinite(res.residual);
+  rec.certified = res.certificate.ok();
+  rec.condition = res.certificate.condition;
+  rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
+  for (const SteadyStateAttempt& a : res.attempts) {
+    if (!rec.attempts.empty()) rec.attempts += ',';
+    rec.attempts += to_string(a.method);
+  }
+  obs::record_solve(std::move(rec));
+}
+
+/// Storage cap for the batched dense factorisation (doubles). Above this
+/// the lanes solve one by one through the scalar path instead — same bits,
+/// just without the lockstep speedup.
+constexpr std::size_t kDenseBatchCapDoubles = 16ull << 20;  // 128 MiB
+
+}  // namespace
+
+std::vector<SteadyStateResult> steady_state_batch(const linalg::CsrValueBatch& vals,
+                                                  const SteadyStateOptions& opts) {
+  const std::size_t w = vals.width();
+  std::vector<SteadyStateResult> out(w);
+  if (w == 0) return out;
+  const CsrMatrix& pattern = vals.pattern();
+  assert(pattern.rows() > 0 && pattern.rows() == pattern.cols());
+  const std::size_t n = static_cast<std::size_t>(pattern.rows());
+  obs::Span root_span("ctmc/steady_state_batch");
+  root_span.attr("n", static_cast<double>(n));
+  root_span.attr("width", static_cast<double>(w));
+  root_span.attr("method", to_string(opts.method));
+
+  // Warm-start chaining in lane order: lane b starts from the last
+  // converged lane before it, exactly like consecutive points of a scalar
+  // sweep. Direct solves ignore the guess, but a lane that escalates to
+  // the iterative chain must see the guess the scalar sequence would have.
+  std::optional<Vec> guess = opts.initial_guess;
+  const auto scalar_lane = [&](std::size_t b) {
+    const CsrMatrix lane_q = vals.lane_matrix(b);
+    SteadyStateOptions lo = opts;
+    lo.initial_guess = guess;
+    SteadyStateResult r = steady_state(lane_q, lo);
+    if (r.converged) guess = r.pi;
+    return r;
+  };
+
+  // The batched path covers the direct solvers on the natural ordering;
+  // anything else (explicit iterative method, RCM wrapping) is inherently
+  // sequential per lane and simply runs the scalar solver lane by lane.
+  const bool direct_eligible =
+      opts.reorder == SteadyStateReorder::kNone &&
+      (opts.method == SteadyStateMethod::kAuto ||
+       opts.method == SteadyStateMethod::kLevelQbd ||
+       opts.method == SteadyStateMethod::kDenseLu);
+  if (!direct_eligible || w == 1) {
+    for (std::size_t b = 0; b < w; ++b) out[b] = scalar_lane(b);
+    return out;
+  }
+
+  std::vector<unsigned char> done(w, 0);
+
+  // Structured (level-QBD) attempt. Detection and the elimination plan are
+  // pattern-only, so one detect + one plan serve every lane; the scalar
+  // solver would have reached the identical decision at each point.
+  const bool try_qbd = opts.method == SteadyStateMethod::kLevelQbd ||
+                       (opts.method == SteadyStateMethod::kAuto && opts.structured);
+  bool qbd_structured = false;  // the scalar chain would attempt level-QBD
+  if (try_qbd) {
+    QbdOptions qo;
+    qo.max_block = opts.method == SteadyStateMethod::kLevelQbd
+                       ? (opts.structured_max_block > 0 ? opts.structured_max_block
+                                                        : pattern.rows())
+                       : opts.structured_max_block;
+    const QbdStructure structure = detect_qbd(pattern, qo);
+    qbd_structured = structure.usable();
+    if (structure.usable() &&
+        structure.factor_doubles * w <= QbdOptions{}.max_factor_doubles) {
+      const QbdPlan plan = make_qbd_plan(pattern, structure);
+      if (plan.ok) {
+        std::vector<Vec> pis(w);
+        const std::vector<unsigned char> ok =
+            qbd_steady_state_batch(structure, plan, vals, pis);
+        for (std::size_t b = 0; b < w; ++b) {
+          if (!ok[b]) continue;  // scalar chain re-derives the failure
+          const std::uint64_t lane_start = obs::now_ns();
+          const CsrMatrix lane_q = vals.lane_matrix(b);
+          const System sys(lane_q);
+          SteadyStateResult res;
+          res.method_used = SteadyStateMethod::kLevelQbd;
+          res.pi = std::move(pis[b]);
+          finish_direct_lane(res, lane_q, sys, opts, 0.0);
+          // An explicit kLevelQbd request returns whatever the solver
+          // produced; kAuto only keeps lanes that pass certification and
+          // sends the rest through the scalar chain (which repeats the
+          // identical failing attempt, preserving the attempt list).
+          if (opts.method == SteadyStateMethod::kLevelQbd || accepted(res, opts)) {
+            if (opts.method == SteadyStateMethod::kAuto)
+              obs::count("ctmc.steady_state.structured.used");
+            record_batch_lane(res, pattern.rows(), sys.max_exit, lane_start);
+            out[b] = std::move(res);
+            done[b] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  // Dense-LU batch: kAuto reaches it only when the scalar chain would not
+  // have attempted level-QBD first (a lane-level QBD failure escalates
+  // through the scalar chain instead, so its attempt list keeps the failed
+  // structured entry exactly like the scalar solver's).
+  const bool try_dense =
+      opts.method == SteadyStateMethod::kDenseLu ||
+      (opts.method == SteadyStateMethod::kAuto && n <= 1200 && !qbd_structured);
+  if (try_dense && n * n * w <= kDenseBatchCapDoubles) {
+    obs::Span span("solve/dense-lu-batch");
+    span.attr("n", static_cast<double>(n));
+    span.attr("width", static_cast<double>(w));
+    // A_b = Q_b^T with the last balance row replaced by ones, assembled
+    // lane-interleaved straight from the shared pattern.
+    std::vector<double> a(n * n * w, 0.0);
+    const double* v = vals.values().data();
+    const index_t* cbase = pattern.row_cols(0).data();
+    for (index_t i = 0; i < pattern.rows(); ++i) {
+      const auto cs = pattern.row_cols(i);
+      const std::size_t base = static_cast<std::size_t>(cs.data() - cbase);
+      for (std::size_t k = 0; k < cs.size(); ++k) {
+        double* dst =
+            a.data() + (static_cast<std::size_t>(cs[k]) * n + static_cast<std::size_t>(i)) * w;
+        const double* ev = v + (base + k) * w;
+        for (std::size_t b = 0; b < w; ++b) dst[b] = ev[b];
+      }
+    }
+    double* last = a.data() + (n - 1) * n * w;
+    for (std::size_t j = 0; j < n * w; ++j) last[j] = 1.0;
+    // Per-lane ||A||_1 before factoring, in linalg::norm1's exact
+    // accumulation order (column-major sums, rows ascending).
+    std::vector<double> a_norm1(w, 0.0);
+    if (opts.certify) {
+      std::vector<double> col(w);
+      for (std::size_t j = 0; j < n; ++j) {
+        std::fill(col.begin(), col.end(), 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* e = a.data() + (i * n + j) * w;
+          for (std::size_t b = 0; b < w; ++b) col[b] += std::abs(e[b]);
+        }
+        for (std::size_t b = 0; b < w; ++b) a_norm1[b] = std::max(a_norm1[b], col[b]);
+      }
+    }
+    linalg::BatchLuFactorization f;
+    f.factor_packed(n, w, std::move(a));
+    for (std::size_t b = 0; b < w; ++b) {
+      if (done[b] || f.singular(b)) continue;  // singular: scalar chain re-derives
+      const std::uint64_t lane_start = obs::now_ns();
+      const CsrMatrix lane_q = vals.lane_matrix(b);
+      const System sys(lane_q);
+      SteadyStateResult res;
+      res.method_used = SteadyStateMethod::kDenseLu;
+      // The extracted scalar factorization is bit-identical to lu_factor's,
+      // so the scalar substitution and Hager condition code run verbatim.
+      const linalg::LuFactorization lf = f.extract_lane(b);
+      const double condition = opts.certify ? linalg::condest_1(a_norm1[b], lf) : 0.0;
+      Vec rhs(n, 0.0);
+      rhs[n - 1] = 1.0;
+      res.pi = lf.solve(rhs);
+      for (double& x : res.pi) x = std::max(x, 0.0);
+      linalg::normalize_l1(res.pi);
+      finish_direct_lane(res, lane_q, sys, opts, condition);
+      if (opts.method == SteadyStateMethod::kDenseLu || accepted(res, opts)) {
+        record_batch_lane(res, pattern.rows(), sys.max_exit, lane_start);
+        out[b] = std::move(res);
+        done[b] = 1;
+      }
+    }
+  }
+
+  // Sweep the lanes in ascending order: completed lanes feed the warm-start
+  // chain, everything else runs the full scalar solver with the guess the
+  // scalar sequence would have carried to that point.
+  for (std::size_t b = 0; b < w; ++b) {
+    if (done[b]) {
+      if (out[b].converged) guess = out[b].pi;
+      continue;
+    }
+    out[b] = scalar_lane(b);
+  }
+  return out;
 }
 
 void reconcile_warm_start(SteadyStateOptions& opts, index_t n_states) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "linalg/batch.hpp"
 #include "linalg/certify.hpp"
 #include "linalg/solver.hpp"
 
@@ -105,6 +106,20 @@ struct SteadyStateResult {
 
 [[nodiscard]] SteadyStateResult steady_state(const Ctmc& chain,
                                              const SteadyStateOptions& opts = {});
+
+/// Batched multi-point solve: W generators sharing one frozen sparsity
+/// pattern (a linalg::CsrValueBatch) solved together. The direct solvers
+/// (level-QBD, dense LU) factor all W systems in SIMD lockstep; lane b's
+/// result — pi, residual, certificate, attempt list — is bit-identical to
+/// `steady_state(<lane b's matrix>, <lane b's options>)`, where lane b's
+/// initial guess chains through the batch exactly like a scalar sweep
+/// (the last converged lane before b, starting from opts.initial_guess).
+/// Certification stays per point: every lane gets its own independently
+/// recomputed certificate, and any lane the batched direct path cannot
+/// accept (singular block, failed certificate, iterative method requested)
+/// falls back to the full scalar kAuto chain for that lane alone.
+[[nodiscard]] std::vector<SteadyStateResult> steady_state_batch(
+    const linalg::CsrValueBatch& vals, const SteadyStateOptions& opts = {});
 
 /// Drop a warm-start guess whose dimension no longer matches the chain
 /// about to be solved (sweeps that cross a structural-parameter boundary

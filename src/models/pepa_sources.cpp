@@ -1,16 +1,16 @@
 #include "models/pepa_sources.hpp"
 
-#include <cstdio>
 #include <string>
+
+#include "obs/numio.hpp"
 
 namespace tags::models {
 
 namespace {
 
 std::string num(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  // to_chars: same bytes as %.17g in the C locale, immune to LC_NUMERIC.
+  return numio::format_g(v, 17);
 }
 
 std::string idx(const std::string& base, unsigned i) {

@@ -6,10 +6,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/numio.hpp"
 #include "obs/span.hpp"
 #include "obs/timer.hpp"
 
@@ -78,7 +80,9 @@ void prom_number(std::ostringstream& os, double v) {
   } else if (std::isinf(v)) {
     os << (v > 0 ? "+Inf" : "-Inf");
   } else {
-    os << v;
+    // Prometheus expects C-locale numbers; to_chars ignores the global
+    // locale where ostream's num_put would honour a comma decimal point.
+    os << numio::format_g(v, 15);
   }
 }
 
@@ -131,7 +135,7 @@ std::string chrome_trace_json(const std::string& process_name) {
 
 std::string prometheus_text() {
   std::ostringstream os;
-  os.precision(15);
+  os.imbue(std::locale::classic());  // integer grouping is locale-driven too
 
   for (const CounterSnapshot& c : counter_snapshots()) {
     const std::string name = prom_name(c.name) + "_total";

@@ -7,9 +7,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/numio.hpp"
 
 namespace tags::obs {
 
@@ -19,7 +22,12 @@ class JsonWriter {
   /// matches the historical telemetry output; pass 17 for exact double
   /// round-trips (the serve line protocol relies on that for byte-identical
   /// pi vectors).
-  explicit JsonWriter(int precision = 15) { os_.precision(precision); }
+  explicit JsonWriter(int precision = 15) : precision_(precision) {
+    // JSON is locale-free by definition; the classic locale keeps a
+    // comma-decimal or digit-grouping global locale from corrupting the
+    // integers streamed below (doubles go through to_chars regardless).
+    os_.imbue(std::locale::classic());
+  }
 
   void begin_object() {
     comma();
@@ -75,7 +83,7 @@ class JsonWriter {
   void value(double v) {
     comma();
     if (std::isfinite(v)) {
-      os_ << v;
+      os_ << numio::format_g(v, precision_);
     } else {
       os_ << "null";
     }
@@ -128,6 +136,7 @@ class JsonWriter {
   std::ostringstream os_;
   std::vector<bool> first_;
   bool pending_value_ = false;
+  int precision_;
 };
 
 }  // namespace tags::obs

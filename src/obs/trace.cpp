@@ -2,6 +2,7 @@
 
 #if TAGS_OBS_ENABLED
 
+#include <climits>
 #include <cstdlib>
 #include <fstream>
 
@@ -24,9 +25,14 @@ struct SinkSlot {
 };
 
 int env_sample_every() {
+  // Strict parse: "8x" or "fast" keep the default instead of whatever
+  // atoi made of them (0, which used to flip the knob to its floor).
   if (const char* env = std::getenv("TAGS_OBS_SAMPLE")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= INT_MAX) {
+      return static_cast<int>(v);
+    }
   }
   return 16;
 }

@@ -1,7 +1,8 @@
 #include "pepa/printer.hpp"
 
 #include <cmath>
-#include <cstdio>
+
+#include "obs/numio.hpp"
 
 namespace tags::pepa {
 
@@ -11,9 +12,8 @@ std::string format_rate(double v) {
     std::snprintf(buf, sizeof(buf), "%.0f", v);
     return buf;
   }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  // to_chars: same bytes as %.17g in the C locale, immune to LC_NUMERIC.
+  return numio::format_g(v, 17);
 }
 
 namespace {

@@ -1,8 +1,9 @@
 #include "serve/jsonv.hpp"
 
 #include <cctype>
-#include <cstdlib>
 #include <string>
+
+#include "obs/numio.hpp"
 
 namespace tags::serve {
 
@@ -263,11 +264,12 @@ class Parser {
       while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
     }
     if (pos_ == start) return fail("expected value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return fail("malformed number");
-    out = JsonValue::make_number(v);
+    // from_chars is locale-independent (strtod honours LC_NUMERIC, so an
+    // embedding application calling setlocale() would break the protocol)
+    // and round-trips every double the writer can emit.
+    const auto v = numio::parse_double(text_.substr(start, pos_ - start));
+    if (!v) return fail("malformed number");
+    out = JsonValue::make_number(*v);
     return true;
   }
 

@@ -1,6 +1,8 @@
 #include "store/store.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -98,10 +100,22 @@ std::optional<IndexSegment> decode_index(std::span<const std::uint8_t> bytes) {
   return seg;
 }
 
+/// Strict integer environment knob: a malformed value (trailing garbage,
+/// overflow, not a number at all) keeps the fallback and bumps
+/// store.env_parse_errors instead of silently becoming whatever atoi
+/// truncated it to ("8GB" used to read as 8, "oops" as 0).
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return std::atoi(v);
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    obs::count("store.env_parse_errors");
+    return fallback;
+  }
+  return static_cast<int>(parsed);
 }
 
 }  // namespace
