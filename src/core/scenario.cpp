@@ -351,10 +351,14 @@ ScenarioOutcome ScenarioSlot::evaluate(const ScenarioRequest& req,
     }
   }
 
-  // Overlay the slot's warm-start guess on the caller's solver options.
+  // Overlay the slot's warm-start guess — and its NCD partition cache,
+  // which is slot state exactly like the guess — on the caller's solver
+  // options. A caller-supplied cache wins (they own the sharing policy).
   auto guess = std::move(s.warm.opts.initial_guess);
+  auto ncd_cache = std::move(s.warm.opts.ncd_cache);
   s.warm.opts = opts;
   s.warm.opts.initial_guess = std::move(guess);
+  if (!s.warm.opts.ncd_cache) s.warm.opts.ncd_cache = std::move(ncd_cache);
   s.warm.reconcile(s.active->n_states());
   ctmc::SteadyStateResult solved = s.active->solve(s.warm.opts);
   s.warm.accept(solved);

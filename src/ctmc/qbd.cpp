@@ -32,6 +32,13 @@ QbdStructure detect_qbd(const CsrMatrix& q, const QbdOptions& opts) {
   const index_t gate = opts.max_block > 0 ? opts.max_block : QbdOptions{}.max_block;
   s.profitable = s.block_tridiagonal && s.max_block <= gate &&
                  s.factor_doubles <= opts.max_factor_doubles;
+  if (!s.block_tridiagonal) {
+    s.gate_reason = "not-block-tridiagonal";
+  } else if (s.max_block > gate) {
+    s.gate_reason = "level-too-wide";
+  } else if (s.factor_doubles > opts.max_factor_doubles) {
+    s.gate_reason = "factor-storage";
+  }
   span.attr("levels", static_cast<double>(s.levels.levels()));
   span.attr("max_block", static_cast<double>(s.max_block));
   span.attr("profitable", s.profitable ? 1.0 : 0.0);

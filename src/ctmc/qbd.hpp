@@ -49,6 +49,9 @@ struct QbdStructure {
   std::size_t factor_doubles = 0;  // sum of level-size squares
   bool block_tridiagonal = false;
   bool profitable = false;
+  /// Why the gate declined; "" when profitable. Static strings only, so
+  /// the structure stays trivially copyable into solve attempts.
+  const char* gate_reason = "";
 
   [[nodiscard]] bool usable() const noexcept { return block_tridiagonal && profitable; }
 };

@@ -20,6 +20,7 @@ std::string_view to_string(SteadyStateMethod m) noexcept {
     case SteadyStateMethod::kPower: return "power";
     case SteadyStateMethod::kGmres: return "gmres";
     case SteadyStateMethod::kLevelQbd: return "level-qbd";
+    case SteadyStateMethod::kNcdAd: return "ncd-ad";
   }
   return "unknown";
 }
@@ -28,8 +29,36 @@ namespace {
 
 /// Record the just-finished solve as this result's own attempt entry.
 void note_attempt(SteadyStateResult& res) {
-  res.attempts.push_back(
-      {res.method_used, res.iterations, res.residual, res.converged});
+  SteadyStateAttempt a;
+  a.method = res.method_used;
+  a.iterations = res.iterations;
+  a.residual = res.residual;
+  a.converged = res.converged;
+  res.attempts.push_back(std::move(a));
+}
+
+/// A fast path the profitability gate declined without running: zero
+/// iterations, never converged, but present in the attempt list with the
+/// detector's verdict so "why didn't it fire?" is answerable downstream.
+[[nodiscard]] SteadyStateAttempt gated_attempt(SteadyStateMethod m, const char* reason) {
+  SteadyStateAttempt a;
+  a.method = m;
+  a.gate_reason = reason;
+  return a;
+}
+
+/// The SolveRecord rendering of an attempt list: method names joined by
+/// commas, gate-declined entries suffixed "[gate:<reason>]".
+void append_attempts(obs::SolveRecord& rec, const std::vector<SteadyStateAttempt>& attempts) {
+  for (const SteadyStateAttempt& a : attempts) {
+    if (!rec.attempts.empty()) rec.attempts += ',';
+    rec.attempts += to_string(a.method);
+    if (!a.gate_reason.empty()) {
+      rec.attempts += "[gate:";
+      rec.attempts += a.gate_reason;
+      rec.attempts += ']';
+    }
+  }
 }
 
 /// Trace a kAuto transition from a failed method to the next one. `reason`
@@ -344,6 +373,37 @@ SteadyStateResult solve_level_qbd(const System& sys, const SteadyStateOptions& o
   return res;
 }
 
+/// NCD aggregation-disaggregation on a precomputed partition — the
+/// iterative sibling of solve_level_qbd: the solver's own convergence
+/// claim is re-checked against an independently recomputed balance
+/// residual, and the certificate still decides acceptance in kAuto.
+SteadyStateResult solve_ncd_ad(const System& sys, const SteadyStateOptions& opts,
+                               const linalg::NcdPartition& part) {
+  const obs::ScopedTimer timer("ncd-ad");
+  obs::Span span("solve/ncd-ad");
+  span.attr("n", static_cast<double>(sys.n()));
+  span.attr("blocks", static_cast<double>(part.n_blocks()));
+  SteadyStateResult res;
+  res.method_used = SteadyStateMethod::kNcdAd;
+  res.residual = std::numeric_limits<double>::infinity();
+  linalg::NcdSolveOptions so;
+  so.tol = opts.tol * std::max(1.0, sys.max_exit);  // relative, like the sweeps
+  so.initial_guess = opts.initial_guess;
+  linalg::NcdSolveResult r = linalg::ncd_steady_state(sys.q, part, so);
+  if (!r.pi.empty()) {
+    res.pi = std::move(r.pi);
+    res.iterations = r.outer;
+    Vec scratch(res.pi.size());
+    const CsrMatrix& qt = sys.q.transpose_cache();
+    res.residual = balance_residual(qt, res.pi, scratch);
+    res.converged = std::isfinite(res.residual) && res.residual <= so.tol;
+    certify_result(res, qt, sys, opts);
+  }
+  note_attempt(res);
+  close_attempt_span(span, res);
+  return res;
+}
+
 SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions& opts) {
   switch (opts.method) {
     case SteadyStateMethod::kDenseLu: return solve_dense_lu(sys, opts);
@@ -357,6 +417,16 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
       QbdOptions qo;
       qo.max_block = opts.structured_max_block > 0 ? opts.structured_max_block : sys.n();
       return solve_level_qbd(sys, opts, detect_qbd(sys.q, qo));
+    }
+    case SteadyStateMethod::kNcdAd: {
+      // Explicit request: skip the profitability gate; the structural
+      // requirement (>= 2 blocks) is enforced by ncd_steady_state itself,
+      // which bails unconverged on a trivial partition.
+      if (opts.ncd_cache) {
+        return solve_ncd_ad(sys, opts, opts.ncd_cache->partition(sys.q, opts.ncd_opts));
+      }
+      const linalg::NcdPartition part = linalg::detect_ncd(sys.q, opts.ncd_opts);
+      return solve_ncd_ad(sys, opts, part);
     }
     case SteadyStateMethod::kAuto: break;
   }
@@ -394,6 +464,42 @@ SteadyStateResult steady_state_impl(const System& sys, const SteadyStateOptions&
                             res.attempts.end());
     } else {
       obs::count("ctmc.steady_state.structured.declined");
+      chain_attempts.push_back(
+          gated_attempt(SteadyStateMethod::kLevelQbd, structure.gate_reason));
+    }
+  }
+  // Second gated fast path: NCD aggregation-disaggregation, for the
+  // weakly-coupled chains the QBD bandwidth guard rejects. Chains below
+  // min_states skip even the detection — the dense/iterative chain is
+  // already quick there and the no-op must cost nothing (and leave no
+  // attempt-list trace, keeping small-chain behaviour bit-identical).
+  if (opts.ncd && sys.n() >= opts.ncd_opts.min_states) {
+    linalg::NcdPartition local;
+    const linalg::NcdPartition* part;
+    if (opts.ncd_cache) {
+      part = &opts.ncd_cache->partition(sys.q, opts.ncd_opts);
+    } else {
+      local = linalg::detect_ncd(sys.q, opts.ncd_opts);
+      part = &local;
+    }
+    if (part->profitable) {
+      obs::count("ncd.gate.accepts");
+      SteadyStateResult res = solve_ncd_ad(sys, opts, *part);
+      if (accepted(res, opts)) {
+        obs::count("ncd.solves");
+        return finish(std::move(res));
+      }
+      obs::count("ncd.fallthroughs");
+      trace_fallback(SteadyStateMethod::kNcdAd,
+                     sys.n() <= 1200 ? SteadyStateMethod::kDenseLu
+                                     : SteadyStateMethod::kGaussSeidel,
+                     res.residual, fallback_reason(res));
+      chain_attempts.insert(chain_attempts.end(), res.attempts.begin(),
+                            res.attempts.end());
+    } else {
+      obs::count("ncd.gate.rejects");
+      chain_attempts.push_back(
+          gated_attempt(SteadyStateMethod::kNcdAd, part->gate_reason));
     }
   }
   if (sys.n() <= 1200) {
@@ -462,6 +568,11 @@ SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOpti
       }();
       SteadyStateOptions inner = opts;
       inner.reorder = SteadyStateReorder::kNone;
+      // The NCD partition cache is keyed on (rows, nnz), which the RCM-
+      // permuted system shares with the original; carrying it across the
+      // two state orders would hand the solver a mismatched partition.
+      // The permuted solve detects afresh instead.
+      inner.ncd_cache.reset();
       if (inner.initial_guess &&
           inner.initial_guess->size() == static_cast<std::size_t>(q.rows())) {
         Vec guess(inner.initial_guess->size());
@@ -501,10 +612,7 @@ SteadyStateResult steady_state(const linalg::CsrMatrix& q, const SteadyStateOpti
     rec.certified = res.certificate.ok();
     rec.condition = res.certificate.condition;
     rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
-    for (const SteadyStateAttempt& a : res.attempts) {
-      if (!rec.attempts.empty()) rec.attempts += ',';
-      rec.attempts += to_string(a.method);
-    }
+    append_attempts(rec, res.attempts);
     obs::record_solve(std::move(rec));
   }
   return res;
@@ -554,10 +662,7 @@ void record_batch_lane(const SteadyStateResult& res, index_t n, double max_exit,
   rec.certified = res.certificate.ok();
   rec.condition = res.certificate.condition;
   rec.wall_ms = static_cast<double>(obs::now_ns() - start_ns) / 1e6;
-  for (const SteadyStateAttempt& a : res.attempts) {
-    if (!rec.attempts.empty()) rec.attempts += ',';
-    rec.attempts += to_string(a.method);
-  }
+  append_attempts(rec, res.attempts);
   obs::record_solve(std::move(rec));
 }
 
@@ -616,6 +721,7 @@ std::vector<SteadyStateResult> steady_state_batch(const linalg::CsrValueBatch& v
   const bool try_qbd = opts.method == SteadyStateMethod::kLevelQbd ||
                        (opts.method == SteadyStateMethod::kAuto && opts.structured);
   bool qbd_structured = false;  // the scalar chain would attempt level-QBD
+  const char* qbd_gate_reason = "";  // detector's verdict when it declined
   if (try_qbd) {
     QbdOptions qo;
     qo.max_block = opts.method == SteadyStateMethod::kLevelQbd
@@ -624,6 +730,7 @@ std::vector<SteadyStateResult> steady_state_batch(const linalg::CsrValueBatch& v
                        : opts.structured_max_block;
     const QbdStructure structure = detect_qbd(pattern, qo);
     qbd_structured = structure.usable();
+    qbd_gate_reason = structure.gate_reason;
     if (structure.usable() &&
         structure.factor_doubles * w <= QbdOptions{}.max_factor_doubles) {
       const QbdPlan plan = make_qbd_plan(pattern, structure);
@@ -659,10 +766,15 @@ std::vector<SteadyStateResult> steady_state_batch(const linalg::CsrValueBatch& v
   // Dense-LU batch: kAuto reaches it only when the scalar chain would not
   // have attempted level-QBD first (a lane-level QBD failure escalates
   // through the scalar chain instead, so its attempt list keeps the failed
-  // structured entry exactly like the scalar solver's).
+  // structured entry exactly like the scalar solver's), and only when the
+  // scalar chain would also have skipped NCD detection (chains at or above
+  // ncd_opts.min_states go through the scalar path so their attempt lists
+  // carry the NCD gate verdict — with default options that bound exceeds
+  // the 1200-state dense ceiling, so nothing changes here).
   const bool try_dense =
       opts.method == SteadyStateMethod::kDenseLu ||
-      (opts.method == SteadyStateMethod::kAuto && n <= 1200 && !qbd_structured);
+      (opts.method == SteadyStateMethod::kAuto && n <= 1200 && !qbd_structured &&
+       (!opts.ncd || pattern.rows() < opts.ncd_opts.min_states));
   if (try_dense && n * n * w <= kDenseBatchCapDoubles) {
     obs::Span span("solve/dense-lu-batch");
     span.attr("n", static_cast<double>(n));
@@ -706,6 +818,12 @@ std::vector<SteadyStateResult> steady_state_batch(const linalg::CsrValueBatch& v
       const CsrMatrix lane_q = vals.lane_matrix(b);
       const System sys(lane_q);
       SteadyStateResult res;
+      if (opts.method == SteadyStateMethod::kAuto && opts.structured) {
+        // The scalar chain records the declined level-QBD gate before the
+        // dense solve; mirror it so lane attempt lists stay bit-identical.
+        res.attempts.push_back(
+            gated_attempt(SteadyStateMethod::kLevelQbd, qbd_gate_reason));
+      }
       res.method_used = SteadyStateMethod::kDenseLu;
       // The extracted scalar factorization is bit-identical to lu_factor's,
       // so the scalar substitution and Hager condition code run verbatim.
@@ -747,6 +865,11 @@ void reconcile_warm_start(SteadyStateOptions& opts, index_t n_states) {
 }
 
 void WarmStartState::reconcile(index_t n_states) {
+  // Each shard's solves share one rebind-aware NCD partition cache: a sweep
+  // rebinds values on a frozen pattern, so detection runs once per shard
+  // and later points only re-evaluate the profitability gate. Created here
+  // lazily so plain one-shot solves never pay for it.
+  if (!opts.ncd_cache) opts.ncd_cache = std::make_shared<linalg::NcdPartitionCache>();
   const bool had_guess = opts.initial_guess.has_value();
   reconcile_warm_start(opts, n_states);
   if (had_guess && !opts.initial_guess) ++cleared;

@@ -14,27 +14,44 @@
 //                   structure of the generator (see ctmc/qbd.hpp); exact in
 //                   one pass when the chain is level-structured with narrow
 //                   levels, declined otherwise.
+//  * kNcdAd       — iterative aggregation-disaggregation on a nearly-
+//                   completely-decomposable block partition (see
+//                   linalg/ncd.hpp); a handful of censored block sweeps plus
+//                   a coarse dense solve per pass when inter-block coupling
+//                   is weak, declined on strongly-coupled chains.
 //  * kAuto        — level-QBD when detection and its cost gate succeed,
-//                   then LU for small chains, otherwise Gauss-Seidel with a
-//                   GMRES fallback, then power iteration as a last resort.
-//                   Escalation is certificate-driven: a structured result
-//                   that fails the independent check falls through to the
-//                   generic chain.
+//                   then NCD aggregation-disaggregation when its coupling
+//                   gate accepts, then LU for small chains, otherwise
+//                   Gauss-Seidel with a GMRES fallback, then power iteration
+//                   as a last resort. Escalation is certificate-driven: a
+//                   structured result that fails the independent check falls
+//                   through to the generic chain.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
 #include "linalg/batch.hpp"
 #include "linalg/certify.hpp"
+#include "linalg/ncd.hpp"
 #include "linalg/solver.hpp"
 
 namespace tags::ctmc {
 
-enum class SteadyStateMethod { kAuto, kDenseLu, kGaussSeidel, kPower, kGmres, kLevelQbd };
+enum class SteadyStateMethod {
+  kAuto,
+  kDenseLu,
+  kGaussSeidel,
+  kPower,
+  kGmres,
+  kLevelQbd,
+  kNcdAd,
+};
 
 [[nodiscard]] std::string_view to_string(SteadyStateMethod m) noexcept;
 
@@ -71,6 +88,18 @@ struct SteadyStateOptions {
   /// Certification bounds. residual_bound is *relative*: it is multiplied
   /// by max(1, max exit rate), matching how solver tolerances scale.
   linalg::CertifyOptions certify_opts{.residual_bound = 1e-6};
+  /// Let kAuto try NCD aggregation-disaggregation when the QBD gate
+  /// declines. Same safety argument as `structured`: a stale or misjudged
+  /// partition costs a fallthrough, never a wrong answer.
+  bool ncd = true;
+  /// Detection thresholds and the coupling/profitability gate for the NCD
+  /// partition (see linalg/ncd.hpp). Chains below ncd_opts.min_states skip
+  /// detection entirely — zero overhead on small systems.
+  linalg::NcdOptions ncd_opts;
+  /// Optional rebind-aware partition cache shared across a sweep's solves
+  /// (WarmStartState::reconcile installs one). Solves without a cache
+  /// detect afresh. Not thread-safe — one per shard, like the warm state.
+  std::shared_ptr<linalg::NcdPartitionCache> ncd_cache;
 };
 
 /// One method tried by steady_state (kAuto runs several in sequence).
@@ -79,6 +108,12 @@ struct SteadyStateAttempt {
   int iterations = 0;
   double residual = 0.0;
   bool converged = false;
+  /// Why a gated fast path (kLevelQbd, kNcdAd) was declined without
+  /// running: the detector's verdict, e.g. "level-too-wide" or
+  /// "strong-coupling". Empty for attempts that actually executed. Makes
+  /// "why didn't the fast path fire?" answerable from telemetry — gated
+  /// methods used to vanish from the attempt list entirely.
+  std::string gate_reason;
 };
 
 struct SteadyStateResult {
@@ -94,7 +129,9 @@ struct SteadyStateResult {
   linalg::Certificate certificate;
   /// Every method attempted, in order; the last entry is method_used.
   /// A single-method request yields one entry; kAuto records its whole
-  /// fallback chain (level-QBD, LU, Gauss-Seidel, GMRES, power iteration).
+  /// fallback chain (level-QBD, NCD-AD, LU, Gauss-Seidel, GMRES, power
+  /// iteration), including gate-declined fast paths (entries with a
+  /// non-empty gate_reason, which never count as executed methods).
   std::vector<SteadyStateAttempt> attempts;
 };
 

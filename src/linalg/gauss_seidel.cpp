@@ -3,6 +3,7 @@
 
 #include "linalg/solver.hpp"
 #include "linalg/solver_internal.hpp"
+#include "linalg/sweep_kernel.hpp"
 
 namespace tags::linalg {
 
@@ -26,39 +27,24 @@ SolveResult gauss_seidel(const CsrMatrix& a, std::span<const double> b, Vec& x,
   // fill x with inf/NaN that then propagates through every later update.
   // Bail before touching x: the caller sees an explicit divergence instead
   // of a poisoned vector.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (diag[i] == 0.0) {
-      obs::count("numerics.gauss_seidel.zero_diagonal");
-      if (obs::tracing_on()) {
-        obs::TraceEvent ev;
-        ev.name = "numerics.gauss_seidel_zero_diagonal";
-        ev.num.emplace_back("row", static_cast<double>(i));
-        ev.num.emplace_back("n", static_cast<double>(n));
-        obs::emit(std::move(ev));
-      }
-      res.residual = initial_residual;
-      detail::finalize_solve(res, "gauss-seidel", a.rows(), b_norm, initial_residual,
-                             start_ns, "zero-diagonal");
-      res.diverged = true;  // after finalize_solve, which re-derives the flag
-      return res;
+  if (const index_t bad = detail::find_zero_diagonal(diag, 0, a.rows()); bad >= 0) {
+    obs::count("numerics.gauss_seidel.zero_diagonal");
+    if (obs::tracing_on()) {
+      obs::TraceEvent ev;
+      ev.name = "numerics.gauss_seidel_zero_diagonal";
+      ev.num.emplace_back("row", static_cast<double>(bad));
+      ev.num.emplace_back("n", static_cast<double>(n));
+      obs::emit(std::move(ev));
     }
+    res.residual = initial_residual;
+    detail::finalize_solve(res, "gauss-seidel", a.rows(), b_norm, initial_residual,
+                           start_ns, "zero-diagonal");
+    res.diverged = true;  // after finalize_solve, which re-derives the flag
+    return res;
   }
 
   for (res.iterations = 0; res.iterations < opts.max_iter; ++res.iterations) {
-    double max_update = 0.0;
-    for (index_t i = 0; i < a.rows(); ++i) {
-      const auto cs = a.row_cols(i);
-      const auto vs = a.row_vals(i);
-      const std::size_t ii = static_cast<std::size_t>(i);
-      double off = 0.0;
-      for (std::size_t k = 0; k < cs.size(); ++k) {
-        if (cs[k] != i) off += vs[k] * x[static_cast<std::size_t>(cs[k])];
-      }
-      const double gs = (b[ii] - off) / diag[ii];
-      const double next = (1.0 - omega) * x[ii] + omega * gs;
-      max_update = std::max(max_update, std::abs(next - x[ii]));
-      x[ii] = next;
-    }
+    const double max_update = detail::gs_sweep_range(a, b, x, diag, omega, 0, a.rows());
     // The update norm is only a proxy; confirm with the true residual, but
     // not every sweep (it costs one SpMV).
     const bool check_now = max_update <= opts.tol || (res.iterations & 31) == 31;

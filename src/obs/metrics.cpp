@@ -349,7 +349,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(4));
+  w.field("schema_version", static_cast<std::int64_t>(5));
   w.field("obs_level", static_cast<std::int64_t>(level()));
 
   w.key("timers");
@@ -499,6 +499,21 @@ std::string metrics_json(const std::string& id) {
   w.field("bytes", gauge_by_name("store.bytes"));
   w.end_object();
 
+  // Schema v5: the NCD aggregation-disaggregation section — the ncd.*
+  // counters under stable field names (all-zero when no solve crossed the
+  // detection threshold in this process).
+  w.key("ncd");
+  w.begin_object();
+  w.field("partitions_built", counter_by_name("ncd.partitions_built"));
+  w.field("cache_hits", counter_by_name("ncd.cache.hits"));
+  w.field("cache_invalidated", counter_by_name("ncd.cache.invalidated"));
+  w.field("gate_accepts", counter_by_name("ncd.gate.accepts"));
+  w.field("gate_rejects", counter_by_name("ncd.gate.rejects"));
+  w.field("solves", counter_by_name("ncd.solves"));
+  w.field("fallthroughs", counter_by_name("ncd.fallthroughs"));
+  w.field("sweeps", counter_by_name("ncd.sweeps"));
+  w.end_object();
+
   w.end_object();
   return std::move(w).str();
 }
@@ -564,7 +579,7 @@ std::string metrics_json(const std::string& id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
-  w.field("schema_version", static_cast<std::int64_t>(4));
+  w.field("schema_version", static_cast<std::int64_t>(5));
   w.field("obs_level", static_cast<std::int64_t>(-1));
   w.key("timers");
   w.begin_object();
@@ -611,6 +626,17 @@ std::string metrics_json(const std::string& id) {
   w.field("cache_loaded", static_cast<std::int64_t>(0));
   w.field("records", 0.0);
   w.field("bytes", 0.0);
+  w.end_object();
+  w.key("ncd");
+  w.begin_object();
+  w.field("partitions_built", static_cast<std::int64_t>(0));
+  w.field("cache_hits", static_cast<std::int64_t>(0));
+  w.field("cache_invalidated", static_cast<std::int64_t>(0));
+  w.field("gate_accepts", static_cast<std::int64_t>(0));
+  w.field("gate_rejects", static_cast<std::int64_t>(0));
+  w.field("solves", static_cast<std::int64_t>(0));
+  w.field("fallthroughs", static_cast<std::int64_t>(0));
+  w.field("sweeps", static_cast<std::int64_t>(0));
   w.end_object();
   w.end_object();
   return std::move(w).str();

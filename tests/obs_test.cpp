@@ -214,7 +214,7 @@ TEST_F(ObsTest, MetricsJsonIsWellFormedEnough) {
   obs::gauge_set("test.json.gauge", 2.5);
   const std::string json = obs::metrics_json("obs_test");
   EXPECT_NE(json.find("\"id\":\"obs_test\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(json.find("test.json.counter"), std::string::npos);
   EXPECT_NE(json.find("\"store\":{"), std::string::npos);
   EXPECT_EQ(json.front(), '{');

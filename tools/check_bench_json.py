@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Validate a bench telemetry JSON file against the v1/v2/v3/v4 schema.
+"""Validate a bench telemetry JSON file against the v1..v5 schema.
 
 Usage: check_bench_json.py [--require-gauge NAME[=VALUE]]
                            [--require-server-counter NAME[=VALUE]]
                            [--require-store-counter NAME[=VALUE]]
+                           [--require-ncd-counter NAME[=VALUE]]
                            <telemetry.json> [...]
 
 --require-gauge (repeatable) additionally asserts that every file defines
@@ -19,8 +20,8 @@ problem. The schema (see README "Observability"):
 --require-server-counter (repeatable, v3+ files) asserts a field of the
 "server" section is present; with =VALUE it must equal VALUE exactly, and
 with =+N (e.g. =+1) it must be at least N. Skipped for obs-off files like
---require-gauge. --require-store-counter does the same for the v4 "store"
-section.
+--require-gauge. --require-store-counter does the same for the v4+ "store"
+section, and --require-ncd-counter for the v5 "ncd" section.
 
 Zero-length files are rejected outright: every writer in the repo
 publishes via write-temp-then-rename, so an empty artifact always means a
@@ -28,7 +29,7 @@ failed or interrupted export, never a legitimate document.
 
   {
     "id": str,
-    "schema_version": 4,         # 1/2/3 accepted for earlier files
+    "schema_version": 5,         # 1/2/3/4 accepted for earlier files
     "obs_level": int,            # -1 when compiled out, else 0..3
     "timers": {path: {"count": int, "total_ms": num, "self_ms": num}},
     "spans": [{"id": int, "parent": int, "thread": int, "name": str,
@@ -52,7 +53,11 @@ failed or interrupted export, never a legitimate document.
               "records_dropped": int, "records_recovered": int,
               "decode_failures": int, "lookups": int, "lookup_hits": int,
               "shards_journaled": int, "shards_resumed": int,
-              "cache_loaded": int, "records": num, "bytes": num},  # v4 only
+              "cache_loaded": int, "records": num, "bytes": num},  # v4+
+    "ncd": {"partitions_built": int, "cache_hits": int,
+            "cache_invalidated": int, "gate_accepts": int,
+            "gate_rejects": int, "solves": int, "fallthroughs": int,
+            "sweeps": int},                                  # v5 only
   }
 
 Span entries are additionally checked for causal consistency: ids unique
@@ -97,8 +102,20 @@ STORE_FIELDS = (
     ("bytes", NUMBER),
 )
 
+NCD_FIELDS = (
+    ("partitions_built", int),
+    ("cache_hits", int),
+    ("cache_invalidated", int),
+    ("gate_accepts", int),
+    ("gate_rejects", int),
+    ("solves", int),
+    ("fallthroughs", int),
+    ("sweeps", int),
+)
 
-def check(path, required_gauges=(), required_server=(), required_store=()):
+
+def check(path, required_gauges=(), required_server=(), required_store=(),
+          required_ncd=()):
     problems = []
 
     def err(msg):
@@ -130,7 +147,7 @@ def check(path, required_gauges=(), required_server=(), required_store=()):
 
     field("id", str)
     version = field("schema_version", int)
-    if version not in (None, 1, 2, 3, 4):
+    if version not in (None, 1, 2, 3, 4, 5):
         err(f"unsupported schema_version {doc['schema_version']}")
     field("obs_level", int)
     field("solves_dropped", int)
@@ -144,7 +161,7 @@ def check(path, required_gauges=(), required_server=(), required_store=()):
             if not isinstance(stat.get(key), types) or isinstance(stat.get(key), bool):
                 err(f"timer '{tpath}' field '{key}' missing or wrong type")
 
-    if version in (2, 3, 4):
+    if version in (2, 3, 4, 5):
         field("spans_dropped", int)
         spans = field("spans", list)
         seen = {}  # id -> record, in listed (parent-before-child) order
@@ -260,7 +277,7 @@ def check(path, required_gauges=(), required_server=(), required_store=()):
             err(f"solves[{i}] field 'condition' wrong type")
 
     server = None
-    if version in (3, 4):
+    if version in (3, 4, 5):
         server = field("server", dict)
         for key, types in SERVER_FIELDS:
             v = (server or {}).get(key)
@@ -268,12 +285,20 @@ def check(path, required_gauges=(), required_server=(), required_store=()):
                 err(f"server field '{key}' missing or wrong type")
 
     store = None
-    if version == 4:
+    if version in (4, 5):
         store = field("store", dict)
         for key, types in STORE_FIELDS:
             v = (store or {}).get(key)
             if not isinstance(v, types) or isinstance(v, bool):
                 err(f"store field '{key}' missing or wrong type")
+
+    ncd = None
+    if version == 5:
+        ncd = field("ncd", dict)
+        for key, types in NCD_FIELDS:
+            v = (ncd or {}).get(key)
+            if not isinstance(v, types) or isinstance(v, bool):
+                err(f"ncd field '{key}' missing or wrong type")
 
     if doc.get("obs_level", -1) >= 0:
         for spec in required_gauges:
@@ -302,6 +327,16 @@ def check(path, required_gauges=(), required_server=(), required_store=()):
                     err(f"store field '{name}' is {v}, expected at least {want[1:]}")
             elif want and abs(v - float(want)) > 1e-9:
                 err(f"store field '{name}' is {v}, expected {want}")
+        for spec in required_ncd:
+            name, _, want = spec.partition("=")
+            v = (ncd or {}).get(name)
+            if not isinstance(v, NUMBER) or isinstance(v, bool):
+                err(f"required ncd field '{name}' missing")
+            elif want.startswith("+"):
+                if v < float(want[1:]):
+                    err(f"ncd field '{name}' is {v}, expected at least {want[1:]}")
+            elif want and abs(v - float(want)) > 1e-9:
+                err(f"ncd field '{name}' is {v}, expected {want}")
 
     return problems
 
@@ -310,6 +345,7 @@ def main(argv):
     required_gauges = []
     required_server = []
     required_store = []
+    required_ncd = []
     paths = []
     i = 1
     while i < len(argv):
@@ -331,6 +367,12 @@ def main(argv):
         elif argv[i].startswith("--require-store-counter="):
             required_store.append(argv[i].split("=", 1)[1])
             i += 1
+        elif argv[i] == "--require-ncd-counter" and i + 1 < len(argv):
+            required_ncd.append(argv[i + 1])
+            i += 2
+        elif argv[i].startswith("--require-ncd-counter="):
+            required_ncd.append(argv[i].split("=", 1)[1])
+            i += 1
         else:
             paths.append(argv[i])
             i += 1
@@ -339,7 +381,8 @@ def main(argv):
         return 2
     all_problems = []
     for path in paths:
-        all_problems += check(path, required_gauges, required_server, required_store)
+        all_problems += check(path, required_gauges, required_server,
+                              required_store, required_ncd)
     for p in all_problems:
         print(p, file=sys.stderr)
     if not all_problems:
